@@ -1,0 +1,218 @@
+//! The supply-voltage approximation knob (paper §2's second energy lever).
+//!
+//! Instead of stretching the refresh interval, the system keeps a fixed
+//! (e.g. JEDEC 64 ms) refresh and lowers the supply voltage, shrinking every
+//! cell's retention by a common factor until the target error rate is
+//! reached. Because the factor is common, voltage scaling exposes the *same*
+//! per-cell volatility ordering as refresh scaling — the `knobs` experiment
+//! verifies that fingerprints transfer across the two knobs.
+
+use crate::{measure_error_rate, AccuracyTarget, CalibrationConfig, CalibrationError, DecayMedium};
+use pc_dram::{Conditions, VoltageModel};
+
+/// The outcome of voltage calibration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageOutcome {
+    /// Calibrated supply voltage.
+    pub supply_v: f64,
+    /// The retention scale that voltage realizes.
+    pub retention_scale: f64,
+    /// Dynamic-power proxy relative to nominal supply.
+    pub relative_power: f64,
+}
+
+/// Finds the supply voltage at which `medium`, refreshed every
+/// `refresh_interval_s`, shows the target worst-case error rate at
+/// `temperature_c`.
+///
+/// # Errors
+///
+/// [`CalibrationError`] when the bisection cannot reach the target (e.g. the
+/// refresh interval alone already over-approximates at nominal voltage).
+///
+/// # Example
+///
+/// ```
+/// use pc_approx::{calibrate_voltage, AccuracyTarget, CalibrationConfig};
+/// use pc_dram::{ChipGeometry, ChipId, ChipProfile, DramChip, VoltageModel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let chip = DramChip::new(
+///     ChipProfile::km41464a().with_geometry(ChipGeometry::new(32, 1024, 2)),
+///     ChipId(1),
+/// );
+/// let out = calibrate_voltage(
+///     &chip,
+///     40.0,
+///     AccuracyTarget::percent(99.0)?,
+///     0.064, // JEDEC 64 ms refresh
+///     &VoltageModel::ddr2_like(),
+///     &CalibrationConfig { sample_cells: None, ..Default::default() },
+/// )?;
+/// assert!(out.supply_v < 1.8); // undervolted
+/// assert!(out.relative_power < 1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn calibrate_voltage<M: DecayMedium>(
+    medium: &M,
+    temperature_c: f64,
+    target: AccuracyTarget,
+    refresh_interval_s: f64,
+    voltage: &VoltageModel,
+    config: &CalibrationConfig,
+) -> Result<VoltageOutcome, CalibrationError> {
+    let want = target.error_rate();
+    let rate_at = |scale: f64| {
+        let cond = Conditions::new(temperature_c, refresh_interval_s)
+            .with_retention_scale(scale)
+            .trial(u64::MAX);
+        measure_error_rate(medium, &cond, config.sample_cells)
+    };
+
+    // Error rate decreases as scale grows; bracket downward from nominal.
+    if rate_at(1.0) > want {
+        // Nominal voltage already exceeds the error budget at this refresh
+        // interval — voltage scaling cannot make the memory *more* reliable.
+        return Err(CalibrationError::TargetUnreachable { target: want });
+    }
+    let mut hi = 1.0f64; // rate(hi) <= want
+    let mut lo = 1.0f64;
+    let mut shrink = 0;
+    loop {
+        lo /= 4.0;
+        if rate_at(lo) >= want {
+            break;
+        }
+        shrink += 1;
+        if shrink > 24 {
+            return Err(CalibrationError::TargetUnreachable { target: want });
+        }
+    }
+
+    let mut best = lo;
+    let mut best_rate = rate_at(lo);
+    for _ in 0..config.max_iterations {
+        let mid = (lo * hi).sqrt(); // geometric bisection: scales span decades
+        let rate = rate_at(mid);
+        if (rate - want).abs() < (best_rate - want).abs() {
+            best = mid;
+            best_rate = rate;
+        }
+        if (rate - want).abs() <= config.relative_tolerance * want {
+            best = mid;
+            best_rate = rate;
+            break;
+        }
+        if rate > want {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    if (best_rate - want).abs() > 2.0 * config.relative_tolerance * want {
+        return Err(CalibrationError::DidNotConverge {
+            target: want,
+            achieved: best_rate,
+        });
+    }
+    let supply_v = voltage.voltage_for_scale(best);
+    Ok(VoltageOutcome {
+        supply_v,
+        retention_scale: best,
+        relative_power: voltage.relative_power(supply_v),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_dram::{ChipGeometry, ChipId, ChipProfile, DramChip};
+
+    fn chip() -> DramChip {
+        DramChip::new(
+            ChipProfile::km41464a().with_geometry(ChipGeometry::new(32, 1024, 2)),
+            ChipId(9),
+        )
+    }
+
+    fn full_scan() -> CalibrationConfig {
+        CalibrationConfig {
+            sample_cells: None,
+            ..CalibrationConfig::default()
+        }
+    }
+
+    #[test]
+    fn voltage_calibration_hits_target() {
+        let c = chip();
+        let out = calibrate_voltage(
+            &c,
+            40.0,
+            AccuracyTarget::percent(99.0).unwrap(),
+            0.064,
+            &VoltageModel::ddr2_like(),
+            &full_scan(),
+        )
+        .unwrap();
+        let cond = Conditions::new(40.0, 0.064).with_retention_scale(out.retention_scale);
+        let rate = measure_error_rate(&c, &cond, None);
+        assert!((rate - 0.01).abs() < 0.002, "rate {rate}");
+        assert!(out.supply_v > 1.0 && out.supply_v < 1.8);
+    }
+
+    #[test]
+    fn heavier_approximation_means_lower_voltage() {
+        let c = chip();
+        let v = VoltageModel::ddr2_like();
+        let v99 = calibrate_voltage(&c, 40.0, AccuracyTarget::percent(99.0).unwrap(), 0.064, &v, &full_scan())
+            .unwrap();
+        let v90 = calibrate_voltage(&c, 40.0, AccuracyTarget::percent(90.0).unwrap(), 0.064, &v, &full_scan())
+            .unwrap();
+        assert!(v90.supply_v < v99.supply_v);
+        assert!(v90.relative_power < v99.relative_power);
+    }
+
+    #[test]
+    fn same_cells_fail_under_either_knob() {
+        // The core privacy fact: refresh scaling and voltage scaling expose
+        // the same volatility ordering, hence (almost) the same error set.
+        let c = chip();
+        let data = c.worst_case_pattern();
+        let target = AccuracyTarget::percent(99.0).unwrap();
+        let refresh_interval =
+            crate::calibrate_measured(&c, 40.0, target, &full_scan()).unwrap();
+        let by_refresh = c.readback_errors(&data, &Conditions::new(40.0, refresh_interval).trial(5));
+        let vout = calibrate_voltage(&c, 40.0, target, 0.064, &VoltageModel::ddr2_like(), &full_scan())
+            .unwrap();
+        let by_voltage = c.readback_errors(
+            &data,
+            &Conditions::new(40.0, 0.064)
+                .with_retention_scale(vout.retention_scale)
+                .trial(5),
+        );
+        let common = by_refresh
+            .iter()
+            .filter(|c| by_voltage.binary_search(c).is_ok())
+            .count();
+        let overlap = common as f64 / by_refresh.len().max(1) as f64;
+        assert!(overlap > 0.9, "knobs disagree: overlap {overlap}");
+    }
+
+    #[test]
+    fn unreachable_when_interval_already_too_lossy() {
+        // A 100-second "refresh" interval at nominal voltage already loses
+        // far more than 1%; undervolting can only make it worse.
+        let c = chip();
+        let err = calibrate_voltage(
+            &c,
+            40.0,
+            AccuracyTarget::percent(99.0).unwrap(),
+            100.0,
+            &VoltageModel::ddr2_like(),
+            &full_scan(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CalibrationError::TargetUnreachable { .. }));
+    }
+}

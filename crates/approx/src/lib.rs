@@ -1,0 +1,44 @@
+//! Approximate memory controller over the DRAM simulator.
+//!
+//! Approximate DRAM systems save energy by refreshing less often (or lowering
+//! supply voltage), accepting a bounded error rate (paper §2, citing Flikker,
+//! RAPID, RAIDR). The paper's platform — and therefore this controller —
+//! maintains a *target accuracy* across environmental changes: when the
+//! temperature rises, the controller shortens the refresh interval so that
+//! the error rate stays at the configured level (§7.3). That compensation is
+//! exactly why the fingerprint is temperature-invariant: the same top-`p`
+//! volatile cells fail regardless of temperature.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_approx::{AccuracyTarget, ApproxMemory};
+//! use pc_dram::{ChipId, ChipProfile, DramChip};
+//!
+//! let chip = DramChip::new(ChipProfile::km41464a(), ChipId(1));
+//! let mut mem = ApproxMemory::with_target(chip, 40.0, AccuracyTarget::percent(99.0)?)?;
+//!
+//! let data = vec![0xA5u8; 4096];
+//! let approx = mem.store_readback(0, &data);
+//! assert_eq!(approx.len(), data.len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod calibration;
+mod controller;
+mod knob;
+mod medium;
+mod policy;
+mod target;
+
+pub use calibration::{
+    analytic_interval, calibrate_measured, measure_error_rate, CalibrationConfig, CalibrationError,
+};
+pub use controller::ApproxMemory;
+pub use knob::{calibrate_voltage, VoltageOutcome};
+pub use medium::DecayMedium;
+pub use policy::{exact_refresh_rate_hz, plan_for_policy, PolicyOutcome, RefreshPolicy};
+pub use target::{AccuracyTarget, TargetError};

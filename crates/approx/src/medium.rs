@@ -1,0 +1,139 @@
+//! The decay-medium abstraction: anything that stores bits and loses some.
+
+use pc_dram::{Conditions, DramBank, DramChip};
+
+/// A storage medium whose charged cells decay over an unrefreshed interval.
+///
+/// Implemented by [`DramChip`] and [`DramBank`]; the controller and the
+/// attacker pipelines are generic over this trait so a single chip, a DIMM, or
+/// a future medium (e.g. approximate flash) plug in identically.
+pub trait DecayMedium {
+    /// Total number of cells.
+    fn capacity_bits(&self) -> u64;
+
+    /// The logical value cell `cell` reads as when discharged.
+    fn default_bit(&self, cell: u64) -> bool;
+
+    /// Error cell indices (medium-global, sorted ascending) for `data` stored
+    /// at byte offset `offset_bytes` under `cond`.
+    fn errors_at(&self, offset_bytes: usize, data: &[u8], cond: &Conditions) -> Vec<u64>;
+
+    /// Capacity in whole bytes.
+    fn capacity_bytes(&self) -> usize {
+        (self.capacity_bits() / 8) as usize
+    }
+
+    /// Reads `data` back from `offset_bytes` with decay applied.
+    fn readback_at(&self, offset_bytes: usize, data: &[u8], cond: &Conditions) -> Vec<u8> {
+        let mut out = data.to_vec();
+        for cell in self.errors_at(offset_bytes, data, cond) {
+            let local = cell - offset_bytes as u64 * 8;
+            out[(local / 8) as usize] ^= 1 << (local % 8);
+        }
+        out
+    }
+
+    /// A pattern that charges every cell — the worst case for decay.
+    fn worst_case_pattern(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.capacity_bytes()];
+        for (i, byte) in out.iter_mut().enumerate() {
+            for bit in 0..8u64 {
+                if !self.default_bit(i as u64 * 8 + bit) {
+                    *byte |= 1 << bit;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl DecayMedium for DramChip {
+    fn capacity_bits(&self) -> u64 {
+        DramChip::capacity_bits(self)
+    }
+
+    fn default_bit(&self, cell: u64) -> bool {
+        DramChip::default_bit(self, cell)
+    }
+
+    fn errors_at(&self, offset_bytes: usize, data: &[u8], cond: &Conditions) -> Vec<u64> {
+        DramChip::errors_at(self, offset_bytes, data, cond)
+    }
+}
+
+impl DecayMedium for DramBank {
+    fn capacity_bits(&self) -> u64 {
+        DramBank::capacity_bits(self)
+    }
+
+    fn default_bit(&self, cell: u64) -> bool {
+        let (chip, local) = self.locate(cell);
+        chip.default_bit(local)
+    }
+
+    fn errors_at(&self, offset_bytes: usize, data: &[u8], cond: &Conditions) -> Vec<u64> {
+        DramBank::errors_at(self, offset_bytes, data, cond)
+    }
+}
+
+impl<M: DecayMedium + ?Sized> DecayMedium for &M {
+    fn capacity_bits(&self) -> u64 {
+        (**self).capacity_bits()
+    }
+
+    fn default_bit(&self, cell: u64) -> bool {
+        (**self).default_bit(cell)
+    }
+
+    fn errors_at(&self, offset_bytes: usize, data: &[u8], cond: &Conditions) -> Vec<u64> {
+        (**self).errors_at(offset_bytes, data, cond)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_dram::{ChipGeometry, ChipId, ChipProfile};
+
+    fn chip() -> DramChip {
+        DramChip::new(
+            ChipProfile::km41464a().with_geometry(ChipGeometry::new(16, 128, 2)),
+            ChipId(1),
+        )
+    }
+
+    #[test]
+    fn chip_worst_case_matches_inherent() {
+        let c = chip();
+        assert_eq!(DecayMedium::worst_case_pattern(&c), c.worst_case_pattern());
+    }
+
+    #[test]
+    fn trait_readback_matches_inherent() {
+        let c = chip();
+        let data = c.worst_case_pattern();
+        let cond = Conditions::new(40.0, 8.0);
+        assert_eq!(
+            DecayMedium::readback_at(&c, 0, &data, &cond),
+            c.readback(&data, &cond)
+        );
+    }
+
+    #[test]
+    fn bank_default_bits_follow_chips() {
+        let p = ChipProfile::km41464a().with_geometry(ChipGeometry::new(16, 128, 2));
+        let bank = DramBank::new(p, 2, 0);
+        let per = bank.chip_capacity_bits();
+        for cell in [0, 5, per - 1, per, per + 200] {
+            let (chip, local) = bank.locate(cell);
+            assert_eq!(DecayMedium::default_bit(&bank, cell), chip.default_bit(local));
+        }
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let c = chip();
+        let r = &c;
+        assert_eq!(DecayMedium::capacity_bits(&r), DecayMedium::capacity_bits(&c));
+    }
+}

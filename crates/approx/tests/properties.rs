@@ -1,0 +1,60 @@
+//! Property-based tests for the approximate-memory controller.
+
+use pc_approx::{measure_error_rate, AccuracyTarget, DecayMedium};
+use pc_dram::{ChipGeometry, ChipId, ChipProfile, Conditions, DramChip};
+use proptest::prelude::*;
+
+fn chip(serial: u64) -> DramChip {
+    DramChip::new(
+        ChipProfile::km41464a().with_geometry(ChipGeometry::new(16, 256, 2)),
+        ChipId(serial),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn accuracy_target_accepts_exactly_open_unit_interval(v in -1.0f64..2.0) {
+        let ok = AccuracyTarget::fraction(v).is_ok();
+        prop_assert_eq!(ok, v > 0.0 && v < 1.0);
+        if let Ok(t) = AccuracyTarget::fraction(v) {
+            prop_assert!((t.accuracy() + t.error_rate() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_rate_monotone_in_interval(serial in 0u64..50, a in 0.2f64..8.0, d in 0.1f64..8.0) {
+        let c = chip(serial);
+        let r1 = measure_error_rate(&c, &Conditions::new(40.0, a), None);
+        let r2 = measure_error_rate(&c, &Conditions::new(40.0, a + d), None);
+        prop_assert!(r2 >= r1, "rate fell as interval grew: {r1} -> {r2}");
+    }
+
+    #[test]
+    fn error_rate_monotone_in_temperature(serial in 0u64..50, t in 20.0f64..60.0, d in 1.0f64..25.0) {
+        let c = chip(serial);
+        let r1 = measure_error_rate(&c, &Conditions::new(t, 5.0), None);
+        let r2 = measure_error_rate(&c, &Conditions::new(t + d, 5.0), None);
+        prop_assert!(r2 >= r1, "rate fell as temperature rose: {r1} -> {r2}");
+    }
+
+    #[test]
+    fn error_rate_bounded(serial in 0u64..50, interval in 0.0f64..100.0) {
+        let c = chip(serial);
+        let r = measure_error_rate(&c, &Conditions::new(40.0, interval), None);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn worst_case_pattern_complements_defaults(serial in 0u64..50) {
+        let c = chip(serial);
+        let pattern = DecayMedium::worst_case_pattern(&c);
+        for (i, &byte) in pattern.iter().enumerate() {
+            for bit in 0..8u64 {
+                let cell = i as u64 * 8 + bit;
+                prop_assert_ne!(byte & (1 << bit) != 0, c.default_bit(cell));
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! LSH-indexed vs naive page matching, fingerprint observation count,
+//! trial-noise level, and identify-vs-best scanning.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_bench::{perturbed, synthetic_errors, synthetic_output};
+use pc_dram::{ChipGeometry, ChipId, ChipProfile, Conditions, DramChip};
+use probable_cause::{
+    characterize, DistanceMetric, ErrorString, Fingerprint, FingerprintDb, PcDistance,
+    StitchConfig, Stitcher,
+};
+use std::hint::black_box;
+
+const PAGE_BITS: u64 = 32_768;
+
+/// Naive matcher: compare a new output's pages against every stored page at
+/// every alignment — what the Stitcher's LSH index avoids.
+fn naive_match(stored: &[Vec<ErrorString>], sample: &[ErrorString], threshold: f64) -> usize {
+    let metric = PcDistance::new();
+    let mut matches = 0;
+    for out in stored {
+        for (i, p) in out.iter().enumerate() {
+            for (j, q) in sample.iter().enumerate() {
+                if metric.distance(p, q) < threshold {
+                    matches += 1;
+                    let _ = (i, j);
+                }
+            }
+        }
+    }
+    matches
+}
+
+fn bench_lsh_vs_naive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lsh_vs_naive");
+    group.sample_size(10);
+    for stored_outputs in [20usize, 60] {
+        let stored: Vec<Vec<ErrorString>> = (0..stored_outputs as u64)
+            .map(|k| synthetic_output(1, k * 8 % 512, 16, PAGE_BITS))
+            .collect();
+        let sample = synthetic_output(1, 64, 16, PAGE_BITS);
+
+        group.bench_with_input(
+            BenchmarkId::new("naive_all_pairs", stored_outputs),
+            &(&stored, &sample),
+            |b, (stored, sample)| b.iter(|| black_box(naive_match(stored, sample, 0.35))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("lsh_stitcher", stored_outputs),
+            &(&stored, &sample),
+            |b, (stored, sample)| {
+                b.iter_batched(
+                    || {
+                        let mut st = Stitcher::new(PAGE_BITS, StitchConfig::default());
+                        for out in stored.iter() {
+                            st.observe(out);
+                        }
+                        st
+                    },
+                    |mut st| black_box(st.observe(sample)),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fingerprint_observations(c: &mut Criterion) {
+    // How much does characterization cost as the observation count grows —
+    // and the payoff side is measured in the experiments (noise shrinkage).
+    let mut group = c.benchmark_group("ablation_characterize_observations");
+    let base = synthetic_errors(3, 2_621, 262_144);
+    for n in [2usize, 3, 5, 9, 21] {
+        let obs: Vec<ErrorString> = (0..n)
+            .map(|t| perturbed(&base, 40, 40, t as u64))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &obs, |b, obs| {
+            b.iter(|| black_box(characterize(obs).expect("non-empty")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_noise_level_cost(c: &mut Criterion) {
+    // Trial noise level affects how far past the nominal threshold the decay
+    // scan must look; measure readback cost across noise levels.
+    let mut group = c.benchmark_group("ablation_noise_level_readback");
+    group.sample_size(20);
+    let geometry = ChipGeometry::new(64, 1024, 2);
+    for sigma in [0.0f64, 0.002, 0.02] {
+        let chip = DramChip::new(
+            ChipProfile::km41464a()
+                .with_geometry(geometry)
+                .with_noise_sigma(sigma),
+            ChipId(4),
+        );
+        let data = chip.worst_case_pattern();
+        let cond = Conditions::new(40.0, 6.04).trial(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{sigma}")),
+            &(&chip, &data, &cond),
+            |b, (chip, data, cond)| b.iter(|| black_box(chip.readback_errors(data, cond))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_identify_first_vs_best(c: &mut Criterion) {
+    // Algorithm 2 returns the first match; identify_best scans everything.
+    let mut group = c.benchmark_group("ablation_identify_first_vs_best");
+    let mut db = FingerprintDb::new(PcDistance::new(), 0.25);
+    for chip in 0..200u64 {
+        db.insert(
+            chip,
+            Fingerprint::from_observation(synthetic_errors(chip, 2_621, 262_144)),
+        );
+    }
+    // Probe matching entry 0: first-match exits immediately.
+    let probe = perturbed(&synthetic_errors(0, 2_621, 262_144), 40, 40, 9);
+    group.bench_function("first_match_early_exit", |b| {
+        b.iter(|| black_box(db.identify(&probe)))
+    });
+    group.bench_function("best_full_scan", |b| {
+        b.iter(|| black_box(db.identify_best(&probe)))
+    });
+    // Sanity: both find the same chip.
+    assert_eq!(db.identify(&probe), Some(&0));
+    assert_eq!(db.identify_best(&probe).expect("non-empty db").0, &0);
+    let m = PcDistance::new();
+    assert!(m.distance(db.iter().next().expect("entry").1.errors(), &probe) < 0.25);
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lsh_vs_naive,
+    bench_fingerprint_observations,
+    bench_noise_level_cost,
+    bench_identify_first_vs_best
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Algorithm 1 (characterize), Algorithm 2 (identify, vs database size), and
+//! Algorithm 4 (cluster) benchmarks at chip scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_bench::{perturbed, synthetic_errors};
+use probable_cause::{characterize, cluster, ErrorString, Fingerprint, FingerprintDb, PcDistance};
+use std::hint::black_box;
+
+const CHIP_BITS: u64 = 262_144;
+const CHIP_ERRORS: usize = 2_621;
+
+fn observations(chip: u64, n: usize) -> Vec<ErrorString> {
+    let base = synthetic_errors(chip, CHIP_ERRORS, CHIP_BITS);
+    (0..n)
+        .map(|t| perturbed(&base, 50, 50, chip * 100 + t as u64))
+        .collect()
+}
+
+fn bench_characterize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("characterize");
+    for n in [3usize, 10, 21] {
+        let obs = observations(1, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &obs, |b, obs| {
+            b.iter(|| black_box(characterize(obs).expect("non-empty")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_identify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("identify_vs_db_size");
+    for n_db in [10usize, 100, 1_000] {
+        let mut db = FingerprintDb::new(PcDistance::new(), 0.25);
+        for chip in 0..n_db as u64 {
+            db.insert(
+                chip,
+                Fingerprint::from_observation(synthetic_errors(chip, CHIP_ERRORS, CHIP_BITS)),
+            );
+        }
+        // Probe matching the *last* entry: the worst case for Algorithm 2's
+        // first-match scan.
+        let probe = perturbed(
+            &synthetic_errors(n_db as u64 - 1, CHIP_ERRORS, CHIP_BITS),
+            50,
+            50,
+            7,
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n_db), &probe, |b, probe| {
+            b.iter(|| black_box(db.identify(probe)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(20);
+    for (chips, per_chip) in [(5usize, 5usize), (10, 9)] {
+        let mut outputs = Vec::new();
+        for chip in 0..chips as u64 {
+            outputs.extend(observations(chip + 1, per_chip));
+        }
+        group.bench_with_input(
+            BenchmarkId::new("outputs", chips * per_chip),
+            &outputs,
+            |b, outputs| b.iter(|| black_box(cluster(outputs, &PcDistance::new(), 0.25))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_characterize, bench_identify, bench_cluster);
+criterion_main!(benches);

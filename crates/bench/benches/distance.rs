@@ -1,0 +1,55 @@
+//! Distance-metric benchmarks: the inner loop of Algorithms 2-4 at page and
+//! chip scale, across all three metrics.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_bench::{perturbed, synthetic_errors};
+use probable_cause::{DistanceMetric, HammingDistance, JaccardDistance, PcDistance};
+use std::hint::black_box;
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    // Page scale (32768 bits, 1% error) and chip scale (262144 bits).
+    for (label, size, weight) in [("page_1pct", 32_768u64, 328usize), ("chip_1pct", 262_144, 2_621)]
+    {
+        let fp = synthetic_errors(1, weight, size);
+        let same = perturbed(&fp, weight / 50, weight / 50, 2);
+        let other = synthetic_errors(99, weight, size);
+        let metrics: Vec<(&str, Box<dyn DistanceMetric>)> = vec![
+            ("pc", Box::new(PcDistance::new())),
+            ("hamming", Box::new(HammingDistance::new())),
+            ("jaccard", Box::new(JaccardDistance::new())),
+        ];
+        for (name, m) in &metrics {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/within"), label),
+                &(&fp, &same),
+                |b, (fp, es)| b.iter(|| black_box(m.distance(fp, es))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/between"), label),
+                &(&fp, &other),
+                |b, (fp, es)| b.iter(|| black_box(m.distance(fp, es))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_string_ops");
+    let a = synthetic_errors(5, 2_621, 262_144);
+    let b = perturbed(&a, 100, 100, 6);
+    group.bench_function("intersect_chip", |bch| {
+        bch.iter(|| black_box(a.intersect(&b).expect("sizes match")))
+    });
+    group.bench_function("union_chip", |bch| {
+        bch.iter(|| black_box(a.union(&b).expect("sizes match")))
+    });
+    group.bench_function("difference_count_chip", |bch| {
+        bch.iter(|| black_box(a.difference_count(&b)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics, bench_set_ops);
+criterion_main!(benches);

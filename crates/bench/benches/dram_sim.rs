@@ -1,0 +1,78 @@
+//! DRAM-simulator benchmarks: retention evaluation, full-chip readback, the
+//! controller's calibration loop, and the system-scale quantile emulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_approx::{calibrate_measured, AccuracyTarget, CalibrationConfig};
+use pc_dram::{ChipId, ChipProfile, Conditions, DramChip};
+use pc_model::QuantileMemory;
+use std::hint::black_box;
+
+fn bench_retention(c: &mut Criterion) {
+    let chip = DramChip::new(ChipProfile::km41464a(), ChipId(1));
+    c.bench_function("retention_seconds_per_cell", |b| {
+        let mut cell = 0u64;
+        b.iter(|| {
+            cell = (cell + 1) % chip.capacity_bits();
+            black_box(chip.retention_seconds(cell))
+        })
+    });
+}
+
+fn bench_readback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chip_readback_errors");
+    group.sample_size(20);
+    let chip = DramChip::new(ChipProfile::km41464a(), ChipId(2));
+    let data = chip.worst_case_pattern();
+    for (label, acc) in [("99pct", 6.04f64), ("90pct", 12.3f64)] {
+        let cond = Conditions::new(40.0, acc).trial(1);
+        group.bench_with_input(BenchmarkId::new("interval", label), &cond, |b, cond| {
+            b.iter(|| black_box(chip.readback_errors(&data, cond)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("calibration");
+    group.sample_size(10);
+    let chip = DramChip::new(ChipProfile::km41464a(), ChipId(3));
+    let target = AccuracyTarget::percent(99.0).expect("valid");
+    for (label, sample) in [("sampled_64k", Some(65_536u64)), ("full_scan", None)] {
+        let cfg = CalibrationConfig {
+            sample_cells: sample,
+            ..CalibrationConfig::default()
+        };
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(calibrate_measured(&chip, 40.0, target, &cfg).expect("converges")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_quantile_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile_model_page_errors");
+    let mem = QuantileMemory::new(9);
+    for rate in [0.01f64, 0.05, 0.10] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{rate}")),
+            &rate,
+            |b, &rate| {
+                let mut page = 0u64;
+                b.iter(|| {
+                    page += 1;
+                    black_box(mem.page_errors(page, rate, 0))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_retention,
+    bench_readback,
+    bench_calibration,
+    bench_quantile_model
+);
+criterion_main!(benches);

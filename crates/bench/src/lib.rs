@@ -1,0 +1,73 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! The benches live under `benches/`; this small library provides the
+//! deterministic inputs they share so that every bench measures the same
+//! workload shapes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use pc_stats::CellHasher;
+use probable_cause::ErrorString;
+
+/// A deterministic error string of `weight` bits over `size` bits, seeded by
+/// `seed` — the stand-in for one page/chip error pattern.
+pub fn synthetic_errors(seed: u64, weight: usize, size: u64) -> ErrorString {
+    let h = CellHasher::new(seed);
+    let bits: Vec<u64> = (0..weight as u64 * 2)
+        .map(|i| h.word(i) % size)
+        .collect();
+    let mut es = ErrorString::from_unsorted(bits, size).expect("in-range bits");
+    // Trim to the requested weight (dedup may have removed a few).
+    if es.weight() as usize > weight {
+        let bits = es.positions()[..weight].to_vec();
+        es = ErrorString::from_sorted(bits, size).expect("sorted prefix");
+    }
+    es
+}
+
+/// A perturbed copy of `base`: drops the last `remove` bits and adds `add`
+/// fresh ones — models trial noise between observations.
+pub fn perturbed(base: &ErrorString, remove: usize, add: usize, seed: u64) -> ErrorString {
+    let h = CellHasher::new(seed ^ 0x9999);
+    let keep = base.positions().len().saturating_sub(remove);
+    let mut bits: Vec<u64> = base.positions()[..keep].to_vec();
+    bits.extend((0..add as u64).map(|i| h.word(i) % base.size()));
+    ErrorString::from_unsorted(bits, base.size()).expect("in-range bits")
+}
+
+/// An output of `pages` synthetic pages for stitching benches; physical
+/// placement starts at `start` so overlapping outputs share page content.
+pub fn synthetic_output(chip: u64, start: u64, pages: usize, page_bits: u64) -> Vec<ErrorString> {
+    (0..pages as u64)
+        .map(|i| synthetic_errors(chip * 1_000_003 + start + i, 320, page_bits))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_errors_deterministic_with_weight() {
+        let a = synthetic_errors(1, 300, 32_768);
+        let b = synthetic_errors(1, 300, 32_768);
+        assert_eq!(a, b);
+        assert_eq!(a.weight(), 300);
+    }
+
+    #[test]
+    fn perturbed_changes_membership() {
+        let base = synthetic_errors(2, 300, 32_768);
+        let p = perturbed(&base, 6, 6, 3);
+        assert_ne!(base, p);
+        assert!(base.intersection_count(&p) >= 280);
+    }
+
+    #[test]
+    fn synthetic_output_shares_pages_on_overlap() {
+        let a = synthetic_output(1, 0, 8, 32_768);
+        let b = synthetic_output(1, 4, 8, 32_768);
+        assert_eq!(a[4], b[0]);
+    }
+}

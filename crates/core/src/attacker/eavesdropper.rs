@@ -1,0 +1,244 @@
+//! Scenario (b): the eavesdropping attacker.
+
+use crate::{ErrorString, StitchConfig, Stitcher};
+use pc_os::PublishedOutput;
+
+/// The eavesdropping attacker (threat model scenario *b*): never touches the
+/// hardware; collects published approximate outputs, recovers their error
+/// patterns, and stitches page-level fingerprints into system-level ones.
+/// The number of clusters it holds is its current estimate of how many
+/// distinct machines it has seen — the quantity plotted in Fig. 13.
+///
+/// # Example
+///
+/// ```
+/// use pc_os::{ApproxSystem, SystemConfig};
+/// use probable_cause::{Eavesdropper, StitchConfig};
+///
+/// let mut victim = ApproxSystem::emulated(SystemConfig {
+///     total_pages: 512,
+///     seed: 5,
+///     ..SystemConfig::default()
+/// });
+/// let mut attacker = Eavesdropper::new(StitchConfig::default());
+/// for _ in 0..60 {
+///     let out = victim.publish_worst_case(32);
+///     attacker.observe_output(&out);
+/// }
+/// // With 60 overlapping 32-page samples of a 512-page memory, the attacker
+/// // has fused everything into very few suspected machines.
+/// assert!(attacker.suspected_chips() <= 3);
+/// ```
+#[derive(Debug)]
+pub struct Eavesdropper {
+    stitcher: Stitcher,
+}
+
+impl Eavesdropper {
+    /// Creates an eavesdropper for standard 4 KB pages.
+    pub fn new(config: StitchConfig) -> Self {
+        Self::with_page_bits(pc_os::PAGE_BYTES as u64 * 8, config)
+    }
+
+    /// Creates an eavesdropper for a custom page size in bits.
+    pub fn with_page_bits(page_bits: u64, config: StitchConfig) -> Self {
+        Self {
+            stitcher: Stitcher::new(page_bits, config),
+        }
+    }
+
+    /// Ingests a published output (as captured from the wire / scraped from
+    /// the web, after error localization). Returns the canonical cluster id
+    /// the output was attributed to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output is empty or its pages don't match the configured
+    /// page size.
+    pub fn observe_output(&mut self, output: &PublishedOutput) -> usize {
+        let page_bits = self.stitcher.page_bits();
+        let pages: Vec<ErrorString> = output
+            .page_errors
+            .iter()
+            .map(|bits| {
+                ErrorString::from_page_bits(bits, page_bits as u32)
+                    .expect("published outputs carry sorted in-range positions")
+            })
+            .collect();
+        self.stitcher.observe(&pages)
+    }
+
+    /// Ingests an output given directly as per-page error strings.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Stitcher::observe`].
+    pub fn observe_pages(&mut self, pages: &[ErrorString]) -> usize {
+        self.stitcher.observe(pages)
+    }
+
+    /// Attributes a fresh output to an already-assembled machine fingerprint
+    /// without ingesting it: `Some((cluster, alignment, matched pages))` when
+    /// it verifiably overlaps a known machine, `None` when it stays
+    /// anonymous (so far).
+    pub fn attribute_output(&self, output: &PublishedOutput) -> Option<(usize, i64, usize)> {
+        let page_bits = self.stitcher.page_bits();
+        let pages: Vec<ErrorString> = output
+            .page_errors
+            .iter()
+            .map(|bits| {
+                ErrorString::from_page_bits(bits, page_bits as u32)
+                    .expect("published outputs carry sorted in-range positions")
+            })
+            .collect();
+        self.stitcher.attribute(&pages)
+    }
+
+    /// Current number of suspected distinct machines.
+    pub fn suspected_chips(&self) -> usize {
+        self.stitcher.suspected_chips()
+    }
+
+    /// Total pages of fingerprint assembled so far.
+    pub fn fingerprinted_pages(&self) -> usize {
+        self.stitcher.total_pages()
+    }
+
+    /// Number of outputs observed.
+    pub fn observations(&self) -> u64 {
+        self.stitcher.observations()
+    }
+
+    /// Access to the underlying stitcher (cluster inspection).
+    pub fn stitcher(&self) -> &Stitcher {
+        &self.stitcher
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_os::{ApproxSystem, PlacementPolicy, SystemConfig};
+
+    fn victim(seed: u64, placement: PlacementPolicy) -> ApproxSystem {
+        ApproxSystem::emulated(SystemConfig {
+            total_pages: 256,
+            error_rate: 0.01,
+            seed,
+            placement,
+        })
+    }
+
+    /// Ground truth: the number of connected components of the sampled
+    /// physical intervals — what an *ideal* stitcher (knowing true
+    /// placements) would report.
+    fn ideal_components(extents: &[(u64, u64)]) -> usize {
+        let mut sorted = extents.to_vec();
+        sorted.sort_unstable();
+        let mut components = 0;
+        let mut reach = 0u64;
+        for &(s, e) in &sorted {
+            if components == 0 || s >= reach {
+                components += 1;
+                reach = e;
+            } else {
+                reach = reach.max(e);
+            }
+        }
+        components
+    }
+
+    #[test]
+    fn matches_ideal_interval_merging() {
+        // The stitcher sees only error patterns, yet must recover exactly the
+        // overlap structure of the hidden placements.
+        let mut v = victim(1, PlacementPolicy::ContiguousRandom);
+        let mut attacker = Eavesdropper::new(StitchConfig::default());
+        let mut extents = Vec::new();
+        for k in 0..60 {
+            let out = v.publish_worst_case(16);
+            extents.push((out.placement[0], out.placement[0] + 16));
+            attacker.observe_output(&out);
+            assert_eq!(
+                attacker.suspected_chips(),
+                ideal_components(&extents),
+                "diverged from ground truth at sample {k}"
+            );
+        }
+        assert_eq!(attacker.observations(), 60);
+    }
+
+    #[test]
+    fn two_machines_stay_apart() {
+        // Both machines reuse the same physical frames for every run, so all
+        // of each machine's outputs fully overlap: an ideal attacker reports
+        // exactly two suspected machines — and never fuses across machines.
+        let mut a = victim(10, PlacementPolicy::ContiguousFixed(40));
+        let mut b = victim(11, PlacementPolicy::ContiguousFixed(40));
+        let mut attacker = Eavesdropper::new(StitchConfig::default());
+        for _ in 0..10 {
+            attacker.observe_output(&a.publish_worst_case(16));
+            attacker.observe_output(&b.publish_worst_case(16));
+        }
+        assert_eq!(attacker.suspected_chips(), 2);
+    }
+
+    #[test]
+    fn page_scrambling_defeats_stitching() {
+        // §8.2.3: page-granular ASLR leaves no contiguous overlap; the
+        // attacker cannot fuse samples by alignment (single-page "runs" can
+        // still collide page-by-page, but multi-page alignment never forms).
+        let mut v = victim(12, PlacementPolicy::PageScrambled);
+        let mut attacker = Eavesdropper::new(StitchConfig::default());
+        let mut fused = 0;
+        for _ in 0..20 {
+            let before = attacker.suspected_chips();
+            attacker.observe_output(&v.publish_worst_case(16));
+            let after = attacker.suspected_chips();
+            if after <= before {
+                fused += 1;
+            }
+        }
+        // Under contiguous placement, 20 samples of 16/256 pages fuse most of
+        // the time; under scrambling, alignment verification blocks almost
+        // all fusing (the odd single-page coincidence aside).
+        assert!(fused <= 6, "scrambled placement still fused {fused} times");
+    }
+
+    #[test]
+    fn attribution_separates_victim_from_stranger() {
+        let mut v = victim(20, PlacementPolicy::ContiguousRandom);
+        let mut stranger = victim(21, PlacementPolicy::ContiguousRandom);
+        let mut attacker = Eavesdropper::new(StitchConfig::default());
+        for _ in 0..40 {
+            attacker.observe_output(&v.publish_worst_case(32));
+        }
+        // Fresh victim outputs attribute; stranger outputs stay anonymous.
+        let mut hits = 0;
+        for _ in 0..5 {
+            if attacker.attribute_output(&v.publish_worst_case(32)).is_some() {
+                hits += 1;
+            }
+            assert!(
+                attacker.attribute_output(&stranger.publish_worst_case(32)).is_none(),
+                "stranger output attributed"
+            );
+        }
+        // 40 samples of 32/256 pages cover nearly the whole memory, so almost
+        // every fresh output overlaps the assembled fingerprint.
+        assert!(hits >= 4, "only {hits}/5 victim outputs attributed");
+    }
+
+    #[test]
+    fn coverage_grows_with_observations() {
+        let mut v = victim(13, PlacementPolicy::ContiguousRandom);
+        let mut attacker = Eavesdropper::new(StitchConfig::default());
+        attacker.observe_output(&v.publish_worst_case(16));
+        let c1 = attacker.fingerprinted_pages();
+        for _ in 0..10 {
+            attacker.observe_output(&v.publish_worst_case(16));
+        }
+        assert!(attacker.fingerprinted_pages() > c1);
+        assert!(attacker.fingerprinted_pages() <= 256);
+    }
+}

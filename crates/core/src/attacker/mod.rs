@@ -1,0 +1,7 @@
+//! End-to-end attack pipelines for the two threat-model scenarios (Fig. 3).
+
+mod eavesdropper;
+mod supply_chain;
+
+pub use eavesdropper::Eavesdropper;
+pub use supply_chain::SupplyChainAttacker;

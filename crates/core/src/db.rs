@@ -1,0 +1,190 @@
+//! The fingerprint database and Algorithm 2 (identification).
+
+use crate::{DistanceMetric, ErrorString, Fingerprint};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A database of labelled device fingerprints with threshold identification —
+/// **Algorithm 2**.
+///
+/// Labels are generic: chip serials, user handles, machine names.
+///
+/// # Example
+///
+/// ```
+/// use probable_cause::{ErrorString, Fingerprint, FingerprintDb, PcDistance};
+/// let mut db = FingerprintDb::new(PcDistance::new(), 0.25);
+/// let fp = Fingerprint::from_observation(ErrorString::from_sorted(vec![3, 7, 11], 64)?);
+/// db.insert("chip-A", fp);
+///
+/// let output = ErrorString::from_sorted(vec![3, 7, 11, 40], 64)?;
+/// assert_eq!(db.identify(&output), Some(&"chip-A"));
+/// let stranger = ErrorString::from_sorted(vec![0, 1, 2], 64)?;
+/// assert_eq!(db.identify(&stranger), None);
+/// # Ok::<(), probable_cause::BitStringError>(())
+/// ```
+#[derive(Debug)]
+pub struct FingerprintDb<L, M = crate::PcDistance> {
+    entries: Vec<(L, Fingerprint)>,
+    metric: M,
+    threshold: f64,
+}
+
+impl<L, M: DistanceMetric> FingerprintDb<L, M> {
+    /// Creates an empty database using `metric` with the given matching
+    /// `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` is in `(0, 1]`.
+    pub fn new(metric: M, threshold: f64) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1], got {threshold}"
+        );
+        Self {
+            entries: Vec::new(),
+            metric,
+            threshold,
+        }
+    }
+
+    /// The matching threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The distance metric in use.
+    pub fn metric(&self) -> &M {
+        &self.metric
+    }
+
+    /// Number of fingerprints stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds a labelled fingerprint.
+    pub fn insert(&mut self, label: L, fingerprint: Fingerprint) {
+        self.entries.push((label, fingerprint));
+    }
+
+    /// Iterates over `(label, fingerprint)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&L, &Fingerprint)> {
+        self.entries.iter().map(|(l, f)| (l, f))
+    }
+
+    /// **Algorithm 2**: returns the first stored fingerprint whose distance
+    /// to `error_string` is below the threshold, or `None` ("failed").
+    pub fn identify(&self, error_string: &ErrorString) -> Option<&L> {
+        self.entries
+            .iter()
+            .find(|(_, fp)| self.metric.distance(fp.errors(), error_string) < self.threshold)
+            .map(|(l, _)| l)
+    }
+
+    /// Exhaustive variant: the closest fingerprint and its distance,
+    /// regardless of threshold (useful for calibrating thresholds and for
+    /// the experiment harnesses). `None` only when the database is empty.
+    pub fn identify_best(&self, error_string: &ErrorString) -> Option<(&L, f64)> {
+        self.entries
+            .iter()
+            .map(|(l, fp)| (l, self.metric.distance(fp.errors(), error_string)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are never NaN"))
+    }
+
+    /// Distances from `error_string` to every stored fingerprint, in
+    /// insertion order (for histogram figures).
+    pub fn distances(&self, error_string: &ErrorString) -> Vec<f64> {
+        self.entries
+            .iter()
+            .map(|(_, fp)| self.metric.distance(fp.errors(), error_string))
+            .collect()
+    }
+}
+
+/// A cheaply clonable, thread-safe handle to a [`FingerprintDb`], used by the
+/// experiment harnesses to identify outputs from worker threads while the
+/// characterization thread is still inserting.
+pub type SharedFingerprintDb<L, M = crate::PcDistance> = Arc<RwLock<FingerprintDb<L, M>>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PcDistance;
+
+    fn es(bits: &[u64]) -> ErrorString {
+        ErrorString::from_sorted(bits.to_vec(), 128).unwrap()
+    }
+
+    fn fp(bits: &[u64]) -> Fingerprint {
+        Fingerprint::from_observation(es(bits))
+    }
+
+    #[test]
+    fn identify_returns_first_match() {
+        let mut db = FingerprintDb::new(PcDistance::new(), 0.5);
+        db.insert("a", fp(&[1, 2, 3, 4]));
+        db.insert("b", fp(&[1, 2, 3, 5])); // also within 0.5 of the probe
+        let probe = es(&[1, 2, 3, 4]);
+        assert_eq!(db.identify(&probe), Some(&"a"));
+    }
+
+    #[test]
+    fn identify_fails_above_threshold() {
+        let mut db = FingerprintDb::new(PcDistance::new(), 0.25);
+        db.insert("a", fp(&[1, 2, 3, 4]));
+        assert_eq!(db.identify(&es(&[50, 60, 70])), None);
+    }
+
+    #[test]
+    fn identify_best_ranks() {
+        let mut db = FingerprintDb::new(PcDistance::new(), 0.25);
+        db.insert("far", fp(&[90, 100, 110, 120]));
+        db.insert("near", fp(&[1, 2, 3, 4]));
+        let (label, d) = db.identify_best(&es(&[1, 2, 3, 40])).unwrap();
+        assert_eq!(label, &"near");
+        assert!((d - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identify_best_empty_db() {
+        let db: FingerprintDb<&str> = FingerprintDb::new(PcDistance::new(), 0.25);
+        assert!(db.identify_best(&es(&[1])).is_none());
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn distances_in_insertion_order() {
+        let mut db = FingerprintDb::new(PcDistance::new(), 0.25);
+        db.insert(1, fp(&[1, 2]));
+        db.insert(2, fp(&[3, 4]));
+        let d = db.distances(&es(&[1, 2]));
+        assert_eq!(d.len(), 2);
+        assert!(d[0] < d[1]);
+    }
+
+    #[test]
+    fn shared_db_cross_thread() {
+        let db: SharedFingerprintDb<String> =
+            Arc::new(RwLock::new(FingerprintDb::new(PcDistance::new(), 0.3)));
+        let writer = db.clone();
+        std::thread::spawn(move || {
+            writer.write().insert("x".to_string(), fp(&[5, 6, 7]));
+        })
+        .join()
+        .unwrap();
+        assert_eq!(db.read().identify(&es(&[5, 6, 7])), Some(&"x".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be")]
+    fn zero_threshold_rejected() {
+        let _: FingerprintDb<u8> = FingerprintDb::new(PcDistance::new(), 0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Defenses against Probable Cause (paper §8.2).
+//!
+//! Three countermeasures are discussed:
+//!
+//! 1. **Data segregation** (§8.2.1): store privacy-sensitive data exactly.
+//!    Modelled by [`DataSegregation`], which blanks the error strings of
+//!    protected pages (exact storage produces no errors).
+//! 2. **Noise** (§8.2.2): randomly flip extra bits in approximate outputs to
+//!    dilute the fingerprint — [`apply_random_flips`]. The paper notes this
+//!    only *slows* the attacker; the experiments quantify by how much.
+//! 3. **Data scrambling / page-level ASLR** (§8.2.3): destroy contiguity so
+//!    page-level fingerprints cannot be stitched. This is a *placement*
+//!    defense and lives in [`pc_os::PlacementPolicy::PageScrambled`].
+
+use crate::ErrorString;
+use pc_stats::StreamRng;
+use rand::RngExt;
+
+/// Applies uniformly random bit flips at `flip_rate` to an output's error
+/// string — the §8.2.2 noise defense, as seen by the attacker.
+///
+/// A random flip on a correct bit *adds* an error; a flip on an
+/// already-erroneous bit *cancels* it (the value returns to correct). The
+/// result is the symmetric difference with a random flip set, which is
+/// exactly how injected noise perturbs an error pattern.
+///
+/// # Panics
+///
+/// Panics unless `flip_rate` is in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use probable_cause::{defense, ErrorString};
+/// let clean = ErrorString::from_sorted(vec![10, 20, 30], 4096)?;
+/// let noisy = defense::apply_random_flips(&clean, 0.01, 99);
+/// // Noise adds roughly 1% of 4096 ≈ 41 extra flips.
+/// assert!(noisy.weight() > clean.weight());
+/// # Ok::<(), probable_cause::BitStringError>(())
+/// ```
+pub fn apply_random_flips(errors: &ErrorString, flip_rate: f64, seed: u64) -> ErrorString {
+    assert!(
+        (0.0..=1.0).contains(&flip_rate),
+        "flip rate must be in [0,1], got {flip_rate}"
+    );
+    if flip_rate == 0.0 {
+        return errors.clone();
+    }
+    let size = errors.size();
+    let mut rng = StreamRng::new(seed ^ 0xD3F3_45E5);
+    // Expected flips = rate * size; sample a deterministic count.
+    let count = (flip_rate * size as f64).round() as u64;
+    let mut flips: Vec<u64> = (0..count).map(|_| rng.random_range(0..size)).collect();
+    flips.sort_unstable();
+    flips.dedup();
+    let flip_set = ErrorString::from_sorted(flips, size).expect("sorted in-range flips");
+    // Symmetric difference: (errors \ flips) ∪ (flips \ errors).
+    let union = errors.union(&flip_set).expect("sizes match");
+    let inter = errors.intersect(&flip_set).expect("sizes match");
+    let bits: Vec<u64> = union
+        .positions()
+        .iter()
+        .copied()
+        .filter(|b| !inter.contains(*b))
+        .collect();
+    ErrorString::from_sorted(bits, size).expect("filtered sorted positions")
+}
+
+/// The §8.2.1 data-segregation defense: designated sensitive pages are kept
+/// in exact (fully refreshed) memory, so their published error strings are
+/// empty; the rest of the output remains approximate.
+///
+/// The paper's criticisms apply and are observable in the experiments: any
+/// *non*-sensitive page still fingerprints the machine, and already-published
+/// outputs are not protected retroactively.
+///
+/// # Example
+///
+/// ```
+/// use probable_cause::{defense::DataSegregation, ErrorString};
+/// let seg = DataSegregation::new(vec![true, false]);
+/// let pages = vec![
+///     ErrorString::from_sorted(vec![5, 9], 64)?,
+///     ErrorString::from_sorted(vec![7], 64)?,
+/// ];
+/// let protected = seg.apply(&pages);
+/// assert!(protected[0].is_empty());      // sensitive page stored exactly
+/// assert_eq!(protected[1].weight(), 1);  // general data stays approximate
+/// # Ok::<(), probable_cause::BitStringError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSegregation {
+    sensitive: Vec<bool>,
+}
+
+impl DataSegregation {
+    /// Creates a policy marking page `i` sensitive iff `sensitive[i]`.
+    pub fn new(sensitive: Vec<bool>) -> Self {
+        Self { sensitive }
+    }
+
+    /// Marks every page sensitive (fully exact storage — no fingerprint, no
+    /// energy savings).
+    pub fn all_sensitive(pages: usize) -> Self {
+        Self {
+            sensitive: vec![true; pages],
+        }
+    }
+
+    /// Whether page `i` is sensitive (pages beyond the policy's length are
+    /// treated as general data).
+    pub fn is_sensitive(&self, page: usize) -> bool {
+        self.sensitive.get(page).copied().unwrap_or(false)
+    }
+
+    /// Applies the policy to an output's per-page error strings.
+    pub fn apply(&self, pages: &[ErrorString]) -> Vec<ErrorString> {
+        pages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                if self.is_sensitive(i) {
+                    ErrorString::empty(p.size())
+                } else {
+                    p.clone()
+                }
+            })
+            .collect()
+    }
+
+    /// Fraction of memory given up to exact storage — the resource cost the
+    /// paper criticizes (§8.2.1, drawback 3).
+    pub fn exact_fraction(&self) -> f64 {
+        if self.sensitive.is_empty() {
+            return 0.0;
+        }
+        self.sensitive.iter().filter(|&&s| s).count() as f64 / self.sensitive.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn es(bits: &[u64]) -> ErrorString {
+        ErrorString::from_sorted(bits.to_vec(), 4096).unwrap()
+    }
+
+    #[test]
+    fn flips_are_symmetric_difference() {
+        let clean = es(&(0..100).map(|i| i * 40).collect::<Vec<_>>());
+        let noisy = apply_random_flips(&clean, 0.05, 7);
+        // Every original error either survives or was cancelled; every new
+        // bit was absent before.
+        for &b in noisy.positions() {
+            let was_error = clean.contains(b);
+            let _ = was_error; // both cases legal; checked statistically below
+        }
+        // Statistically: ~5% of 4096 = ~205 flips, most landing on correct
+        // bits (clean has only 100 errors), so weight grows substantially.
+        assert!(noisy.weight() > clean.weight() + 50);
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let clean = es(&[1, 2, 3]);
+        assert_eq!(apply_random_flips(&clean, 0.0, 1), clean);
+    }
+
+    #[test]
+    fn flips_deterministic_per_seed() {
+        let clean = es(&[10, 1000, 2000]);
+        assert_eq!(
+            apply_random_flips(&clean, 0.02, 5),
+            apply_random_flips(&clean, 0.02, 5)
+        );
+        assert_ne!(
+            apply_random_flips(&clean, 0.02, 5),
+            apply_random_flips(&clean, 0.02, 6)
+        );
+    }
+
+    #[test]
+    fn flip_can_cancel_existing_error() {
+        // With rate 1.0, every bit position is a flip candidate; sampled
+        // positions covering an existing error cancel it.
+        let clean = es(&[0, 1, 2, 3]);
+        let noisy = apply_random_flips(&clean, 1.0, 3);
+        // At rate 1.0 nearly all bits flip; the original 4 errors are almost
+        // surely cancelled (probability of surviving ~ miss rate of dedup).
+        let surviving = clean
+            .positions()
+            .iter()
+            .filter(|&&b| noisy.contains(b))
+            .count();
+        assert!(surviving < 4, "no error was cancelled");
+    }
+
+    #[test]
+    fn segregation_blanks_only_sensitive() {
+        let seg = DataSegregation::new(vec![false, true, false]);
+        let pages = vec![es(&[1]), es(&[2]), es(&[3])];
+        let out = seg.apply(&pages);
+        assert_eq!(out[0].weight(), 1);
+        assert!(out[1].is_empty());
+        assert_eq!(out[2].weight(), 1);
+        assert!((seg.exact_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pages_beyond_policy_are_general() {
+        let seg = DataSegregation::new(vec![true]);
+        let pages = vec![es(&[1]), es(&[2])];
+        let out = seg.apply(&pages);
+        assert!(out[0].is_empty());
+        assert_eq!(out[1].weight(), 1);
+    }
+
+    #[test]
+    fn all_sensitive_erases_everything() {
+        let seg = DataSegregation::all_sensitive(2);
+        let out = seg.apply(&[es(&[1]), es(&[2])]);
+        assert!(out.iter().all(ErrorString::is_empty));
+        assert_eq!(seg.exact_fraction(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip rate")]
+    fn bad_rate_rejected() {
+        apply_random_flips(&es(&[1]), 1.5, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Error localization (paper §8.3): estimating *where* the errors are in a
+//! published approximate output, without being handed the exact data.
+//!
+//! Three routes, as in the paper:
+//!
+//! 1. **Known inputs** — recompute the exact output and XOR
+//!    ([`from_known_exact`]).
+//! 2. **Noise detection** — DRAM errors look like salt-and-pepper noise on
+//!    smooth data; a local-median predictor flags suspicious bits
+//!    ([`localize_image_errors`]).
+//! 3. **Speculative matching** — try candidate error sets against the
+//!    fingerprint database and keep whatever matches
+//!    ([`speculative_identify`]).
+
+use crate::{DistanceMetric, ErrorString, FingerprintDb};
+use pc_image::{ops, GrayImage};
+
+/// Route 1: the attacker knows (or recomputed) the exact output.
+///
+/// # Panics
+///
+/// Panics if the buffers differ in length.
+pub fn from_known_exact(approx: &[u8], exact: &[u8]) -> ErrorString {
+    ErrorString::from_xor(approx, exact)
+}
+
+/// Route 2: flags candidate error bits in an approximate *image* by local
+/// smoothness. A pixel far from its 3×3 median is suspicious; the specific
+/// bits blamed are those whose flip moves the pixel (at least
+/// `improvement_margin` closer) toward the median.
+///
+/// Returns an [`ErrorString`] over the image's byte buffer. Precision and
+/// recall depend on image smoothness and on which bit was hit (MSB flips are
+/// conspicuous; LSB flips hide below the threshold) — quantified by the
+/// `localization` experiment.
+///
+/// # Example
+///
+/// ```
+/// use pc_image::GrayImage;
+/// use probable_cause::localize;
+/// // A flat image with one MSB flip at pixel (2, 2).
+/// let mut img = GrayImage::from_fn(8, 8, |_, _| 40);
+/// img.set(2, 2, 40 ^ 0x80);
+/// let est = localize::localize_image_errors(&img, 32, 16);
+/// let flipped_bit = (2 * 8 + 2) as u64 * 8 + 7;
+/// assert!(est.contains(flipped_bit));
+/// ```
+pub fn localize_image_errors(
+    approx: &GrayImage,
+    deviation_threshold: u8,
+    improvement_margin: u8,
+) -> ErrorString {
+    let median = ops::median3x3(approx);
+    let mut bits = Vec::new();
+    for y in 0..approx.height() {
+        for x in 0..approx.width() {
+            let p = approx.get(x, y) as i32;
+            let m = median.get(x, y) as i32;
+            let dev = (p - m).abs();
+            if dev <= deviation_threshold as i32 {
+                continue;
+            }
+            let byte_index = (y * approx.width() + x) as u64;
+            for bit in 0..8u64 {
+                let flipped = (p as u8 ^ (1 << bit)) as i32;
+                if (flipped - m).abs() + improvement_margin as i32 <= dev {
+                    bits.push(byte_index * 8 + bit);
+                }
+            }
+        }
+    }
+    ErrorString::from_unsorted(bits, (approx.width() * approx.height()) as u64 * 8)
+        .expect("positions constructed in range")
+}
+
+/// Route 3: try several candidate error sets against the database; return
+/// the best `(label, distance, candidate index)` whose distance clears the
+/// database threshold.
+pub fn speculative_identify<'a, L, M: DistanceMetric>(
+    db: &'a FingerprintDb<L, M>,
+    candidates: &[ErrorString],
+) -> Option<(&'a L, f64, usize)> {
+    candidates
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| db.identify_best(c).map(|(l, d)| (l, d, i)))
+        .filter(|&(_, d, _)| d < db.threshold())
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are never NaN"))
+}
+
+/// Precision and recall of an estimated error set against the truth.
+///
+/// Returns `(precision, recall)`; both 1.0 when `estimated` equals `actual`,
+/// and precision is 1.0 (vacuously) for an empty estimate.
+pub fn precision_recall(estimated: &ErrorString, actual: &ErrorString) -> (f64, f64) {
+    let hit = estimated.intersection_count(actual);
+    let precision = if estimated.is_empty() {
+        1.0
+    } else {
+        hit as f64 / estimated.weight() as f64
+    };
+    let recall = if actual.is_empty() {
+        1.0
+    } else {
+        hit as f64 / actual.weight() as f64
+    };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Fingerprint, PcDistance};
+
+    #[test]
+    fn known_exact_is_xor() {
+        let exact = [0u8, 0xFF];
+        let approx = [1u8, 0xFF];
+        assert_eq!(from_known_exact(&approx, &exact).positions(), &[0]);
+    }
+
+    #[test]
+    fn median_localizer_finds_msb_flips_on_smooth_image() {
+        let mut img = GrayImage::from_fn(16, 16, |x, y| (60 + x + y) as u8);
+        // Flip MSBs of three pixels.
+        let victims = [(3usize, 4usize), (10, 2), (7, 12)];
+        for &(x, y) in &victims {
+            img.set(x, y, img.get(x, y) ^ 0x80);
+        }
+        let est = localize_image_errors(&img, 32, 16);
+        for &(x, y) in &victims {
+            let bit = (y * 16 + x) as u64 * 8 + 7;
+            assert!(est.contains(bit), "missed flip at ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn localizer_quiet_on_clean_smooth_image() {
+        let img = GrayImage::from_fn(16, 16, |x, _| (x * 3) as u8);
+        let est = localize_image_errors(&img, 32, 16);
+        assert!(est.weight() < 5, "false positives: {}", est.weight());
+    }
+
+    #[test]
+    fn localizer_misses_lsb_flips_by_design() {
+        let mut img = GrayImage::from_fn(8, 8, |_, _| 100);
+        img.set(3, 3, 101); // LSB flip, below any reasonable threshold
+        let est = localize_image_errors(&img, 32, 16);
+        assert!(est.is_empty());
+    }
+
+    #[test]
+    fn precision_recall_cases() {
+        let actual = ErrorString::from_sorted(vec![1, 2, 3, 4], 64).unwrap();
+        let est = ErrorString::from_sorted(vec![2, 3, 9], 64).unwrap();
+        let (p, r) = precision_recall(&est, &actual);
+        assert!((p - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r - 0.5).abs() < 1e-12);
+        let (p2, r2) = precision_recall(&ErrorString::empty(64), &actual);
+        assert_eq!(p2, 1.0);
+        assert_eq!(r2, 0.0);
+    }
+
+    #[test]
+    fn speculative_matching_picks_matching_candidate() {
+        let mut db = FingerprintDb::new(PcDistance::new(), 0.3);
+        let fp_bits: Vec<u64> = (0..20).map(|i| i * 5).collect();
+        db.insert(
+            "victim",
+            Fingerprint::from_observation(
+                ErrorString::from_sorted(fp_bits.clone(), 1024).unwrap(),
+            ),
+        );
+        let wrong = ErrorString::from_sorted(vec![7, 13, 501], 1024).unwrap();
+        let right = ErrorString::from_sorted(fp_bits, 1024).unwrap();
+        let (label, d, idx) =
+            speculative_identify(&db, &[wrong, right]).expect("should match");
+        assert_eq!(label, &"victim");
+        assert_eq!(idx, 1);
+        assert!(d < 0.3);
+    }
+
+    #[test]
+    fn speculative_matching_rejects_all_bad() {
+        let mut db = FingerprintDb::new(PcDistance::new(), 0.2);
+        db.insert(
+            "x",
+            Fingerprint::from_observation(ErrorString::from_sorted(vec![1, 2, 3], 64).unwrap()),
+        );
+        let bad = ErrorString::from_sorted(vec![40, 50], 64).unwrap();
+        assert!(speculative_identify(&db, &[bad]).is_none());
+    }
+}

@@ -1,0 +1,279 @@
+//! Fingerprint-database persistence: a small, dependency-free text format so
+//! an attacker (or an auditor) can build a database in one session and match
+//! against it in another — the paper's supply-chain scenario spans months
+//! between interception and deanonymization.
+//!
+//! Format (line-oriented, UTF-8):
+//!
+//! ```text
+//! probable-cause-db 1
+//! threshold 0.25
+//! fp <label> <size_bits> <observations> <pos,pos,pos,...>
+//! ```
+//!
+//! Labels are percent-encoded (`%20` for space etc.) so arbitrary strings
+//! survive; positions are ascending decimal integers.
+
+use crate::{ErrorString, Fingerprint, FingerprintDb, PcDistance};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error loading a fingerprint database.
+#[derive(Debug)]
+pub enum DbIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a valid database file.
+    BadFormat {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for DbIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbIoError::Io(e) => write!(f, "i/o error: {e}"),
+            DbIoError::BadFormat { line, message } => {
+                write!(f, "bad database format at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DbIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbIoError::Io(e) => Some(e),
+            DbIoError::BadFormat { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for DbIoError {
+    fn from(e: io::Error) -> Self {
+        DbIoError::Io(e)
+    }
+}
+
+fn escape_label(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for ch in label.chars() {
+        match ch {
+            ' ' => out.push_str("%20"),
+            '%' => out.push_str("%25"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape_label(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c == '%' {
+            let hex = s.get(i + 1..i + 3)?;
+            let v = u8::from_str_radix(hex, 16).ok()?;
+            out.push(v as char);
+            chars.next();
+            chars.next();
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+/// Writes a string-labelled database to `w`.
+///
+/// A `&mut` reference may be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_db<W: Write>(db: &FingerprintDb<String, PcDistance>, mut w: W) -> io::Result<()> {
+    writeln!(w, "probable-cause-db 1")?;
+    writeln!(w, "threshold {}", db.threshold())?;
+    for (label, fp) in db.iter() {
+        write!(
+            w,
+            "fp {} {} {} ",
+            escape_label(label),
+            fp.errors().size(),
+            fp.observations()
+        )?;
+        let mut first = true;
+        for &b in fp.errors().positions() {
+            if first {
+                first = false;
+            } else {
+                w.write_all(b",")?;
+            }
+            write!(w, "{b}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads a string-labelled database from `r` (paper metric, stored
+/// threshold).
+///
+/// A `&mut` reference may be passed as the reader.
+///
+/// # Errors
+///
+/// [`DbIoError::BadFormat`] on any malformed line, [`DbIoError::Io`] on read
+/// failure.
+pub fn load_db<R: BufRead>(r: R) -> Result<FingerprintDb<String, PcDistance>, DbIoError> {
+    let bad = |line: usize, message: &str| DbIoError::BadFormat {
+        line,
+        message: message.to_string(),
+    };
+    let mut lines = r.lines().enumerate();
+
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| bad(1, "empty file"))?;
+    if header?.trim() != "probable-cause-db 1" {
+        return Err(bad(1, "missing or unsupported header"));
+    }
+    let (_, threshold_line) = lines.next().ok_or_else(|| bad(2, "missing threshold"))?;
+    let threshold_line = threshold_line?;
+    let threshold: f64 = threshold_line
+        .strip_prefix("threshold ")
+        .ok_or_else(|| bad(2, "expected `threshold <value>`"))?
+        .trim()
+        .parse()
+        .map_err(|_| bad(2, "unparsable threshold"))?;
+    if !(threshold > 0.0 && threshold <= 1.0) {
+        return Err(bad(2, "threshold out of (0, 1]"));
+    }
+
+    let mut db = FingerprintDb::new(PcDistance::new(), threshold);
+    for (idx, line) in lines {
+        let n = idx + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("fp ")
+            .ok_or_else(|| bad(n, "expected `fp ...`"))?;
+        let mut fields = rest.splitn(4, ' ');
+        let label = fields
+            .next()
+            .and_then(unescape_label)
+            .ok_or_else(|| bad(n, "bad label"))?;
+        let size: u64 = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(n, "bad size"))?;
+        let observations: u32 = fields
+            .next()
+            .and_then(|s| s.parse().ok())
+            .filter(|&o| o > 0)
+            .ok_or_else(|| bad(n, "bad observation count"))?;
+        let positions_field = fields.next().unwrap_or("").trim();
+        let mut positions = Vec::new();
+        if !positions_field.is_empty() {
+            for tok in positions_field.split(',') {
+                positions.push(
+                    tok.parse::<u64>()
+                        .map_err(|_| bad(n, "bad bit position"))?,
+                );
+            }
+        }
+        let errors = ErrorString::from_sorted(positions, size)
+            .map_err(|e| bad(n, &format!("bad error string: {e}")))?;
+        db.insert(label, Fingerprint::from_parts(errors, observations));
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample_db() -> FingerprintDb<String, PcDistance> {
+        let mut db = FingerprintDb::new(PcDistance::new(), 0.3);
+        db.insert(
+            "chip one".to_string(),
+            Fingerprint::from_parts(
+                ErrorString::from_sorted(vec![1, 5, 900], 4096).unwrap(),
+                3,
+            ),
+        );
+        db.insert(
+            "100%-weird\nlabel".to_string(),
+            Fingerprint::from_parts(ErrorString::from_sorted(vec![], 4096).unwrap(), 1),
+        );
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save_db(&db, &mut buf).unwrap();
+        let loaded = load_db(Cursor::new(buf)).unwrap();
+        assert_eq!(loaded.threshold(), db.threshold());
+        assert_eq!(loaded.len(), db.len());
+        for ((la, fa), (lb, fb)) in loaded.iter().zip(db.iter()) {
+            assert_eq!(la, lb);
+            assert_eq!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn loaded_db_identifies() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save_db(&db, &mut buf).unwrap();
+        let loaded = load_db(Cursor::new(buf)).unwrap();
+        let probe = ErrorString::from_sorted(vec![1, 5, 900, 2000], 4096).unwrap();
+        assert_eq!(loaded.identify(&probe), Some(&"chip one".to_string()));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let err = load_db(Cursor::new(b"nope\n".to_vec())).unwrap_err();
+        assert!(matches!(err, DbIoError::BadFormat { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_threshold() {
+        let err =
+            load_db(Cursor::new(b"probable-cause-db 1\nthreshold 7\n".to_vec())).unwrap_err();
+        assert!(matches!(err, DbIoError::BadFormat { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_unsorted_positions() {
+        let data = b"probable-cause-db 1\nthreshold 0.2\nfp x 64 1 5,3\n".to_vec();
+        let err = load_db(Cursor::new(data)).unwrap_err();
+        assert!(matches!(err, DbIoError::BadFormat { line: 3, .. }));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let data = b"probable-cause-db 1\nthreshold 0.2\n\nfp x 64 1 3,5\n\n".to_vec();
+        let db = load_db(Cursor::new(data)).unwrap();
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn label_escaping_roundtrips() {
+        for label in ["plain", "with space", "pct%sign", "new\nline"] {
+            let esc = escape_label(label);
+            assert!(!esc.contains(' ') && !esc.contains('\n'));
+            assert_eq!(unescape_label(&esc).as_deref(), Some(label));
+        }
+    }
+}

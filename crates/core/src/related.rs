@@ -1,0 +1,233 @@
+//! The paper's §9.1 related work, rebuilt on the same substrate to make the
+//! contrast concrete:
+//!
+//! - [`DramPuf`] — a Rosenblatt-style DRAM PUF: *intentional* use of decay
+//!   signatures for device attestation. Same physics as Probable Cause,
+//!   opposite goal: a PUF wants the device identifiable, the paper shows the
+//!   device is identifiable whether anyone wants it or not.
+//! - [`DecayClock`] — a TARDIS-style timekeeper: the *amount* of decay
+//!   estimates how long a memory went unrefreshed. Probable Cause uses
+//!   *which* cells decayed; TARDIS uses *how many*.
+
+use crate::{characterize, CharacterizeError, DistanceMetric, ErrorString, Fingerprint, PcDistance};
+use pc_dram::{Conditions, DramChip};
+use pc_stats::VolatilityDistribution;
+
+/// A decay-based physical unclonable function over a DRAM chip.
+///
+/// *Enrollment* collects the chip's stable error pattern for a challenge
+/// (a decay interval at a reference temperature); *verification* accepts a
+/// response iff its distance to the enrolled signature clears the threshold.
+///
+/// # Example
+///
+/// ```
+/// use pc_dram::{ChipGeometry, ChipId, ChipProfile, DramChip};
+/// use probable_cause::related::DramPuf;
+///
+/// let profile = ChipProfile::km41464a().with_geometry(ChipGeometry::new(32, 1024, 2));
+/// let device = DramChip::new(profile.clone(), ChipId(1));
+/// let puf = DramPuf::enroll(&device, 6.0, 3).expect("enrollment");
+///
+/// // The genuine device verifies; an impostor of the same model does not.
+/// assert!(puf.verify(&device, 100));
+/// let impostor = DramChip::new(profile, ChipId(2));
+/// assert!(!puf.verify(&impostor, 100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DramPuf {
+    signature: Fingerprint,
+    challenge_interval_s: f64,
+    temperature_c: f64,
+    threshold: f64,
+}
+
+impl DramPuf {
+    /// Enrolls `device`: reads the worst-case pattern `observations` times
+    /// after `challenge_interval_s` seconds of decay at 40 °C and stores the
+    /// intersection as the signature.
+    ///
+    /// # Errors
+    ///
+    /// [`CharacterizeError::NoObservations`] when `observations` is zero.
+    pub fn enroll(
+        device: &DramChip,
+        challenge_interval_s: f64,
+        observations: usize,
+    ) -> Result<Self, CharacterizeError> {
+        let temperature_c = 40.0;
+        let outputs: Vec<ErrorString> = (0..observations as u64)
+            .map(|t| Self::respond(device, challenge_interval_s, temperature_c, t))
+            .collect();
+        Ok(Self {
+            signature: characterize(&outputs)?,
+            challenge_interval_s,
+            temperature_c,
+            threshold: 0.25,
+        })
+    }
+
+    /// The enrolled signature.
+    pub fn signature(&self) -> &Fingerprint {
+        &self.signature
+    }
+
+    /// A device's raw response to the enrolled challenge.
+    fn respond(device: &DramChip, interval_s: f64, temp_c: f64, trial: u64) -> ErrorString {
+        let data = device.worst_case_pattern();
+        let size = data.len() as u64 * 8;
+        ErrorString::from_sorted(
+            device.readback_errors(&data, &Conditions::new(temp_c, interval_s).trial(trial)),
+            size,
+        )
+        .expect("simulator emits sorted in-range errors")
+    }
+
+    /// Verifies that `device` is the enrolled one (fresh trial `nonce`).
+    pub fn verify(&self, device: &DramChip, nonce: u64) -> bool {
+        let response = Self::respond(device, self.challenge_interval_s, self.temperature_c, nonce);
+        PcDistance::new().distance(self.signature.errors(), &response) < self.threshold
+    }
+}
+
+/// A TARDIS-style decay clock: infers how long a chip's charged region went
+/// unrefreshed from the *fraction* of decayed cells, by inverting the
+/// retention distribution.
+///
+/// # Example
+///
+/// ```
+/// use pc_dram::{ChipGeometry, ChipId, ChipProfile, Conditions, DramChip};
+/// use probable_cause::related::DecayClock;
+///
+/// let chip = DramChip::new(
+///     ChipProfile::km41464a().with_geometry(ChipGeometry::new(64, 1024, 2)),
+///     ChipId(3),
+/// );
+/// let clock = DecayClock::new(chip.profile().clone(), 40.0);
+///
+/// // Power-off for 8 seconds...
+/// let data = chip.worst_case_pattern();
+/// let errors = chip.readback_errors(&data, &Conditions::new(40.0, 8.0));
+/// let rate = errors.len() as f64 / (data.len() * 8) as f64;
+/// let estimate = clock.elapsed_seconds(rate).expect("rate in range");
+/// assert!((estimate - 8.0).abs() < 1.0, "estimated {estimate} s");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DecayClock {
+    retention: VolatilityDistribution,
+    temp_scale: f64,
+}
+
+impl DecayClock {
+    /// Builds a clock for chips of `profile` operating at `temperature_c`.
+    pub fn new(profile: pc_dram::ChipProfile, temperature_c: f64) -> Self {
+        Self {
+            temp_scale: profile.temperature().scale(temperature_c),
+            retention: *profile.retention(),
+        }
+    }
+
+    /// Estimated unrefreshed time from an observed worst-case decay fraction.
+    ///
+    /// Returns `None` when the rate is outside `(0, 1)` or the retention
+    /// distribution has no closed-form quantile (DDR2 skewed shape — use
+    /// empirical calibration there).
+    pub fn elapsed_seconds(&self, decayed_fraction: f64) -> Option<f64> {
+        if !(0.0..1.0).contains(&decayed_fraction) || decayed_fraction == 0.0 {
+            return None;
+        }
+        Some(self.retention.quantile(decayed_fraction)? * self.temp_scale)
+    }
+
+    /// The decay fraction this clock expects after `elapsed` seconds — the
+    /// forward direction, for calibration checks.
+    pub fn expected_fraction(&self, elapsed_s: f64) -> Option<f64> {
+        self.retention.cdf(elapsed_s / self.temp_scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_dram::{ChipGeometry, ChipId, ChipProfile};
+
+    fn profile() -> ChipProfile {
+        ChipProfile::km41464a().with_geometry(ChipGeometry::new(64, 1024, 2))
+    }
+
+    #[test]
+    fn puf_accepts_genuine_rejects_impostors() {
+        let device = DramChip::new(profile(), ChipId(1));
+        let puf = DramPuf::enroll(&device, 6.0, 3).unwrap();
+        for nonce in 10..15 {
+            assert!(puf.verify(&device, nonce), "genuine rejected at nonce {nonce}");
+        }
+        for serial in 2..8 {
+            let impostor = DramChip::new(profile(), ChipId(serial));
+            assert!(!puf.verify(&impostor, 10), "impostor {serial} accepted");
+        }
+    }
+
+    #[test]
+    fn puf_signature_is_the_probable_cause_fingerprint() {
+        // The §9.1 point: same mechanism, opposite intent. The PUF signature
+        // is literally a Probable Cause characterization.
+        let device = DramChip::new(profile(), ChipId(5));
+        let puf = DramPuf::enroll(&device, 6.0, 3).unwrap();
+        assert_eq!(puf.signature().observations(), 3);
+        assert!(puf.signature().weight() > 100);
+    }
+
+    #[test]
+    fn puf_enroll_zero_observations_fails() {
+        let device = DramChip::new(profile(), ChipId(6));
+        assert!(DramPuf::enroll(&device, 6.0, 0).is_err());
+    }
+
+    #[test]
+    fn clock_roundtrips_across_durations() {
+        let chip = DramChip::new(profile(), ChipId(7));
+        let clock = DecayClock::new(chip.profile().clone(), 40.0);
+        let data = chip.worst_case_pattern();
+        for elapsed in [4.0, 8.0, 14.0] {
+            let errors = chip.readback_errors(&data, &Conditions::new(40.0, elapsed));
+            let rate = errors.len() as f64 / (data.len() * 8) as f64;
+            let est = clock.elapsed_seconds(rate).expect("rate in range");
+            assert!(
+                (est - elapsed).abs() < 0.15 * elapsed + 0.5,
+                "elapsed {elapsed} estimated as {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn clock_compensates_temperature() {
+        let chip = DramChip::new(profile(), ChipId(8));
+        let hot_clock = DecayClock::new(chip.profile().clone(), 60.0);
+        let data = chip.worst_case_pattern();
+        // 2 s at 60 °C decays like 8 s at 40 °C; the hot clock must know.
+        let errors = chip.readback_errors(&data, &Conditions::new(60.0, 2.0));
+        let rate = errors.len() as f64 / (data.len() * 8) as f64;
+        let est = hot_clock.elapsed_seconds(rate).expect("rate in range");
+        assert!((est - 2.0).abs() < 0.6, "estimated {est} s");
+    }
+
+    #[test]
+    fn clock_rejects_degenerate_rates() {
+        let clock = DecayClock::new(profile(), 40.0);
+        assert!(clock.elapsed_seconds(0.0).is_none());
+        assert!(clock.elapsed_seconds(1.0).is_none());
+        assert!(clock.elapsed_seconds(-0.1).is_none());
+    }
+
+    #[test]
+    fn forward_and_inverse_agree() {
+        let clock = DecayClock::new(profile(), 40.0);
+        for f in [0.01, 0.05, 0.2] {
+            let t = clock.elapsed_seconds(f).unwrap();
+            let back = clock.expected_fraction(t).unwrap();
+            assert!((back - f).abs() < 1e-9, "f={f} back={back}");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! A brute-force reference stitcher: identical matching semantics to
+//! [`crate::Stitcher`], but every stored page is compared against every
+//! sample page at every implied alignment — no LSH index, no candidate
+//! capping. Quadratic and slow, but simple enough to be obviously correct;
+//! the differential tests pit the production stitcher against it.
+
+use crate::stitch::stitcher::{RefineRule, StitchConfig};
+use crate::{DistanceMetric, ErrorString, Fingerprint, PcDistance};
+use std::collections::BTreeMap;
+
+/// The exhaustive baseline stitcher.
+///
+/// # Example
+///
+/// ```
+/// use probable_cause::{ErrorString, ReferenceStitcher, StitchConfig};
+/// let page = |s: u64| {
+///     ErrorString::from_unsorted((0..40).map(|i| (s * 97 + i * 61) % 4096).collect(), 4096)
+///         .unwrap()
+/// };
+/// let mut st = ReferenceStitcher::new(4096, StitchConfig::default());
+/// st.observe(&[page(1), page(2)]);
+/// st.observe(&[page(2), page(3)]); // overlaps on page(2)
+/// assert_eq!(st.suspected_chips(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ReferenceStitcher {
+    config: StitchConfig,
+    metric: PcDistance,
+    clusters: Vec<BTreeMap<i64, Fingerprint>>,
+    page_bits: u64,
+}
+
+impl ReferenceStitcher {
+    /// Creates a reference stitcher for pages of `page_bits` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_bits` is zero.
+    pub fn new(page_bits: u64, config: StitchConfig) -> Self {
+        assert!(page_bits > 0, "page size must be positive");
+        Self {
+            config,
+            metric: PcDistance::new(),
+            clusters: Vec::new(),
+            page_bits,
+        }
+    }
+
+    /// Number of distinct suspected memories.
+    pub fn suspected_chips(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total pages across clusters.
+    pub fn total_pages(&self) -> usize {
+        self.clusters.iter().map(BTreeMap::len).sum()
+    }
+
+    /// Ingests one output; returns the index (within the *current* cluster
+    /// list) it landed in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is empty or a page's size mismatches.
+    pub fn observe(&mut self, pages: &[ErrorString]) -> usize {
+        assert!(!pages.is_empty(), "an output must contain at least one page");
+        for p in pages {
+            assert_eq!(p.size(), self.page_bits, "page size mismatch");
+        }
+        let usable: Vec<usize> = (0..pages.len())
+            .filter(|&i| pages[i].weight() >= self.config.min_page_weight)
+            .collect();
+
+        // Exhaustively verify every alignment every cluster could offer.
+        let mut accepted: Vec<(usize, i64, usize)> = Vec::new();
+        for (cid, cluster) in self.clusters.iter().enumerate() {
+            let mut deltas: Vec<i64> = Vec::new();
+            for (&off, fp) in cluster {
+                if fp.errors().weight() < self.config.min_page_weight {
+                    continue;
+                }
+                for &i in &usable {
+                    deltas.push(off - i as i64);
+                }
+            }
+            deltas.sort_unstable();
+            deltas.dedup();
+            let mut best: Option<(i64, usize)> = None;
+            for delta in deltas {
+                let mut checked = 0;
+                let mut matched = 0;
+                for &i in &usable {
+                    if let Some(fp) = cluster.get(&(delta + i as i64)) {
+                        if fp.errors().weight() < self.config.min_page_weight {
+                            continue;
+                        }
+                        checked += 1;
+                        if self.metric.distance(fp.errors(), &pages[i])
+                            < self.config.distance_threshold
+                        {
+                            matched += 1;
+                        }
+                    }
+                }
+                let ok = checked > 0
+                    && matched >= self.config.min_overlap_pages
+                    && matched as f64 >= self.config.min_agreement * checked as f64;
+                if ok && best.is_none_or(|(_, m)| matched > m) {
+                    best = Some((delta, matched));
+                }
+            }
+            if let Some((delta, matched)) = best {
+                accepted.push((cid, delta, matched));
+            }
+        }
+        accepted.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+
+        let rule = self.config.refine;
+        let absorb = |target: &mut BTreeMap<i64, Fingerprint>, offset: i64, page: &ErrorString| {
+            let fp = match target.remove(&offset) {
+                Some(existing) => match rule {
+                    RefineRule::Intersect => existing.refine(page),
+                    RefineRule::Union => existing.extend(page),
+                }
+                .expect("sizes verified"),
+                None => Fingerprint::from_observation(page.clone()),
+            };
+            target.insert(offset, fp);
+        };
+
+        if let Some(&(home, home_delta, _)) = accepted.first() {
+            // Merge later-accepted clusters into home. Removing highest index
+            // first keeps the pending (smaller) indices valid; `home_idx`
+            // tracks where home lands as the vector shrinks.
+            let mut to_merge: Vec<(usize, i64)> =
+                accepted[1..].iter().map(|&(c, d, _)| (c, d)).collect();
+            to_merge.sort_by_key(|&(c, _)| std::cmp::Reverse(c));
+            let mut home_idx = home;
+            for (cid, delta) in to_merge {
+                let other = self.clusters.remove(cid);
+                if cid < home_idx {
+                    home_idx -= 1;
+                }
+                let shift = home_delta - delta;
+                for (o, fp) in other {
+                    let target = &mut self.clusters[home_idx];
+                    let merged = match target.remove(&(o + shift)) {
+                        Some(existing) => match rule {
+                            RefineRule::Intersect => existing.merge(&fp),
+                            RefineRule::Union => existing.merge_union(&fp),
+                        }
+                        .expect("sizes verified"),
+                        None => fp,
+                    };
+                    target.insert(o + shift, merged);
+                }
+            }
+            for (i, page) in pages.iter().enumerate() {
+                absorb(&mut self.clusters[home_idx], home_delta + i as i64, page);
+            }
+            home_idx
+        } else {
+            let mut cluster = BTreeMap::new();
+            for (i, page) in pages.iter().enumerate() {
+                absorb(&mut cluster, i as i64, page);
+            }
+            self.clusters.push(cluster);
+            self.clusters.len() - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stitcher;
+    use pc_stats::CellHasher;
+
+    const PAGE: u64 = 32_768;
+
+    fn phys_page(chip: u64, page: u64, trial: u64) -> ErrorString {
+        // ~320 stable bits plus a few per-trial noise bits.
+        let h = CellHasher::new(chip * 1_000_003 + page);
+        let mut bits: Vec<u64> = (0..320).map(|i| h.word(i) % PAGE).collect();
+        let n = CellHasher::new(chip ^ 0xBEEF).derive(trial);
+        bits.truncate(314);
+        bits.extend((0..6).map(|i| n.word(page * 16 + i) % PAGE));
+        ErrorString::from_unsorted(bits, PAGE).unwrap()
+    }
+
+    fn output(chip: u64, start: u64, len: u64, trial: u64) -> Vec<ErrorString> {
+        (start..start + len)
+            .map(|p| phys_page(chip, p, trial))
+            .collect()
+    }
+
+    #[test]
+    fn reference_merges_overlaps() {
+        let mut st = ReferenceStitcher::new(PAGE, StitchConfig::default());
+        st.observe(&output(1, 0, 6, 0));
+        st.observe(&output(1, 4, 6, 1));
+        assert_eq!(st.suspected_chips(), 1);
+        assert_eq!(st.total_pages(), 10);
+    }
+
+    #[test]
+    fn reference_keeps_strangers_apart() {
+        let mut st = ReferenceStitcher::new(PAGE, StitchConfig::default());
+        st.observe(&output(1, 0, 4, 0));
+        st.observe(&output(2, 0, 4, 0));
+        assert_eq!(st.suspected_chips(), 2);
+    }
+
+    /// Differential test: the LSH-indexed stitcher must agree with the
+    /// exhaustive reference on randomized multi-machine scenarios.
+    #[test]
+    fn production_stitcher_matches_reference() {
+        for scenario in 0..6u64 {
+            let rng = CellHasher::new(scenario ^ 0x5CE7A810);
+            let mut fast = Stitcher::new(PAGE, StitchConfig::default());
+            let mut slow = ReferenceStitcher::new(PAGE, StitchConfig::default());
+            for k in 0..30u64 {
+                let chip = 1 + rng.word2(k, 0) % 2;
+                let start = rng.word2(k, 1) % 120;
+                let len = 3 + rng.word2(k, 2) % 6;
+                let out = output(chip, start, len, k);
+                fast.observe(&out);
+                slow.observe(&out);
+                assert_eq!(
+                    fast.suspected_chips(),
+                    slow.suspected_chips(),
+                    "scenario {scenario}, sample {k}: cluster counts diverged"
+                );
+                assert_eq!(
+                    fast.total_pages(),
+                    slow.total_pages(),
+                    "scenario {scenario}, sample {k}: coverage diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bridge_merge_with_index_shift() {
+        // Three clusters; a bridge merges clusters 0 and 2 (indices shift on
+        // removal — the bookkeeping this test pins down).
+        let mut st = ReferenceStitcher::new(PAGE, StitchConfig::default());
+        st.observe(&output(1, 0, 3, 0)); // cluster 0: pages 0..3
+        st.observe(&output(1, 50, 3, 0)); // cluster 1: pages 50..53
+        st.observe(&output(1, 10, 3, 0)); // cluster 2: pages 10..13
+        assert_eq!(st.suspected_chips(), 3);
+        st.observe(&output(1, 2, 10, 1)); // bridges 0 and 2
+        assert_eq!(st.suspected_chips(), 2);
+        assert_eq!(st.total_pages(), 13 + 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Threshold calibration from within-/between-class distance samples.
+
+use pc_stats::Summary;
+
+/// Separation statistics between within-class distances (same chip) and
+/// between-class distances (other chips) — the quantity behind the paper's
+/// headline claim of a **two-orders-of-magnitude** gap (§7.1, Fig. 7) and the
+/// basis for choosing Algorithm 2's threshold.
+///
+/// # Example
+///
+/// ```
+/// use probable_cause::SeparationReport;
+/// let within = [0.001, 0.002, 0.0];
+/// let between = [0.8, 0.9, 1.0];
+/// let r = SeparationReport::from_samples(&within, &between);
+/// assert!(r.is_separable());
+/// assert!(r.orders_of_magnitude() > 2.0);
+/// let t = r.recommended_threshold();
+/// assert!(t > 0.002 && t < 0.8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeparationReport {
+    within: Summary,
+    between: Summary,
+}
+
+impl SeparationReport {
+    /// Builds a report from distance samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample set is empty.
+    pub fn from_samples(within: &[f64], between: &[f64]) -> Self {
+        assert!(!within.is_empty(), "need at least one within-class distance");
+        assert!(!between.is_empty(), "need at least one between-class distance");
+        Self {
+            within: within.iter().copied().collect(),
+            between: between.iter().copied().collect(),
+        }
+    }
+
+    /// Summary of within-class (same device) distances.
+    pub fn within(&self) -> &Summary {
+        &self.within
+    }
+
+    /// Summary of between-class (different device) distances.
+    pub fn between(&self) -> &Summary {
+        &self.between
+    }
+
+    /// Whether the classes are perfectly separable (largest within-class
+    /// distance below smallest between-class distance) — the paper reports
+    /// 100% identification success, i.e. full separability.
+    pub fn is_separable(&self) -> bool {
+        self.within.max() < self.between.min()
+    }
+
+    /// `between.min / within.max` — how many times farther the nearest
+    /// impostor is than the farthest genuine output. Infinite when every
+    /// within-class distance is 0.
+    pub fn separation_ratio(&self) -> f64 {
+        if self.within.max() <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.between.min() / self.within.max()
+        }
+    }
+
+    /// `log10` of the separation ratio (the "two orders of magnitude"
+    /// statement). Infinite when every within-class distance is exactly 0.
+    pub fn orders_of_magnitude(&self) -> f64 {
+        self.separation_ratio().log10()
+    }
+
+    /// A matching threshold for Algorithm 2: the geometric mean of the
+    /// within-class maximum and the between-class minimum, the point equally
+    /// far (multiplicatively) from both classes. Falls back to half the
+    /// between-class minimum when within-class distances are all zero.
+    pub fn recommended_threshold(&self) -> f64 {
+        let hi = self.between.min();
+        let lo = self.within.max();
+        if lo <= 0.0 {
+            0.5 * hi
+        } else {
+            (lo * hi).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_case() {
+        let r = SeparationReport::from_samples(&[0.001, 0.005], &[0.5, 0.7]);
+        assert!(r.is_separable());
+        assert!((r.separation_ratio() - 100.0).abs() < 1e-9);
+        assert!((r.orders_of_magnitude() - 2.0).abs() < 1e-9);
+        let t = r.recommended_threshold();
+        assert!((t - (0.005f64 * 0.5).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_case() {
+        let r = SeparationReport::from_samples(&[0.1, 0.6], &[0.5, 0.9]);
+        assert!(!r.is_separable());
+        assert!(r.separation_ratio() < 1.0);
+    }
+
+    #[test]
+    fn zero_within_yields_infinite_ratio() {
+        let r = SeparationReport::from_samples(&[0.0, 0.0], &[0.4]);
+        assert!(r.separation_ratio().is_infinite());
+        assert_eq!(r.recommended_threshold(), 0.2);
+    }
+
+    #[test]
+    fn summaries_exposed() {
+        let r = SeparationReport::from_samples(&[0.1], &[0.9]);
+        assert_eq!(r.within().count(), 1);
+        assert_eq!(r.between().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one within-class")]
+    fn empty_within_rejected() {
+        SeparationReport::from_samples(&[], &[0.5]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Cell-level DRAM decay simulator for the Probable Cause reproduction.
+//!
+//! The paper's experiments run on real DRAM (KM41464A chips and a DDR2 FPGA
+//! platform). This crate replaces that hardware with a simulator built around
+//! the physical facts the paper relies on (§2):
+//!
+//! - every cell has a **default value** (its uncharged state); rows share a
+//!   default value which alternates every few rows;
+//! - writing the opposite of the default value charges the cell's capacitor,
+//!   which then leaks; once the voltage drops below the detection threshold
+//!   the cell **reverts to its default value**;
+//! - per-cell **retention time** varies with manufacturing: mask-dependent
+//!   capacitance variation plus dominant chip-random leakage variation
+//!   (random dopant fluctuation), Gaussian-distributed per \[27\];
+//! - **temperature** accelerates leakage (retention roughly halves every
+//!   ~10 °C, consistent with \[10\]);
+//! - near the decay threshold, behaviour is slightly **noisy** between trials
+//!   (the paper measures ~98% of error bits repeating across 21 runs, Fig. 8).
+//!
+//! Retention values are derived lazily from deterministic hashes, so chips of
+//! any size cost O(1) memory.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_dram::{ChipId, ChipProfile, Conditions, DramChip};
+//!
+//! let chip = DramChip::new(ChipProfile::km41464a(), ChipId(7));
+//! let data = chip.worst_case_pattern();
+//!
+//! // Hold the data for 6 seconds at 40 °C without refresh, then read back.
+//! let cond = Conditions::new(40.0, 6.0).trial(0);
+//! let errors = chip.readback_errors(&data, &cond);
+//!
+//! // Same conditions, same trial => identical error pattern.
+//! assert_eq!(errors, chip.readback_errors(&data, &cond));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bank;
+mod chip;
+mod conditions;
+mod geometry;
+mod profile;
+mod refresh;
+mod temperature;
+mod variation;
+mod voltage;
+
+pub use bank::DramBank;
+pub use chip::{ChipId, DramChip, MaskId};
+pub use conditions::Conditions;
+pub use geometry::ChipGeometry;
+pub use profile::ChipProfile;
+pub use refresh::RefreshPlan;
+pub use temperature::TemperatureModel;
+pub use variation::VariationMix;
+pub use voltage::VoltageModel;

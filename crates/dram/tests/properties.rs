@@ -1,0 +1,118 @@
+//! Property-based tests for the DRAM simulator's physical invariants.
+
+use pc_dram::{ChipGeometry, ChipId, ChipProfile, Conditions, DramChip, MaskId, RefreshPlan};
+use proptest::prelude::*;
+
+fn chip(serial: u64) -> DramChip {
+    DramChip::new(
+        ChipProfile::km41464a().with_geometry(ChipGeometry::new(16, 256, 2)),
+        ChipId(serial),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn retention_is_positive_and_finite(serial in 0u64..500, cell in 0u64..4096) {
+        let t = chip(serial).retention_seconds(cell);
+        prop_assert!(t.is_finite() && t > 0.0);
+    }
+
+    #[test]
+    fn errors_monotone_in_interval(serial in 0u64..100, short in 0.1f64..10.0, extra in 0.1f64..10.0,
+                                   trial in 0u64..4) {
+        // Same trial: lengthening the unrefreshed interval can only add
+        // errors, never remove them (cells fail in retention order).
+        let c = chip(serial);
+        let data = c.worst_case_pattern();
+        let a = c.readback_errors(&data, &Conditions::new(40.0, short).trial(trial));
+        let b = c.readback_errors(&data, &Conditions::new(40.0, short + extra).trial(trial));
+        prop_assert!(a.iter().all(|e| b.binary_search(e).is_ok()),
+                     "interval growth removed errors");
+    }
+
+    #[test]
+    fn errors_monotone_in_temperature(serial in 0u64..100, temp in 20.0f64..70.0,
+                                      hotter in 1.0f64..20.0, trial in 0u64..4) {
+        let c = chip(serial);
+        let data = c.worst_case_pattern();
+        let a = c.readback_errors(&data, &Conditions::new(temp, 6.0).trial(trial));
+        let b = c.readback_errors(&data, &Conditions::new(temp + hotter, 6.0).trial(trial));
+        prop_assert!(a.iter().all(|e| b.binary_search(e).is_ok()),
+                     "heating removed errors");
+    }
+
+    #[test]
+    fn errors_monotone_in_voltage_scale(serial in 0u64..100, scale in 0.05f64..1.0,
+                                        shrink in 0.1f64..0.9) {
+        // Lower retention scale (lower voltage) only adds errors.
+        let c = chip(serial);
+        let data = c.worst_case_pattern();
+        let hi = c.readback_errors(&data, &Conditions::new(40.0, 3.0).with_retention_scale(scale));
+        let lo = c.readback_errors(
+            &data,
+            &Conditions::new(40.0, 3.0).with_retention_scale(scale * shrink),
+        );
+        prop_assert!(hi.iter().all(|e| lo.binary_search(e).is_ok()));
+    }
+
+    #[test]
+    fn errors_are_sorted_dedup_and_charged(serial in 0u64..100, interval in 0.1f64..20.0,
+                                           byte in any::<u8>()) {
+        let c = chip(serial);
+        let data = vec![byte; c.capacity_bytes()];
+        let errs = c.readback_errors(&data, &Conditions::new(40.0, interval));
+        prop_assert!(errs.windows(2).all(|w| w[0] < w[1]), "not strictly sorted");
+        for &e in &errs {
+            let bit = data[(e / 8) as usize] & (1 << (e % 8)) != 0;
+            prop_assert!(c.is_charged(e, bit), "discharged cell {e} erred");
+        }
+    }
+
+    #[test]
+    fn readback_is_deterministic(serial in 0u64..100, interval in 0.1f64..20.0, trial in 0u64..8) {
+        let c = chip(serial);
+        let data = c.worst_case_pattern();
+        let cond = Conditions::new(40.0, interval).trial(trial);
+        prop_assert_eq!(c.readback_errors(&data, &cond), c.readback_errors(&data, &cond));
+    }
+
+    #[test]
+    fn masks_change_nothing_when_variation_is_chip_only(serial in 0u64..50, m1 in 0u64..50,
+                                                        m2 in 0u64..50, cell in 0u64..4096) {
+        let p = ChipProfile::km41464a()
+            .with_geometry(ChipGeometry::new(16, 256, 2))
+            .with_variation(pc_dram::VariationMix::chip_only());
+        let a = DramChip::with_mask(p.clone(), ChipId(serial), MaskId(m1));
+        let b = DramChip::with_mask(p, ChipId(serial), MaskId(m2));
+        prop_assert_eq!(a.retention_seconds(cell), b.retention_seconds(cell));
+    }
+
+    #[test]
+    fn plan_with_equal_rows_equals_uniform_conditions(serial in 0u64..50,
+                                                      interval in 0.1f64..15.0,
+                                                      trial in 0u64..4) {
+        let c = chip(serial);
+        let data = c.worst_case_pattern();
+        let cond = Conditions::new(40.0, interval).trial(trial);
+        let via_plan = c.errors_with_plan(&data, &cond, &RefreshPlan::uniform(16, interval));
+        let direct = c.readback_errors(&data, &cond);
+        prop_assert_eq!(via_plan, direct);
+    }
+
+    #[test]
+    fn default_bit_partitions_worst_case_pattern(serial in 0u64..50) {
+        // The worst-case pattern must be the bitwise complement of the
+        // default-value pattern.
+        let c = chip(serial);
+        let pattern = c.worst_case_pattern();
+        for (i, &byte) in pattern.iter().enumerate() {
+            for bit in 0..8u64 {
+                let cell = i as u64 * 8 + bit;
+                let v = byte & (1 << bit) != 0;
+                prop_assert_ne!(v, c.default_bit(cell));
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Extension experiment: attribution accuracy over the eavesdropping
+//! pipeline. Fig. 13 measures how the attacker's *map* of machines
+//! converges; this harness measures the payoff — given an assembled
+//! database, how often is a fresh anonymous output correctly attributed
+//! (true-positive rate) and how often does a never-seen machine's output get
+//! falsely matched (false-positive rate)?
+
+use crate::report::{artifact_dir, write_csv_series, Report};
+use pc_os::{ApproxSystem, PlacementPolicy, SystemConfig};
+use pc_stats::wilson_interval;
+use probable_cause::{Eavesdropper, StitchConfig};
+use std::io;
+use std::path::Path;
+
+/// Attribution quality after the attacker has collected `samples` outputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttributionPoint {
+    /// Outputs the attacker had collected before the probes.
+    pub samples: usize,
+    /// Fraction of fresh victim outputs correctly attributed.
+    pub true_positive: f64,
+    /// Fraction of stranger outputs falsely attributed.
+    pub false_positive: f64,
+    /// Fraction of the victim memory the attacker had fingerprinted.
+    pub coverage: f64,
+}
+
+/// Sweeps the collected-sample count and probes attribution with
+/// `probes` fresh outputs per side.
+pub fn sweep(checkpoints: &[usize], probes: usize, seed: u64) -> Vec<AttributionPoint> {
+    let total_pages = 4_096u64;
+    let sample_pages = 64usize;
+    let mut victim = ApproxSystem::emulated(SystemConfig {
+        total_pages,
+        error_rate: 0.01,
+        seed,
+        placement: PlacementPolicy::ContiguousRandom,
+    });
+    let mut stranger = ApproxSystem::emulated(SystemConfig {
+        total_pages,
+        error_rate: 0.01,
+        seed: seed ^ 0xDEAD,
+        placement: PlacementPolicy::ContiguousRandom,
+    });
+    let mut attacker = Eavesdropper::new(StitchConfig::default());
+
+    let mut points = Vec::new();
+    let mut collected = 0usize;
+    for &checkpoint in checkpoints {
+        while collected < checkpoint {
+            attacker.observe_output(&victim.publish_worst_case(sample_pages));
+            collected += 1;
+        }
+        let mut tp = 0;
+        let mut fp = 0;
+        for _ in 0..probes {
+            if attacker
+                .attribute_output(&victim.publish_worst_case(sample_pages))
+                .is_some()
+            {
+                tp += 1;
+            }
+            if attacker
+                .attribute_output(&stranger.publish_worst_case(sample_pages))
+                .is_some()
+            {
+                fp += 1;
+            }
+        }
+        points.push(AttributionPoint {
+            samples: checkpoint,
+            true_positive: tp as f64 / probes as f64,
+            false_positive: fp as f64 / probes as f64,
+            coverage: attacker.fingerprinted_pages() as f64 / total_pages as f64,
+        });
+    }
+    points
+}
+
+/// Runs the attribution-accuracy experiment.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn run(out: &Path) -> io::Result<String> {
+    let dir = artifact_dir(out, "attribution")?;
+    let checkpoints = [5usize, 15, 40, 80, 160, 320];
+    let probes = 40;
+    let points = sweep(&checkpoints, probes, 77);
+
+    write_csv_series(
+        &dir.join("tpr_vs_samples.csv"),
+        ("samples", "true_positive_rate"),
+        points.iter().map(|p| (p.samples as f64, p.true_positive)),
+    )?;
+
+    let mut r = Report::new("Extension: attribution accuracy vs collected samples");
+    r.kv("victim memory", "4096 pages (16 MB), 64-page samples");
+    r.kv("probes per checkpoint", probes);
+    r.line(format!(
+        "\n{:<10} {:>10} {:>22} {:>10}",
+        "samples", "coverage", "true-positive rate", "false-pos"
+    ));
+    for p in &points {
+        let (lo, hi) = wilson_interval((p.true_positive * probes as f64) as u64, probes as u64);
+        r.line(format!(
+            "{:<10} {:>9.0}% {:>9.0}% [{:.0}%,{:.0}%] {:>9.0}%",
+            p.samples,
+            p.coverage * 100.0,
+            p.true_positive * 100.0,
+            lo * 100.0,
+            hi * 100.0,
+            p.false_positive * 100.0,
+        ));
+    }
+    r.line(
+        "\nattribution power tracks fingerprint coverage: once the attacker has seen \
+         most of the memory, every fresh anonymous output is attributed, while \
+         never-seen machines are never falsely matched (the paper's two-orders \
+         distance gap keeps the false-positive rate at zero).",
+    );
+    Ok(r.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_improves_with_coverage_and_never_false_matches() {
+        let points = sweep(&[5, 60], 12, 3);
+        assert!(points[1].coverage > points[0].coverage);
+        assert!(
+            points[1].true_positive >= points[0].true_positive,
+            "more coverage must not hurt TPR"
+        );
+        assert!(points[1].true_positive > 0.8, "TPR {}", points[1].true_positive);
+        for p in &points {
+            assert_eq!(p.false_positive, 0.0, "false positive at {} samples", p.samples);
+        }
+    }
+}

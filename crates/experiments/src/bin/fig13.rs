@@ -1,0 +1,11 @@
+//! Regenerates Fig. 13 (eavesdropping attack). Defaults to the 1/16-scale
+//! run; pass --paper-scale for the full 1 GB / 10 MB configuration.
+use pc_experiments::fig13::{run_at, Scale};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper-scale");
+    let scale = if paper { Scale::paper() } else { Scale::scaled() };
+    let report = run_at(std::path::Path::new("results"), scale)
+        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
+    print!("{report}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the §5.2 Hamming-baseline comparison. Artifacts land in ./results.
+fn main() {
+    let report = pc_experiments::hamming::run(std::path::Path::new("results"))
+        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
+    print!("{report}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the knobs extension experiment. Artifacts land in ./results.
+fn main() {
+    let report = pc_experiments::knobs::run(std::path::Path::new("results"))
+        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
+    print!("{report}");
+}

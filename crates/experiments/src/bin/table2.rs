@@ -1,0 +1,6 @@
+//! Regenerates the paper's table2 artifact. Artifacts land in ./results.
+fn main() {
+    let report = pc_experiments::table2::run(std::path::Path::new("results"))
+        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
+    print!("{report}");
+}

@@ -1,0 +1,85 @@
+//! Figure 5: the same 200×154 B/W image stored in two approximate DRAM
+//! chips. Outputs (a) and (b) come from chip A at different temperatures;
+//! output (c) from chip B. Same-chip outputs share most of their error
+//! pattern; the other chip's pattern is unrelated.
+
+use crate::platform::Platform;
+use crate::report::{artifact_dir, Report};
+use pc_image::{synth, write_pbm, BitImage};
+use probable_cause::ErrorString;
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::Path;
+
+/// Runs the Fig. 5 reproduction; writes PBM images under `out/fig05/`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn run(out: &Path) -> io::Result<String> {
+    let dir = artifact_dir(out, "fig05")?;
+    let platform = Platform::km41464a(2);
+    let image = synth::figure5_image();
+    let bytes = image.to_bytes();
+
+    // (a) chip A at 40 °C, (b) chip A at 60 °C, (c) chip B at 50 °C — all at
+    // a refresh rate yielding 1% error with worst-case data.
+    let out_a = platform.output_for_data(0, &bytes, 40.0, 99.0, 1);
+    let out_b = platform.output_for_data(0, &bytes, 60.0, 99.0, 2);
+    let out_c = platform.output_for_data(1, &bytes, 50.0, 99.0, 3);
+
+    let corrupted = |errors: &ErrorString| -> BitImage {
+        let mut buf = bytes.clone();
+        for &bit in errors.positions() {
+            buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        BitImage::from_bytes(image.width(), image.height(), &buf)
+    };
+
+    write_pbm(BufWriter::new(File::create(dir.join("original.pbm"))?), &image)
+        .map_err(io::Error::other)?;
+    for (name, errs) in [("a_chipA_40C", &out_a), ("b_chipA_60C", &out_b), ("c_chipB_50C", &out_c)]
+    {
+        write_pbm(
+            BufWriter::new(File::create(dir.join(format!("{name}.pbm")))?),
+            &corrupted(errs),
+        )
+        .map_err(io::Error::other)?;
+    }
+
+    let mut r = Report::new("Figure 5: error patterns of one image in two chips");
+    r.kv("image", format!("{}x{} B/W", image.width(), image.height()));
+    r.kv("errors in (a) chip A @40C", out_a.weight());
+    r.kv("errors in (b) chip A @60C", out_b.weight());
+    r.kv("errors in (c) chip B @50C", out_c.weight());
+
+    let same = out_a.intersection_count(&out_b);
+    let cross = out_a.intersection_count(&out_c);
+    r.section("error-pattern overlap (visual similarity)");
+    r.kv("shared errors, same chip (a)∩(b)", same);
+    r.kv("shared errors, other chip (a)∩(c)", cross);
+    r.kv(
+        "same-chip overlap fraction",
+        format!("{:.3}", same as f64 / out_a.weight().max(1) as f64),
+    );
+    r.kv(
+        "cross-chip overlap fraction",
+        format!("{:.3}", cross as f64 / out_a.weight().max(1) as f64),
+    );
+    r.line(format!("\nartifacts: {}", dir.display()));
+    Ok(r.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_report_and_artifacts() {
+        let dir = std::env::temp_dir().join("pc_fig05_test");
+        let report = run(&dir).unwrap();
+        assert!(report.contains("Figure 5"));
+        assert!(dir.join("fig05/original.pbm").is_file());
+        assert!(dir.join("fig05/c_chipB_50C.pbm").is_file());
+    }
+}

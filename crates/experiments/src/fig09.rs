@@ -1,0 +1,91 @@
+//! Figure 9 (§7.3, thermal effect): between-class distances grouped by
+//! temperature. The approximate memory controller compensates for
+//! temperature, so temperature has no noticeable effect on the distances.
+
+use crate::fig07;
+use crate::platform::{Platform, TEMPERATURES};
+use crate::report::{artifact_dir, write_csv_series, Report};
+use pc_stats::{Histogram, Summary};
+use std::io;
+use std::path::Path;
+
+/// Runs the Fig. 9 reproduction.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn run(out: &Path) -> io::Result<String> {
+    run_with(out, &Platform::km41464a(10))
+}
+
+/// Runs on a caller-supplied platform.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn run_with(out: &Path, platform: &Platform) -> io::Result<String> {
+    let dir = artifact_dir(out, "fig09")?;
+    let samples = fig07::collect(platform);
+
+    let mut r = Report::new("Figure 9: between-class distances grouped by temperature");
+    let mut means = Vec::new();
+    for &t in &TEMPERATURES {
+        let ds: Vec<f64> = samples
+            .between
+            .iter()
+            .filter(|&&(temp, _, _)| temp == t)
+            .map(|&(_, _, d)| d)
+            .collect();
+        let summary: Summary = ds.iter().copied().collect();
+        let mut hist = Histogram::new(0.75, 1.0, 25);
+        hist.extend(ds.iter().copied());
+        write_csv_series(
+            &dir.join(format!("between_{t}C.csv")),
+            ("distance", "count"),
+            hist.series().map(|(c, n)| (c, n as f64)),
+        )?;
+        r.section(&format!("{t} °C"));
+        r.kv("pairs", summary.count());
+        r.kv("mean distance", format!("{:.4}", summary.mean()));
+        r.kv("sd", format!("{:.4}", summary.sd()));
+        r.histogram(&format!("between-class distances at {t} °C:"), &hist);
+        means.push(summary.mean());
+    }
+
+    let spread = means
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max)
+        - means.iter().cloned().fold(f64::INFINITY, f64::min);
+    r.section("conclusion");
+    r.kv("spread of per-temperature means", format!("{spread:.4}"));
+    r.kv("temperature effect", "none (controller compensates, paper: same)");
+    r.line(format!("\nartifacts: {}", dir.display()));
+    Ok(r.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_dram::{ChipGeometry, ChipProfile};
+
+    #[test]
+    fn temperature_does_not_move_between_class_distances() {
+        let platform = Platform::with_profile(
+            ChipProfile::km41464a().with_geometry(ChipGeometry::new(32, 1024, 2)),
+            3,
+        );
+        let samples = fig07::collect(&platform);
+        let mean_at = |t: f64| {
+            let s: Summary = samples
+                .between
+                .iter()
+                .filter(|&&(temp, _, _)| temp == t)
+                .map(|&(_, _, d)| d)
+                .collect();
+            s.mean()
+        };
+        let (m40, m60) = (mean_at(40.0), mean_at(60.0));
+        assert!((m40 - m60).abs() < 0.03, "means differ: {m40} vs {m60}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Figure 11 (§7.5, accuracy vs privacy): between-class distances grouped by
+//! accuracy. Heavier approximation increases the chance of accidental bit
+//! overlap between chips, shrinking the distances — but they stay two orders
+//! of magnitude above within-class.
+
+use crate::fig07;
+use crate::platform::{Platform, ACCURACIES};
+use crate::report::{artifact_dir, write_csv_series, Report};
+use pc_stats::{Histogram, Summary};
+use std::io;
+use std::path::Path;
+
+/// Runs the Fig. 11 reproduction.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn run(out: &Path) -> io::Result<String> {
+    run_with(out, &Platform::km41464a(10))
+}
+
+/// Runs on a caller-supplied platform.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn run_with(out: &Path, platform: &Platform) -> io::Result<String> {
+    let dir = artifact_dir(out, "fig11")?;
+    let samples = fig07::collect(platform);
+
+    let mut r = Report::new("Figure 11: between-class distances grouped by accuracy");
+    let mut means = Vec::new();
+    for &a in &ACCURACIES {
+        let ds: Vec<f64> = samples
+            .between
+            .iter()
+            .filter(|&&(_, acc, _)| acc == a)
+            .map(|&(_, _, d)| d)
+            .collect();
+        let summary: Summary = ds.iter().copied().collect();
+        let mut hist = Histogram::new(0.75, 1.0, 25);
+        hist.extend(ds.iter().copied());
+        write_csv_series(
+            &dir.join(format!("between_{a}pct.csv")),
+            ("distance", "count"),
+            hist.series().map(|(c, n)| (c, n as f64)),
+        )?;
+        r.section(&format!("{a}% accuracy"));
+        r.kv("pairs", summary.count());
+        r.kv("mean distance", format!("{:.4}", summary.mean()));
+        r.kv("min distance", format!("{:.4}", summary.min()));
+        r.histogram(&format!("between-class distances at {a}% accuracy:"), &hist);
+        means.push((a, summary.mean()));
+    }
+
+    let max_within = samples
+        .within
+        .iter()
+        .map(|&(_, _, d)| d)
+        .fold(f64::NEG_INFINITY, f64::max);
+    r.section("conclusion");
+    for (a, m) in &means {
+        r.kv(&format!("mean between-class @ {a}%"), format!("{m:.4}"));
+    }
+    r.kv("max within-class (any condition)", format!("{max_within:.5}"));
+    r.line(
+        "distance shrinks as accuracy drops (more accidental overlap), yet stays \
+         two orders above within-class — matching the paper.",
+    );
+    r.line(format!("\nartifacts: {}", dir.display()));
+    Ok(r.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_accuracy_means_smaller_between_distance() {
+        use pc_dram::{ChipGeometry, ChipProfile};
+        let platform = Platform::with_profile(
+            ChipProfile::km41464a().with_geometry(ChipGeometry::new(32, 1024, 2)),
+            3,
+        );
+        let samples = fig07::collect(&platform);
+        let mean_at = |a: f64| {
+            let s: Summary = samples
+                .between
+                .iter()
+                .filter(|&&(_, acc, _)| acc == a)
+                .map(|&(_, _, d)| d)
+                .collect();
+            s.mean()
+        };
+        let (m99, m95, m90) = (mean_at(99.0), mean_at(95.0), mean_at(90.0));
+        assert!(m99 > m95 && m95 > m90, "ordering violated: {m99} {m95} {m90}");
+        // Still far above within-class.
+        let max_within = samples
+            .within
+            .iter()
+            .map(|&(_, _, d)| d)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(m90 > 50.0 * max_within.max(1e-6));
+    }
+}

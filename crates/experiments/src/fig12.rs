@@ -1,0 +1,67 @@
+//! Figure 12 (§7.6): sample input and output of the edge-detection workload
+//! (the CImg stand-in), plus the approximate version a victim system would
+//! publish.
+
+use crate::report::{artifact_dir, Report};
+use pc_image::{ops, synth, write_pgm};
+use pc_os::{run_edge_detect, ApproxSystem, SystemConfig};
+use std::fs::File;
+use std::io::{self, BufWriter};
+use std::path::Path;
+
+/// Runs the Fig. 12 reproduction; writes PGM images under `out/fig12/`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn run(out: &Path) -> io::Result<String> {
+    let dir = artifact_dir(out, "fig12")?;
+    let input = synth::shapes_scene(512, 384, 12);
+    let exact = ops::edge_detect(&input);
+
+    let mut system = ApproxSystem::emulated(SystemConfig {
+        total_pages: 1024,
+        error_rate: 0.01,
+        seed: 12,
+        ..SystemConfig::default()
+    });
+    let result = run_edge_detect(&mut system, &input);
+
+    for (name, img) in [
+        ("input", &input),
+        ("output_exact", &exact),
+        ("output_approximate", &result.approximate),
+    ] {
+        write_pgm(
+            BufWriter::new(File::create(dir.join(format!("{name}.pgm")))?),
+            img,
+        )
+        .map_err(io::Error::other)?;
+    }
+
+    let mut r = Report::new("Figure 12: edge-detection workload sample");
+    r.kv("input", format!("{}x{} synthetic scene", input.width(), input.height()));
+    r.kv("output bytes", exact.as_bytes().len());
+    r.kv("bit errors imprinted", result.error_bits().len());
+    r.kv(
+        "approximate-output PSNR vs exact",
+        format!("{:.1} dB", result.approximate.psnr(&result.exact)),
+    );
+    r.line(format!("\nartifacts: {}", dir.display()));
+    Ok(r.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_three_images() {
+        let dir = std::env::temp_dir().join("pc_fig12_test");
+        let report = run(&dir).unwrap();
+        assert!(report.contains("Figure 12"));
+        for f in ["input.pgm", "output_exact.pgm", "output_approximate.pgm"] {
+            assert!(dir.join("fig12").join(f).is_file(), "{f} missing");
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Figure 13 (§7.6): the eavesdropping attack end to end. A victim system
+//! publishes 10 MB approximate outputs (one photo each); the attacker
+//! stitches their page-level fingerprints. The number of suspected chips
+//! first grows (disjoint samples), then collapses as overlaps accumulate —
+//! the paper sees convergence begin around 90 samples.
+
+use crate::report::{artifact_dir, write_csv_series, Report};
+use pc_model::expected_cluster_counts;
+use pc_os::{ApproxSystem, PlacementPolicy, SystemConfig};
+use probable_cause::{Eavesdropper, StitchConfig};
+use std::io;
+use std::path::Path;
+
+/// Experiment scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Physical memory in 4 KB pages.
+    pub total_pages: u64,
+    /// Pages per published sample.
+    pub sample_pages: usize,
+    /// Number of samples to observe.
+    pub samples: usize,
+}
+
+impl Scale {
+    /// The paper's exact setup: 1 GB memory, 10 MB samples, 1000 samples.
+    pub fn paper() -> Self {
+        Self {
+            total_pages: 262_144,
+            sample_pages: 2_560,
+            samples: 1_000,
+        }
+    }
+
+    /// A 1/16-scale run preserving the paper's sample/memory ratio (64 MB
+    /// memory, 640 KB samples) — the default, finishing in seconds.
+    pub fn scaled() -> Self {
+        Self {
+            total_pages: 16_384,
+            sample_pages: 160,
+            samples: 1_000,
+        }
+    }
+
+    /// A tiny scale for unit tests.
+    pub fn test() -> Self {
+        Self {
+            total_pages: 1_024,
+            sample_pages: 16,
+            samples: 120,
+        }
+    }
+}
+
+/// The measured convergence curve.
+#[derive(Debug)]
+pub struct Convergence {
+    /// `suspects[k]` = suspected chips after `k + 1` samples.
+    pub suspects: Vec<usize>,
+    /// Ground truth from hidden placements (ideal attacker).
+    pub ideal: Vec<usize>,
+}
+
+impl Convergence {
+    /// First sample index (1-based) where the count drops below its running
+    /// peak — "convergence begins" in the paper's phrasing.
+    pub fn convergence_start(&self) -> Option<usize> {
+        let mut peak = 0;
+        for (i, &c) in self.suspects.iter().enumerate() {
+            if c > peak {
+                peak = c;
+            } else if c < peak {
+                return Some(i + 1);
+            }
+        }
+        None
+    }
+}
+
+/// Runs the eavesdropping attack at the given scale and placement policy.
+pub fn collect(scale: Scale, placement: PlacementPolicy, seed: u64) -> Convergence {
+    let mut victim = ApproxSystem::emulated(SystemConfig {
+        total_pages: scale.total_pages,
+        error_rate: 0.01,
+        seed,
+        placement,
+    });
+    let mut attacker = Eavesdropper::new(StitchConfig::default());
+    let mut suspects = Vec::with_capacity(scale.samples);
+    let mut ideal = Vec::with_capacity(scale.samples);
+    let mut extents: Vec<(u64, u64)> = Vec::new();
+    for _ in 0..scale.samples {
+        let out = victim.publish_worst_case(scale.sample_pages);
+        let (lo, hi) = (
+            *out.placement.iter().min().expect("non-empty"),
+            *out.placement.iter().max().expect("non-empty") + 1,
+        );
+        extents.push((lo, hi));
+        attacker.observe_output(&out);
+        suspects.push(attacker.suspected_chips());
+        ideal.push(interval_components(&extents));
+    }
+    Convergence { suspects, ideal }
+}
+
+/// Connected components of a set of intervals (ground truth for contiguous
+/// placement; for scrambled placement this is a lower bound).
+fn interval_components(extents: &[(u64, u64)]) -> usize {
+    let mut sorted = extents.to_vec();
+    sorted.sort_unstable();
+    let mut components = 0;
+    let mut reach = 0u64;
+    for &(s, e) in &sorted {
+        if components == 0 || s >= reach {
+            components += 1;
+            reach = e;
+        } else {
+            reach = reach.max(e);
+        }
+    }
+    components
+}
+
+/// Runs the Fig. 13 reproduction at the default (1/16) scale.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn run(out: &Path) -> io::Result<String> {
+    run_at(out, Scale::scaled())
+}
+
+/// Runs the Fig. 13 reproduction at an explicit scale.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn run_at(out: &Path, scale: Scale) -> io::Result<String> {
+    let dir = artifact_dir(out, "fig13")?;
+    let conv = collect(scale, PlacementPolicy::ContiguousRandom, 13);
+    let model = expected_cluster_counts(
+        scale.total_pages,
+        scale.sample_pages as u64,
+        scale.samples,
+        4,
+        99,
+    );
+
+    write_csv_series(
+        &dir.join("suspects_vs_samples.csv"),
+        ("samples", "suspected_chips"),
+        conv.suspects
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| ((i + 1) as f64, c as f64)),
+    )?;
+    write_csv_series(
+        &dir.join("model_expected.csv"),
+        ("samples", "expected_components"),
+        model.iter().enumerate().map(|(i, &c)| ((i + 1) as f64, c)),
+    )?;
+
+    let mut r = Report::new("Figure 13: suspected chips vs collected samples");
+    r.kv(
+        "memory",
+        format!("{} pages ({} MB)", scale.total_pages, scale.total_pages * 4 / 1024),
+    );
+    r.kv(
+        "sample size",
+        format!("{} pages ({} KB)", scale.sample_pages, scale.sample_pages * 4),
+    );
+    r.kv("samples", scale.samples);
+    let peak = conv.suspects.iter().copied().max().unwrap_or(0);
+    r.kv("peak suspected chips", peak);
+    r.kv(
+        "convergence begins at sample",
+        match conv.convergence_start() {
+            Some(k) => format!("{k} (paper: ~90 at paper scale)"),
+            None => "never".to_string(),
+        },
+    );
+    r.kv("final suspected chips", *conv.suspects.last().expect("samples > 0"));
+    r.kv("final ideal components", *conv.ideal.last().expect("samples > 0"));
+    r.section("curve (every 50th sample): samples  measured  ideal  model");
+    for i in (0..conv.suspects.len()).step_by(50.max(conv.suspects.len() / 20)) {
+        r.line(format!(
+            "{:>6}  {:>8}  {:>5}  {:>6.1}",
+            i + 1,
+            conv.suspects[i],
+            conv.ideal[i],
+            model[i]
+        ));
+    }
+    r.line(format!("\nartifacts: {}", dir.display()));
+    Ok(r.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stitcher_tracks_ideal_components_at_test_scale() {
+        let conv = collect(Scale::test(), PlacementPolicy::ContiguousRandom, 3);
+        // Rises then falls.
+        let peak = conv.suspects.iter().copied().max().unwrap();
+        assert!(peak >= 3, "no growth phase (peak {peak})");
+        assert!(conv.convergence_start().is_some(), "never converged");
+        // The measured curve must match the ideal interval merging exactly:
+        // the stitcher neither hallucinates merges nor misses overlaps.
+        assert_eq!(conv.suspects, conv.ideal);
+    }
+
+    #[test]
+    fn convergence_start_detects_first_drop() {
+        let c = Convergence {
+            suspects: vec![1, 2, 3, 3, 2, 2],
+            ideal: vec![],
+        };
+        assert_eq!(c.convergence_start(), Some(5));
+        let never = Convergence {
+            suspects: vec![1, 2, 3],
+            ideal: vec![],
+        };
+        assert_eq!(never.convergence_start(), None);
+    }
+}

@@ -1,0 +1,116 @@
+//! §7.1 / conclusion: identification and clustering success rates. The paper
+//! reports 100% success in both host-machine identification and clustering
+//! over the 90 evaluation outputs (10 chips × 9 conditions).
+
+use crate::platform::Platform;
+use crate::report::Report;
+use probable_cause::{cluster, ErrorString, FingerprintDb, PcDistance};
+use std::io;
+use std::path::Path;
+
+/// Identification + clustering accuracy over a platform's evaluation grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SuccessRates {
+    /// Fraction of outputs attributed to the correct chip (Algorithm 2).
+    pub identification: f64,
+    /// Number of clusters Algorithm 4 formed (should equal the chip count).
+    pub clusters_found: usize,
+    /// Fraction of output pairs whose same/different-chip relation the
+    /// clustering got right.
+    pub clustering_pairwise: f64,
+}
+
+/// Runs identification and clustering over the full evaluation grid.
+pub fn collect(platform: &Platform, threshold: f64) -> SuccessRates {
+    let n = platform.len();
+    let mut db = FingerprintDb::new(PcDistance::new(), threshold);
+    for c in 0..n {
+        db.insert(c, platform.fingerprint(c, 30_000 + 10 * c as u64));
+    }
+
+    let mut labels: Vec<usize> = Vec::new();
+    let mut outputs: Vec<ErrorString> = Vec::new();
+    for c in 0..n {
+        for (_, _, es) in platform.evaluation_outputs(c, 40_000 + 100 * c as u64) {
+            labels.push(c);
+            outputs.push(es);
+        }
+    }
+
+    let correct = outputs
+        .iter()
+        .zip(&labels)
+        .filter(|(es, &truth)| db.identify(es) == Some(&truth))
+        .count();
+
+    let clustering = cluster(&outputs, &PcDistance::new(), threshold);
+    let assign = clustering.assignments();
+    let mut pair_ok = 0u64;
+    let mut pairs = 0u64;
+    for i in 0..outputs.len() {
+        for j in (i + 1)..outputs.len() {
+            pairs += 1;
+            if (labels[i] == labels[j]) == (assign[i] == assign[j]) {
+                pair_ok += 1;
+            }
+        }
+    }
+
+    SuccessRates {
+        identification: correct as f64 / outputs.len() as f64,
+        clusters_found: clustering.len(),
+        clustering_pairwise: pair_ok as f64 / pairs as f64,
+    }
+}
+
+/// Runs the identification/clustering reproduction (10 chips, 90 outputs).
+///
+/// # Errors
+///
+/// None in practice; the signature matches the other harnesses.
+pub fn run(_out: &Path) -> io::Result<String> {
+    let platform = Platform::km41464a(10);
+    let rates = collect(&platform, 0.25);
+
+    let mut r = Report::new("Identification & clustering success (paper: 100% / 100%)");
+    let outputs = platform.len() * 9;
+    r.kv("chips", platform.len());
+    r.kv("outputs", outputs);
+    r.kv(
+        "identification success",
+        format!("{:.1}%", 100.0 * rates.identification),
+    );
+    let correct = (rates.identification * outputs as f64).round() as u64;
+    let (lo, hi) = pc_stats::wilson_interval(correct, outputs as u64);
+    r.kv(
+        "95% Wilson interval for the true rate",
+        format!("[{:.1}%, {:.1}%]", 100.0 * lo, 100.0 * hi),
+    );
+    r.kv(
+        "clusters found (true: 10)",
+        rates.clusters_found,
+    );
+    r.kv(
+        "pairwise clustering agreement",
+        format!("{:.1}%", 100.0 * rates.clustering_pairwise),
+    );
+    Ok(r.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_dram::{ChipGeometry, ChipProfile};
+
+    #[test]
+    fn perfect_rates_on_small_fleet() {
+        let platform = Platform::with_profile(
+            ChipProfile::km41464a().with_geometry(ChipGeometry::new(32, 1024, 2)),
+            4,
+        );
+        let rates = collect(&platform, 0.25);
+        assert_eq!(rates.identification, 1.0, "identification not perfect");
+        assert_eq!(rates.clusters_found, 4);
+        assert_eq!(rates.clustering_pairwise, 1.0, "clustering not perfect");
+    }
+}

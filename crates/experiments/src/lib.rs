@@ -1,0 +1,58 @@
+//! Experiment harnesses regenerating every table and figure of the Probable
+//! Cause paper (ISCA 2015).
+//!
+//! Each module exposes `run(...) -> std::io::Result<String>`: it executes the
+//! experiment, writes any artifacts (images, CSVs) under the given output
+//! directory, and returns the textual report the paper's table/figure
+//! corresponds to. One binary per experiment wraps each module; the `all`
+//! binary runs the full evaluation.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig05`] | Fig. 5 — error patterns of one image in two chips |
+//! | [`fig07`] | Fig. 7 — within/between-class distance histogram |
+//! | [`fig08`] | Fig. 8 — error-consistency heat map (21 trials) |
+//! | [`fig09`] | Fig. 9 — between-class distances vs temperature |
+//! | [`fig10`] | Fig. 10 — error-set overlap across accuracies |
+//! | [`fig11`] | Fig. 11 — between-class distances vs accuracy |
+//! | [`fig12`] | Fig. 12 — edge-detection input/output sample |
+//! | [`fig13`] | Fig. 13 — suspected chips vs samples (stitching) |
+//! | [`table1`] | Table 1 — fingerprint space of one page |
+//! | [`table2`] | Table 2 — mismatch chance vs accuracy |
+//! | [`identification`] | §7.1/§10 — 100% identification & clustering |
+//! | [`hamming`] | §5.2 — Hamming-distance baseline failure |
+//! | [`ddr2`] | §8.1 — DDR2 platform replication |
+//! | [`defenses`] | §8.2 — noise / segregation / page-ASLR defenses |
+//! | [`localization`] | §8.3 — error localization without exact data |
+//! | [`knobs`] | extension — refresh- vs voltage-scaling fingerprint transfer |
+//! | [`policies`] | extension — RAIDR/RAPID-style refresh policies |
+//! | [`mask_study`] | extension — mask-correlated variation vs uniqueness |
+//! | [`attribution`] | extension — attribution TPR/FPR vs collected samples |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod platform;
+pub mod report;
+
+pub mod attribution;
+pub mod ddr2;
+pub mod defenses;
+pub mod fig05;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod hamming;
+pub mod identification;
+pub mod knobs;
+pub mod localization;
+pub mod mask_study;
+pub mod policies;
+pub mod table1;
+pub mod table2;
+
+pub use platform::{Platform, ACCURACIES, TEMPERATURES};

@@ -1,0 +1,145 @@
+//! §8.3: error localization. The attacker cannot always be handed exact
+//! outputs; this harness measures (a) the smoothness-based localizer's
+//! precision/recall on image outputs and (b) whether speculative matching
+//! against the fingerprint DB still identifies the machine from the
+//! *estimated* error set.
+
+use crate::report::Report;
+use pc_image::synth;
+use pc_os::{run_edge_detect, ApproxSystem, PlacementPolicy, SystemConfig};
+use probable_cause::{
+    characterize, localize, ErrorString, Fingerprint, FingerprintDb, PcDistance,
+};
+use std::io;
+use std::path::Path;
+
+/// Localizer quality at one deviation threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocalizerPoint {
+    /// Median-deviation threshold used.
+    pub threshold: u8,
+    /// Fraction of flagged bits that are real errors.
+    pub precision: f64,
+    /// Fraction of real errors flagged.
+    pub recall: f64,
+}
+
+/// Sweeps the localizer threshold on one edge-detection output.
+pub fn sweep(thresholds: &[u8], seed: u64) -> Vec<LocalizerPoint> {
+    let mut system = ApproxSystem::emulated(SystemConfig {
+        total_pages: 2_048,
+        error_rate: 0.01,
+        seed,
+        placement: PlacementPolicy::ContiguousRandom,
+    });
+    let input = synth::shapes_scene(512, 384, seed ^ 7);
+    let result = run_edge_detect(&mut system, &input);
+    let truth = ErrorString::from_xor(result.approximate.as_bytes(), result.exact.as_bytes());
+
+    thresholds
+        .iter()
+        .map(|&t| {
+            let est = localize::localize_image_errors(&result.approximate, t, t / 2);
+            let (precision, recall) = localize::precision_recall(&est, &truth);
+            LocalizerPoint {
+                threshold: t,
+                precision,
+                recall,
+            }
+        })
+        .collect()
+}
+
+/// Speculative-matching evaluation: can the DB identify the machine from the
+/// *estimated* error set of a fresh output?
+pub fn speculative_success(seed: u64) -> (bool, f64) {
+    let make_system = |s: u64| {
+        ApproxSystem::emulated(SystemConfig {
+            total_pages: 2_048,
+            error_rate: 0.01,
+            seed: s,
+            // Fixed frames so every output reuses the same physical pages —
+            // the region the attacker has fingerprinted.
+            placement: PlacementPolicy::ContiguousFixed(64),
+        })
+    };
+
+    // Characterize the victim region from three known-exact outputs.
+    let input = synth::shapes_scene(512, 384, 99);
+    let mut victim = make_system(seed);
+    let observations: Vec<ErrorString> = (0..3)
+        .map(|_| {
+            let r = run_edge_detect(&mut victim, &input);
+            ErrorString::from_xor(r.approximate.as_bytes(), r.exact.as_bytes())
+        })
+        .collect();
+    let fp: Fingerprint = characterize(&observations).expect("three observations");
+    let mut db = FingerprintDb::new(PcDistance::new(), 0.6);
+    db.insert("victim", fp);
+
+    // A fresh output, localized *without* the exact bytes.
+    let fresh = run_edge_detect(&mut victim, &input);
+    let candidates: Vec<ErrorString> = [24u8, 32, 48]
+        .iter()
+        .map(|&t| localize::localize_image_errors(&fresh.approximate, t, t / 2))
+        .collect();
+    match localize::speculative_identify(&db, &candidates) {
+        Some((label, d, _)) => (*label == "victim", d),
+        None => (false, 1.0),
+    }
+}
+
+/// Runs the localization evaluation.
+///
+/// # Errors
+///
+/// None in practice; the signature matches the other harnesses.
+pub fn run(_out: &Path) -> io::Result<String> {
+    let mut r = Report::new("Section 8.3: error localization without exact data");
+
+    r.section("smoothness localizer (median predictor) on edge-detection output");
+    r.line(format!("{:<12} {:>10} {:>10}", "threshold", "precision", "recall"));
+    for p in sweep(&[16, 24, 32, 48, 64], 31) {
+        r.line(format!(
+            "{:<12} {:>9.1}% {:>9.1}%",
+            p.threshold,
+            100.0 * p.precision,
+            100.0 * p.recall
+        ));
+    }
+    r.line(
+        "MSB flips on smooth regions are found reliably; LSB flips hide below the \
+         deviation threshold (recall < 100%), as expected of a noise detector (§8.3).",
+    );
+
+    r.section("speculative matching from estimated errors");
+    let (ok, d) = speculative_success(41);
+    r.kv("victim identified from estimated error set", ok);
+    r.kv("matched distance", format!("{d:.3}"));
+    Ok(r.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn localizer_precision_reasonable_at_high_threshold() {
+        let pts = sweep(&[48], 3);
+        let p = pts[0];
+        assert!(p.precision > 0.5, "precision {:.2}", p.precision);
+        assert!(p.recall > 0.05, "recall {:.3}", p.recall);
+    }
+
+    #[test]
+    fn recall_grows_as_threshold_drops() {
+        let pts = sweep(&[64, 16], 4);
+        assert!(pts[1].recall >= pts[0].recall);
+    }
+
+    #[test]
+    fn speculative_matching_identifies_victim() {
+        let (ok, d) = speculative_success(5);
+        assert!(ok, "victim not identified (distance {d})");
+    }
+}

@@ -1,0 +1,163 @@
+//! Extension experiment: mask-dependent variation (paper §2). Capacitance
+//! variation may be partly mask-dependent — replicated across chips from the
+//! same mask set — while leakage variation (the dominant term) is chip
+//! random. Does sharing a mask make chips confusable?
+
+use crate::report::Report;
+use pc_dram::{ChipGeometry, ChipId, ChipProfile, Conditions, DramChip, MaskId, VariationMix};
+use pc_stats::Summary;
+use probable_cause::{characterize, DistanceMetric, ErrorString, PcDistance};
+use std::io;
+use std::path::Path;
+
+/// Distance statistics for same-mask and cross-mask chip pairs at a given
+/// mask-variance share.
+#[derive(Debug)]
+pub struct MaskStudyRow {
+    /// Fraction of retention variance shared through the mask.
+    pub mask_variance_fraction: f64,
+    /// Distances between fingerprints of *different chips on the same mask*.
+    pub same_mask: Summary,
+    /// Distances between fingerprints of chips on different masks.
+    pub cross_mask: Summary,
+    /// Within-chip (same chip, fresh output) distances, for reference.
+    pub within_chip: Summary,
+}
+
+fn profile(mask_fraction: f64) -> ChipProfile {
+    let mask_w = mask_fraction.sqrt();
+    let chip_w = (1.0 - mask_fraction).sqrt();
+    ChipProfile::km41464a()
+        .with_geometry(ChipGeometry::new(64, 1024, 2))
+        .with_variation(VariationMix::new(mask_w, chip_w))
+}
+
+fn fingerprint(c: &DramChip, interval: f64, trial_base: u64) -> probable_cause::Fingerprint {
+    let data = c.worst_case_pattern();
+    let size = data.len() as u64 * 8;
+    let obs: Vec<ErrorString> = (0..3)
+        .map(|t| {
+            ErrorString::from_sorted(
+                c.readback_errors(&data, &Conditions::new(40.0, interval).trial(trial_base + t)),
+                size,
+            )
+            .expect("sorted")
+        })
+        .collect();
+    characterize(&obs).expect("three observations")
+}
+
+/// Evaluates one mask-variance share with `chips_per_mask` chips on each of
+/// two masks.
+pub fn evaluate(mask_fraction: f64, chips_per_mask: usize) -> MaskStudyRow {
+    let p = profile(mask_fraction);
+    let interval = pc_approx::analytic_interval(
+        &p,
+        40.0,
+        pc_approx::AccuracyTarget::percent(99.0).expect("valid"),
+    )
+    .expect("gaussian profile has analytic quantile");
+    let metric = PcDistance::new();
+
+    let mut chips = Vec::new();
+    for (m, mask) in [MaskId(1), MaskId(2)].into_iter().enumerate() {
+        for k in 0..chips_per_mask {
+            chips.push((
+                m,
+                DramChip::with_mask(p.clone(), ChipId((m * 100 + k) as u64 + 1), mask),
+            ));
+        }
+    }
+    let fps: Vec<_> = chips
+        .iter()
+        .enumerate()
+        .map(|(i, (_, c))| fingerprint(c, interval, 10 * i as u64))
+        .collect();
+
+    let mut same_mask = Summary::new();
+    let mut cross_mask = Summary::new();
+    for i in 0..chips.len() {
+        for j in (i + 1)..chips.len() {
+            let d = metric.distance(fps[i].errors(), fps[j].errors());
+            if chips[i].0 == chips[j].0 {
+                same_mask.add(d);
+            } else {
+                cross_mask.add(d);
+            }
+        }
+    }
+    let mut within_chip = Summary::new();
+    for (i, (_, c)) in chips.iter().enumerate() {
+        let data = c.worst_case_pattern();
+        let size = data.len() as u64 * 8;
+        let fresh = ErrorString::from_sorted(
+            c.readback_errors(&data, &Conditions::new(40.0, interval).trial(900 + i as u64)),
+            size,
+        )
+        .expect("sorted");
+        within_chip.add(metric.distance(fps[i].errors(), &fresh));
+    }
+    MaskStudyRow {
+        mask_variance_fraction: mask_fraction,
+        same_mask,
+        cross_mask,
+        within_chip,
+    }
+}
+
+/// Runs the mask-correlation study.
+///
+/// # Errors
+///
+/// None in practice; the signature matches the other harnesses.
+pub fn run(_out: &Path) -> io::Result<String> {
+    let mut r = Report::new("Extension: mask-dependent variation (paper §2)");
+    r.line(format!(
+        "{:<14} {:>16} {:>16} {:>14}",
+        "mask share", "same-mask mean", "cross-mask mean", "within-chip"
+    ));
+    for frac in [0.0, 0.15, 0.5, 0.9] {
+        let row = evaluate(frac, 3);
+        r.line(format!(
+            "{:<14} {:>16.4} {:>16.4} {:>14.4}",
+            format!("{:.0}%", frac * 100.0),
+            row.same_mask.mean(),
+            row.cross_mask.mean(),
+            row.within_chip.mean(),
+        ));
+    }
+    r.line(
+        "\nat the leakage-dominant share the paper expects (~15% or less), same-mask \
+         chips are no more confusable than cross-mask chips; only an implausibly \
+         mask-dominated process (90%) would start eroding uniqueness — supporting \
+         the paper's argument that random dopant fluctuation keeps fingerprints \
+         chip-unique.",
+    );
+    Ok(r.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_dominant_masks_do_not_confuse() {
+        let row = evaluate(0.15, 2);
+        // Same-mask distances stay indistinguishable from cross-mask ones,
+        // and both dwarf within-chip distances.
+        assert!(row.same_mask.min() > 0.5, "same-mask too close: {}", row.same_mask.min());
+        assert!(row.within_chip.max() < 0.1);
+    }
+
+    #[test]
+    fn mask_dominated_process_erodes_uniqueness() {
+        let low = evaluate(0.0, 2);
+        let high = evaluate(0.9, 2);
+        assert!(
+            high.same_mask.mean() < low.same_mask.mean() - 0.1,
+            "mask share had no effect: {} vs {}",
+            high.same_mask.mean(),
+            low.same_mask.mean()
+        );
+    }
+}

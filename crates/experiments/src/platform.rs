@@ -1,0 +1,204 @@
+//! The shared experimental platform: a fleet of simulated chips standing in
+//! for the paper's ten KM41464A parts (§6) and the DDR2 platform (§8.1).
+
+use pc_approx::{
+    analytic_interval, calibrate_measured, AccuracyTarget, CalibrationConfig,
+};
+use pc_dram::{ChipId, ChipProfile, Conditions, DramChip};
+use probable_cause::{characterize, ErrorString, Fingerprint};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// The paper's evaluation temperatures (°C).
+pub const TEMPERATURES: [f64; 3] = [40.0, 50.0, 60.0];
+
+/// The paper's evaluation accuracies (%).
+pub const ACCURACIES: [f64; 3] = [99.0, 95.0, 90.0];
+
+/// A fleet of identical-profile chips with an approximate-memory controller
+/// calibrated per (temperature, accuracy) — the simulation stand-in for the
+/// MSP430 test rig inside the thermal chamber.
+#[derive(Debug)]
+pub struct Platform {
+    chips: Vec<DramChip>,
+    /// Calibrated refresh intervals, keyed by (temp, accuracy) in milli-units
+    /// to make the key hashable. Intervals depend only on the profile, not
+    /// the individual chip.
+    intervals: Mutex<HashMap<(i64, i64), f64>>,
+}
+
+impl Platform {
+    /// A fleet of `n` KM41464A-class chips (serials 1..=n).
+    pub fn km41464a(n: usize) -> Self {
+        Self::with_profile(ChipProfile::km41464a(), n)
+    }
+
+    /// A fleet of `n` DDR2-window chips (§8.1).
+    pub fn ddr2(n: usize) -> Self {
+        Self::with_profile(ChipProfile::ddr2_test_window(), n)
+    }
+
+    /// A fleet of `n` chips of an arbitrary profile.
+    pub fn with_profile(profile: ChipProfile, n: usize) -> Self {
+        assert!(n > 0, "platform needs at least one chip");
+        let chips = (1..=n as u64)
+            .map(|i| DramChip::new(profile.clone(), ChipId(i)))
+            .collect();
+        Self {
+            chips,
+            intervals: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of chips in the fleet.
+    pub fn len(&self) -> usize {
+        self.chips.len()
+    }
+
+    /// Whether the fleet is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.chips.is_empty()
+    }
+
+    /// The chips.
+    pub fn chips(&self) -> &[DramChip] {
+        &self.chips
+    }
+
+    /// Bits per chip.
+    pub fn size_bits(&self) -> u64 {
+        self.chips[0].capacity_bits()
+    }
+
+    /// The refresh interval realizing `accuracy_pct` at `temp_c` —
+    /// analytically where the retention distribution allows, measured
+    /// (on chip 0) otherwise. Cached.
+    pub fn interval_for(&self, temp_c: f64, accuracy_pct: f64) -> f64 {
+        let key = ((temp_c * 1000.0) as i64, (accuracy_pct * 1000.0) as i64);
+        if let Some(&v) = self.intervals.lock().expect("interval cache lock").get(&key) {
+            return v;
+        }
+        let target = AccuracyTarget::percent(accuracy_pct).expect("valid accuracy");
+        let interval = analytic_interval(self.chips[0].profile(), temp_c, target)
+            .unwrap_or_else(|| {
+                calibrate_measured(&self.chips[0], temp_c, target, &CalibrationConfig::default())
+                    .expect("measured calibration converges")
+            });
+        self.intervals.lock().expect("interval cache lock").insert(key, interval);
+        interval
+    }
+
+    /// One approximate output of chip `chip` at the given conditions:
+    /// worst-case data (every cell charged, as in §6), returning the error
+    /// string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chip` is out of range.
+    pub fn output(&self, chip: usize, temp_c: f64, accuracy_pct: f64, trial: u64) -> ErrorString {
+        let c = &self.chips[chip];
+        let data = c.worst_case_pattern();
+        let cond = Conditions::new(temp_c, self.interval_for(temp_c, accuracy_pct)).trial(trial);
+        ErrorString::from_sorted(c.readback_errors(&data, &cond), self.size_bits())
+            .expect("simulator emits sorted in-range errors")
+    }
+
+    /// One approximate output of arbitrary `data` stored in chip `chip`.
+    pub fn output_for_data(
+        &self,
+        chip: usize,
+        data: &[u8],
+        temp_c: f64,
+        accuracy_pct: f64,
+        trial: u64,
+    ) -> ErrorString {
+        let c = &self.chips[chip];
+        let cond = Conditions::new(temp_c, self.interval_for(temp_c, accuracy_pct)).trial(trial);
+        ErrorString::from_sorted(c.readback_errors(data, &cond), data.len() as u64 * 8)
+            .expect("simulator emits sorted in-range errors")
+    }
+
+    /// The §7.1 characterization recipe: intersect three outputs at 1% error
+    /// collected at the three evaluation temperatures. Trials are namespaced
+    /// by `trial_base` so fingerprints and later outputs never share noise.
+    pub fn fingerprint(&self, chip: usize, trial_base: u64) -> Fingerprint {
+        let outputs: Vec<ErrorString> = TEMPERATURES
+            .iter()
+            .enumerate()
+            .map(|(k, &t)| self.output(chip, t, 99.0, trial_base + k as u64))
+            .collect();
+        characterize(&outputs).expect("three observations characterize")
+    }
+
+    /// The paper's nine evaluation outputs per chip: every combination of
+    /// temperature and accuracy (§7.1). Returned with their (temp, accuracy)
+    /// labels.
+    pub fn evaluation_outputs(
+        &self,
+        chip: usize,
+        trial_base: u64,
+    ) -> Vec<(f64, f64, ErrorString)> {
+        let mut out = Vec::with_capacity(9);
+        let mut trial = trial_base;
+        for &t in &TEMPERATURES {
+            for &a in &ACCURACIES {
+                out.push((t, a, self.output(chip, t, a, trial)));
+                trial += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pc_dram::ChipGeometry;
+
+    fn small() -> Platform {
+        Platform::with_profile(
+            ChipProfile::km41464a().with_geometry(ChipGeometry::new(32, 1024, 2)),
+            3,
+        )
+    }
+
+    #[test]
+    fn output_error_rate_tracks_accuracy() {
+        let p = small();
+        let bits = p.size_bits() as f64;
+        let e99 = p.output(0, 40.0, 99.0, 0).weight() as f64 / bits;
+        let e90 = p.output(0, 40.0, 90.0, 1).weight() as f64 / bits;
+        assert!((e99 - 0.01).abs() < 0.005, "e99={e99}");
+        assert!((e90 - 0.10).abs() < 0.03, "e90={e90}");
+    }
+
+    #[test]
+    fn interval_cache_returns_same_value() {
+        let p = small();
+        let a = p.interval_for(50.0, 95.0);
+        let b = p.interval_for(50.0, 95.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_core() {
+        let p = small();
+        let fp = p.fingerprint(0, 100);
+        assert_eq!(fp.observations(), 3);
+        assert!(fp.weight() > 0);
+        // The fingerprint is (almost surely) a subset of any 1%-error output.
+        let fresh = p.output(0, 40.0, 99.0, 999);
+        let missing = fp.errors().difference_count(&fresh);
+        assert!(missing as f64 <= 0.1 * fp.weight() as f64);
+    }
+
+    #[test]
+    fn evaluation_outputs_cover_grid() {
+        let p = small();
+        let outs = p.evaluation_outputs(1, 50);
+        assert_eq!(outs.len(), 9);
+        let temps: std::collections::HashSet<i64> =
+            outs.iter().map(|(t, _, _)| *t as i64).collect();
+        assert_eq!(temps.len(), 3);
+    }
+}

@@ -1,0 +1,116 @@
+//! Report formatting shared by the experiment harnesses.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A growing textual report with section headers, key-value rows, and
+/// rendered histograms — the harnesses' common output format.
+#[derive(Debug, Default)]
+pub struct Report {
+    text: String,
+}
+
+impl Report {
+    /// Creates an empty report titled `title`.
+    pub fn new(title: &str) -> Self {
+        let mut r = Report::default();
+        let bar = "=".repeat(title.len());
+        let _ = writeln!(r.text, "{title}\n{bar}");
+        r
+    }
+
+    /// Adds a section header.
+    pub fn section(&mut self, name: &str) -> &mut Self {
+        let _ = writeln!(self.text, "\n-- {name} --");
+        self
+    }
+
+    /// Adds a key/value row.
+    pub fn kv(&mut self, key: &str, value: impl std::fmt::Display) -> &mut Self {
+        let _ = writeln!(self.text, "{key:<44} {value}");
+        self
+    }
+
+    /// Adds a raw line.
+    pub fn line(&mut self, line: impl std::fmt::Display) -> &mut Self {
+        let _ = writeln!(self.text, "{line}");
+        self
+    }
+
+    /// Adds a rendered histogram under a caption.
+    pub fn histogram(&mut self, caption: &str, hist: &pc_stats::Histogram) -> &mut Self {
+        let _ = writeln!(self.text, "\n{caption}");
+        let _ = write!(self.text, "{}", hist.render(40));
+        self
+    }
+
+    /// Finishes the report, returning its text.
+    pub fn finish(self) -> String {
+        self.text
+    }
+}
+
+/// Ensures `dir/sub` exists and returns it — where an experiment writes its
+/// artifacts.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn artifact_dir(dir: &Path, sub: &str) -> io::Result<PathBuf> {
+    let d = dir.join(sub);
+    fs::create_dir_all(&d)?;
+    Ok(d)
+}
+
+/// Writes `(x, y)` series as a two-column CSV.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv_series(
+    path: &Path,
+    header: (&str, &str),
+    rows: impl IntoIterator<Item = (f64, f64)>,
+) -> io::Result<()> {
+    let mut s = format!("{},{}\n", header.0, header.1);
+    for (x, y) in rows {
+        let _ = writeln!(s, "{x},{y}");
+    }
+    fs::write(path, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_sections_and_rows() {
+        let mut r = Report::new("T");
+        r.section("s").kv("k", 42).line("raw");
+        let text = r.finish();
+        assert!(text.contains("T\n="));
+        assert!(text.contains("-- s --"));
+        assert!(text.contains("k"));
+        assert!(text.contains("42"));
+        assert!(text.contains("raw"));
+    }
+
+    #[test]
+    fn csv_series_written() {
+        let dir = std::env::temp_dir().join("pc_report_test");
+        fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("s.csv");
+        write_csv_series(&p, ("a", "b"), [(1.0, 2.0), (3.0, 4.0)]).unwrap();
+        let s = fs::read_to_string(&p).unwrap();
+        assert_eq!(s, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn artifact_dir_is_created() {
+        let base = std::env::temp_dir().join("pc_artifacts_test");
+        let d = artifact_dir(&base, "x").unwrap();
+        assert!(d.is_dir());
+    }
+}

@@ -1,0 +1,172 @@
+//! PGM/PBM image I/O (binary variants), enough to inspect experiment outputs
+//! with any netpbm-aware viewer.
+
+use crate::{BitImage, GrayImage};
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error reading an image.
+#[derive(Debug)]
+pub enum ImageIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a supported netpbm format.
+    BadFormat(String),
+}
+
+impl fmt::Display for ImageIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageIoError::Io(e) => write!(f, "i/o error: {e}"),
+            ImageIoError::BadFormat(m) => write!(f, "bad image format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImageIoError::Io(e) => Some(e),
+            ImageIoError::BadFormat(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for ImageIoError {
+    fn from(e: io::Error) -> Self {
+        ImageIoError::Io(e)
+    }
+}
+
+/// Writes a grayscale image as binary PGM (P5).
+///
+/// A `&mut` reference may be passed as the writer.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_pgm<W: Write>(mut w: W, img: &GrayImage) -> Result<(), ImageIoError> {
+    write!(w, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    w.write_all(img.as_bytes())?;
+    Ok(())
+}
+
+/// Writes a bit image as binary PBM (P4). In PBM, 1 = black, packed MSB-first
+/// per row (rows padded to whole bytes), as the format requires.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_pbm<W: Write>(mut w: W, img: &BitImage) -> Result<(), ImageIoError> {
+    write!(w, "P4\n{} {}\n", img.width(), img.height())?;
+    let row_bytes = img.width().div_ceil(8);
+    let mut row = vec![0u8; row_bytes];
+    for y in 0..img.height() {
+        row.fill(0);
+        for x in 0..img.width() {
+            if img.get(x, y) {
+                row[x / 8] |= 0x80 >> (x % 8);
+            }
+        }
+        w.write_all(&row)?;
+    }
+    Ok(())
+}
+
+/// Reads a binary PGM (P5, maxval ≤ 255) image.
+///
+/// A `&mut` reference may be passed as the reader.
+///
+/// # Errors
+///
+/// Returns [`ImageIoError::BadFormat`] for anything that is not plain P5 with
+/// an 8-bit maxval, or [`ImageIoError::Io`] on read failure.
+pub fn read_pgm<R: BufRead>(mut r: R) -> Result<GrayImage, ImageIoError> {
+    let mut header_fields = Vec::with_capacity(4);
+    while header_fields.len() < 4 {
+        let mut line = String::new();
+        if r.read_line(&mut line)? == 0 {
+            return Err(ImageIoError::BadFormat("truncated header".into()));
+        }
+        let line = line.split('#').next().unwrap_or("");
+        header_fields.extend(line.split_whitespace().map(str::to_owned));
+    }
+    if header_fields[0] != "P5" {
+        return Err(ImageIoError::BadFormat(format!(
+            "expected P5, got {}",
+            header_fields[0]
+        )));
+    }
+    let parse = |s: &str| -> Result<usize, ImageIoError> {
+        s.parse()
+            .map_err(|_| ImageIoError::BadFormat(format!("bad header number {s:?}")))
+    };
+    let width = parse(&header_fields[1])?;
+    let height = parse(&header_fields[2])?;
+    let maxval = parse(&header_fields[3])?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ImageIoError::BadFormat(format!("unsupported maxval {maxval}")));
+    }
+    if width == 0 || height == 0 {
+        return Err(ImageIoError::BadFormat("zero dimension".into()));
+    }
+    let mut pixels = vec![0u8; width * height];
+    r.read_exact(&mut pixels)?;
+    Ok(GrayImage::from_bytes(width, height, pixels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = GrayImage::from_fn(7, 5, |x, y| (x * 30 + y * 7) as u8);
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &img).unwrap();
+        let back = read_pgm(Cursor::new(buf)).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn pgm_header_shape() {
+        let img = GrayImage::new(3, 2);
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &img).unwrap();
+        assert!(buf.starts_with(b"P5\n3 2\n255\n"));
+        assert_eq!(buf.len(), 11 + 6);
+    }
+
+    #[test]
+    fn pbm_packs_msb_first_rows() {
+        let mut img = BitImage::new(9, 1);
+        img.set(0, 0, true);
+        img.set(8, 0, true);
+        let mut buf = Vec::new();
+        write_pbm(&mut buf, &img).unwrap();
+        // Header "P4\n9 1\n" then two bytes: 1000_0000, 1000_0000.
+        let body = &buf[buf.len() - 2..];
+        assert_eq!(body, &[0x80, 0x80]);
+    }
+
+    #[test]
+    fn read_rejects_wrong_magic() {
+        let err = read_pgm(Cursor::new(b"P6\n2 2\n255\n....".to_vec())).unwrap_err();
+        assert!(matches!(err, ImageIoError::BadFormat(_)));
+    }
+
+    #[test]
+    fn read_rejects_truncated_body() {
+        let err = read_pgm(Cursor::new(b"P5\n4 4\n255\nxx".to_vec())).unwrap_err();
+        assert!(matches!(err, ImageIoError::Io(_)));
+    }
+
+    #[test]
+    fn read_skips_comments() {
+        let mut data = b"P5\n# a comment\n2 1\n255\n".to_vec();
+        data.extend([10u8, 20]);
+        let img = read_pgm(Cursor::new(data)).unwrap();
+        assert_eq!(img.as_bytes(), &[10, 20]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Minimal image-processing substrate — the reproduction's stand-in for the
+//! CImg library the paper uses (§7.6, Fig. 12).
+//!
+//! Provides grayscale and 1-bit images, PGM/PBM I/O, the gradient-magnitude
+//! edge detector that plays the role of CImg's edge-detection example, and
+//! synthetic scenes for the figures. Everything is deterministic so the
+//! experiment harnesses are reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_image::{synth, ops};
+//!
+//! let scene = synth::shapes_scene(64, 48, 7);
+//! let edges = ops::edge_detect(&scene);
+//! assert_eq!(edges.width(), 64);
+//! let bw = ops::threshold(&edges, 64);
+//! assert_eq!(bw.count_ones() + bw.count_zeros(), 64 * 48);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bit_image;
+mod gray_image;
+mod io;
+pub mod ops;
+pub mod synth;
+
+pub use bit_image::BitImage;
+pub use gray_image::GrayImage;
+pub use io::{read_pgm, write_pbm, write_pgm, ImageIoError};

@@ -1,0 +1,173 @@
+//! Image operations: the gradient edge detector (the paper's workload) and
+//! supporting filters.
+
+use crate::{BitImage, GrayImage};
+
+/// Gradient-magnitude edge detection — the reproduction of the CImg
+/// edge-detection example the paper runs under Valgrind (§7.6, Fig. 12).
+///
+/// Computes central-difference gradients `gx`, `gy` per pixel and returns the
+/// magnitude `sqrt(gx² + gy²)` clamped to `[0, 255]`.
+///
+/// # Example
+///
+/// ```
+/// use pc_image::{ops, GrayImage};
+/// // A vertical step edge produces a bright column at the step.
+/// let img = GrayImage::from_fn(8, 8, |x, _| if x < 4 { 0 } else { 255 });
+/// let e = ops::edge_detect(&img);
+/// assert!(e.get(4, 4) > 100);
+/// assert_eq!(e.get(1, 4), 0);
+/// ```
+pub fn edge_detect(img: &GrayImage) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let (xi, yi) = (x as isize, y as isize);
+        let gx = img.get_clamped(xi + 1, yi) as f64 - img.get_clamped(xi - 1, yi) as f64;
+        let gy = img.get_clamped(xi, yi + 1) as f64 - img.get_clamped(xi, yi - 1) as f64;
+        (0.5 * (gx * gx + gy * gy).sqrt()).round().clamp(0.0, 255.0) as u8
+    })
+}
+
+/// Sobel edge detection: 3×3 Sobel kernels, gradient magnitude clamped to
+/// `[0, 255]`. A heavier-weight alternative to [`edge_detect`] for workload
+/// diversity (different output byte patterns exercise different charged-cell
+/// subsets).
+pub fn sobel(img: &GrayImage) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let (xi, yi) = (x as isize, y as isize);
+        let p = |dx: isize, dy: isize| img.get_clamped(xi + dx, yi + dy) as f64;
+        let gx = (p(1, -1) + 2.0 * p(1, 0) + p(1, 1)) - (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
+        let gy = (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1)) - (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
+        (0.25 * (gx * gx + gy * gy).sqrt()).round().clamp(0.0, 255.0) as u8
+    })
+}
+
+/// 3×3 box blur with edge clamping.
+pub fn box_blur(img: &GrayImage) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let (xi, yi) = (x as isize, y as isize);
+        let mut sum = 0u32;
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                sum += img.get_clamped(xi + dx, yi + dy) as u32;
+            }
+        }
+        (sum / 9) as u8
+    })
+}
+
+/// Binarizes a grayscale image: pixels strictly above `threshold` become
+/// black (true).
+pub fn threshold(img: &GrayImage, threshold: u8) -> BitImage {
+    BitImage::from_fn(img.width(), img.height(), |x, y| img.get(x, y) > threshold)
+}
+
+/// Median of the 3×3 neighbourhood — the smoothness prior the §8.3 error
+/// localizer uses to spot isolated bit flips in image data.
+pub fn median3x3(img: &GrayImage) -> GrayImage {
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let (xi, yi) = (x as isize, y as isize);
+        let mut vals = [0u8; 9];
+        let mut k = 0;
+        for dy in -1..=1 {
+            for dx in -1..=1 {
+                vals[k] = img.get_clamped(xi + dx, yi + dy);
+                k += 1;
+            }
+        }
+        vals.sort_unstable();
+        vals[4]
+    })
+}
+
+/// Inverts a grayscale image.
+pub fn invert(img: &GrayImage) -> GrayImage {
+    img.map(|p| 255 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_detect_flat_image_is_zero() {
+        let img = GrayImage::from_fn(6, 6, |_, _| 77);
+        let e = edge_detect(&img);
+        assert!(e.as_bytes().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn edge_detect_horizontal_edge() {
+        let img = GrayImage::from_fn(8, 8, |_, y| if y < 4 { 0 } else { 200 });
+        let e = edge_detect(&img);
+        // Rows adjacent to the step light up; far rows stay dark.
+        assert!(e.get(3, 4) > 50);
+        assert!(e.get(3, 1) == 0);
+    }
+
+    #[test]
+    fn edge_magnitude_on_diagonal_step() {
+        // A diagonal step drives both gradient components at once; the
+        // response must be strong on the step and zero in the flat corners.
+        let img = GrayImage::from_fn(4, 4, |x, y| if x + y < 4 { 0 } else { 255 });
+        let e = edge_detect(&img);
+        assert!(e.as_bytes().iter().copied().max().unwrap() > 150);
+        assert_eq!(e.get(0, 0), 0);
+    }
+
+    #[test]
+    fn sobel_flat_is_zero_edge_lights_up() {
+        let flat = GrayImage::from_fn(8, 8, |_, _| 50);
+        assert!(sobel(&flat).as_bytes().iter().all(|&p| p == 0));
+        let step = GrayImage::from_fn(8, 8, |x, _| if x < 4 { 0 } else { 200 });
+        let e = sobel(&step);
+        assert!(e.get(4, 4) > 100);
+        assert_eq!(e.get(1, 4), 0);
+    }
+
+    #[test]
+    fn sobel_differs_from_central_difference() {
+        let img = crate::synth::shapes_scene(32, 32, 4);
+        assert_ne!(sobel(&img), edge_detect(&img));
+    }
+
+    #[test]
+    fn box_blur_preserves_flat() {
+        let img = GrayImage::from_fn(5, 5, |_, _| 42);
+        assert_eq!(box_blur(&img), img);
+    }
+
+    #[test]
+    fn box_blur_smooths_spike() {
+        let mut img = GrayImage::new(5, 5);
+        img.set(2, 2, 90);
+        let b = box_blur(&img);
+        assert_eq!(b.get(2, 2), 10);
+        assert_eq!(b.get(1, 1), 10);
+        assert_eq!(b.get(0, 0), 0);
+    }
+
+    #[test]
+    fn threshold_splits() {
+        let img = GrayImage::from_fn(4, 1, |x, _| (x * 80) as u8);
+        let bw = threshold(&img, 100);
+        assert_eq!(
+            (0..4).map(|x| bw.get(x, 0)).collect::<Vec<_>>(),
+            vec![false, false, true, true]
+        );
+    }
+
+    #[test]
+    fn median_removes_salt_noise() {
+        let mut img = GrayImage::from_fn(5, 5, |_, _| 100);
+        img.set(2, 2, 255); // isolated spike
+        let m = median3x3(&img);
+        assert_eq!(m.get(2, 2), 100);
+    }
+
+    #[test]
+    fn invert_involution() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (x * 16 + y) as u8);
+        assert_eq!(invert(&invert(&img)), img);
+    }
+}

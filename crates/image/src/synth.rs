@@ -1,0 +1,126 @@
+//! Synthetic scenes for the experiment harnesses.
+//!
+//! The paper's figures use a photograph and a 200×154 B/W image; we generate
+//! deterministic synthetic equivalents (structured scenes with smooth regions
+//! and hard edges) so every harness is self-contained.
+
+use crate::{BitImage, GrayImage};
+use pc_stats::StreamRng;
+use rand::RngExt;
+
+/// A deterministic "photograph": a smooth gradient background with randomly
+/// placed filled circles and rectangles, then lightly blurred — enough
+/// structure for edge detection to produce interesting output.
+///
+/// # Example
+///
+/// ```
+/// let a = pc_image::synth::shapes_scene(32, 32, 1);
+/// let b = pc_image::synth::shapes_scene(32, 32, 1);
+/// assert_eq!(a, b); // deterministic per seed
+/// ```
+pub fn shapes_scene(width: usize, height: usize, seed: u64) -> GrayImage {
+    let mut rng = StreamRng::new(seed ^ 0x5CEE_5CEE);
+    let mut img = GrayImage::from_fn(width, height, |x, y| {
+        // Diagonal gradient background.
+        (((x as f64 / width as f64) * 96.0) + ((y as f64 / height as f64) * 96.0) + 32.0) as u8
+    });
+
+    let shapes = 3 + (width * height / 2048).min(12);
+    for _ in 0..shapes {
+        let shade: u8 = rng.random_range(0..=255);
+        if rng.random_bool(0.5) {
+            // Filled circle.
+            let cx = rng.random_range(0..width) as isize;
+            let cy = rng.random_range(0..height) as isize;
+            let r = rng.random_range(2..=(width.min(height) / 4).max(3)) as isize;
+            for y in (cy - r).max(0)..(cy + r).min(height as isize) {
+                for x in (cx - r).max(0)..(cx + r).min(width as isize) {
+                    if (x - cx) * (x - cx) + (y - cy) * (y - cy) <= r * r {
+                        img.set(x as usize, y as usize, shade);
+                    }
+                }
+            }
+        } else {
+            // Filled rectangle.
+            let x0 = rng.random_range(0..width);
+            let y0 = rng.random_range(0..height);
+            let w = rng.random_range(2..=(width / 3).max(3)).min(width - x0);
+            let h = rng.random_range(2..=(height / 3).max(3)).min(height - y0);
+            for y in y0..y0 + h {
+                for x in x0..x0 + w {
+                    img.set(x, y, shade);
+                }
+            }
+        }
+    }
+    crate::ops::box_blur(&img)
+}
+
+/// The Fig. 5 stand-in: a 200×154 black-and-white test image (dithered
+/// shapes scene at the paper's exact dimensions).
+pub fn figure5_image() -> BitImage {
+    let gray = shapes_scene(200, 154, 5);
+    crate::ops::threshold(&gray, 96)
+}
+
+/// A checkerboard pattern with the given square size.
+///
+/// # Panics
+///
+/// Panics if `square` is zero.
+pub fn checkerboard(width: usize, height: usize, square: usize) -> BitImage {
+    assert!(square > 0, "square size must be positive");
+    BitImage::from_fn(width, height, |x, y| (x / square + y / square).is_multiple_of(2))
+}
+
+/// Uniform random noise image (for PSNR baselines and property tests).
+pub fn noise(width: usize, height: usize, seed: u64) -> GrayImage {
+    let mut rng = StreamRng::new(seed ^ 0x0153_0153);
+    GrayImage::from_fn(width, height, |_, _| rng.random_range(0..=255))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scene_deterministic_and_seed_sensitive() {
+        assert_eq!(shapes_scene(40, 30, 3), shapes_scene(40, 30, 3));
+        assert_ne!(shapes_scene(40, 30, 3), shapes_scene(40, 30, 4));
+    }
+
+    #[test]
+    fn scene_has_edges() {
+        let scene = shapes_scene(64, 64, 1);
+        let edges = crate::ops::edge_detect(&scene);
+        let lit = edges.as_bytes().iter().filter(|&&p| p > 32).count();
+        assert!(lit > 50, "scene too flat: only {lit} edge pixels");
+    }
+
+    #[test]
+    fn figure5_dimensions_match_paper() {
+        let img = figure5_image();
+        assert_eq!((img.width(), img.height()), (200, 154));
+        // Both colours present.
+        assert!(img.count_ones() > 500);
+        assert!(img.count_zeros() > 500);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let cb = checkerboard(8, 8, 2);
+        assert!(cb.get(0, 0));
+        assert!(!cb.get(2, 0));
+        assert!(!cb.get(0, 2));
+        assert!(cb.get(2, 2));
+    }
+
+    #[test]
+    fn noise_covers_range() {
+        let n = noise(64, 64, 9);
+        let min = n.as_bytes().iter().min().unwrap();
+        let max = n.as_bytes().iter().max().unwrap();
+        assert!(*min < 16 && *max > 239, "min={min} max={max}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the image substrate.
+
+use pc_image::{ops, read_pgm, write_pgm, BitImage, GrayImage};
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn image() -> impl Strategy<Value = GrayImage> {
+    (1usize..24, 1usize..24).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(any::<u8>(), w * h)
+            .prop_map(move |px| GrayImage::from_bytes(w, h, px))
+    })
+}
+
+proptest! {
+    #[test]
+    fn pgm_roundtrip_any_image(img in image()) {
+        let mut buf = Vec::new();
+        write_pgm(&mut buf, &img).expect("in-memory write");
+        let back = read_pgm(Cursor::new(buf)).expect("own output parses");
+        prop_assert_eq!(back, img);
+    }
+
+    #[test]
+    fn bit_image_byte_roundtrip(w in 1usize..40, h in 1usize..10, seed in any::<u64>()) {
+        let src = BitImage::from_fn(w, h, |x, y| {
+            pc_stats::mix64(seed ^ ((y * w + x) as u64)) & 1 == 1
+        });
+        let bytes = src.to_bytes();
+        prop_assert_eq!(bytes.len(), (w * h).div_ceil(8));
+        prop_assert_eq!(BitImage::from_bytes(w, h, &bytes), src);
+    }
+
+    #[test]
+    fn edge_detect_zero_iff_locally_flat(img in image()) {
+        // Wherever the 4-neighbourhood is constant, the gradient is zero.
+        let e = ops::edge_detect(&img);
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let (xi, yi) = (x as isize, y as isize);
+                let c = img.get(x, y);
+                let flat = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+                    .iter()
+                    .all(|&(dx, dy)| img.get_clamped(xi + dx, yi + dy) == c);
+                if flat {
+                    prop_assert_eq!(e.get(x, y), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filters_preserve_dimensions(img in image()) {
+        for out in [
+            ops::edge_detect(&img),
+            ops::sobel(&img),
+            ops::box_blur(&img),
+            ops::median3x3(&img),
+            ops::invert(&img),
+        ] {
+            prop_assert_eq!((out.width(), out.height()), (img.width(), img.height()));
+        }
+    }
+
+    #[test]
+    fn invert_is_involution(img in image()) {
+        prop_assert_eq!(ops::invert(&ops::invert(&img)), img.clone());
+    }
+
+    #[test]
+    fn blur_stays_within_value_range(img in image()) {
+        let b = ops::box_blur(&img);
+        let (min, max) = (
+            *img.as_bytes().iter().min().expect("non-empty"),
+            *img.as_bytes().iter().max().expect("non-empty"),
+        );
+        for &p in b.as_bytes() {
+            prop_assert!(p >= min.saturating_sub(1) && p <= max, "blur out of range");
+        }
+    }
+
+    #[test]
+    fn psnr_zero_noise_infinite_else_finite(img in image(), flip in any::<u8>()) {
+        prop_assert!(img.psnr(&img).is_infinite());
+        prop_assume!(flip != 0);
+        let mut noisy = img.clone();
+        noisy.set(0, 0, noisy.get(0, 0) ^ flip);
+        prop_assert!(noisy.psnr(&img).is_finite());
+    }
+
+    #[test]
+    fn threshold_counts_partition(img in image(), t in any::<u8>()) {
+        let bw = ops::threshold(&img, t);
+        prop_assert_eq!(
+            bw.count_ones(),
+            img.as_bytes().iter().filter(|&&p| p > t).count()
+        );
+        prop_assert_eq!(bw.count_ones() + bw.count_zeros(), img.width() * img.height());
+    }
+}

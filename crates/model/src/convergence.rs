@@ -1,0 +1,131 @@
+//! Analytic companion to the Fig. 13 experiment: how many *connected
+//! components* (suspected chips) do `k` randomly placed contiguous samples
+//! form?
+//!
+//! Probable Cause can only merge two samples' fingerprints when their page
+//! runs physically overlap, so the number of clusters an *ideal* attacker
+//! reports equals the number of connected components of the interval-overlap
+//! graph. This module estimates that curve by Monte Carlo, giving the
+//! experiment a model baseline to compare the real stitching pipeline
+//! against.
+
+use pc_stats::StreamRng;
+use rand::RngExt;
+use std::collections::BTreeMap;
+
+/// Expected number of overlap components after `1..=max_samples` contiguous
+/// runs of `run_pages` pages land uniformly in a memory of `total_pages`
+/// pages. Averaged over `trials` Monte Carlo placements.
+///
+/// Returns `counts[k-1]` = expected components after `k` samples.
+///
+/// # Panics
+///
+/// Panics if `run_pages` is zero or exceeds `total_pages`, or if
+/// `max_samples` or `trials` is zero.
+///
+/// # Example
+///
+/// ```
+/// let curve = pc_model::expected_cluster_counts(1024, 16, 50, 8, 1);
+/// assert_eq!(curve.len(), 50);
+/// assert!((curve[0] - 1.0).abs() < 1e-9); // one sample = one cluster
+/// ```
+pub fn expected_cluster_counts(
+    total_pages: u64,
+    run_pages: u64,
+    max_samples: usize,
+    trials: u32,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(run_pages > 0 && run_pages <= total_pages, "bad run size");
+    assert!(max_samples > 0, "need at least one sample");
+    assert!(trials > 0, "need at least one trial");
+
+    let mut sums = vec![0.0f64; max_samples];
+    for t in 0..trials {
+        let mut rng = StreamRng::new(seed ^ (t as u64).wrapping_mul(0x9E37_79B9));
+        // Each connected component's union of runs is a contiguous extent, so
+        // the components are exactly the disjoint extents: start -> end.
+        let mut extents: BTreeMap<u64, u64> = BTreeMap::new();
+        for sums_k in sums.iter_mut() {
+            let start = rng.random_range(0..=total_pages - run_pages);
+            let end = start + run_pages;
+            let mut merged_start = start;
+            let mut merged_end = end;
+            // An extent (s, e) overlaps [start, end) iff s < end && e > start.
+            // Extents are disjoint and sorted, so scanning keys below `end`
+            // backwards stops at the first extent ending at or before `start`.
+            let mut absorbed: Vec<u64> = Vec::new();
+            for (&s, &e) in extents.range(..end).rev() {
+                if e > start {
+                    absorbed.push(s);
+                    merged_start = merged_start.min(s);
+                    merged_end = merged_end.max(e);
+                } else {
+                    break;
+                }
+            }
+            for s in absorbed {
+                extents.remove(&s);
+            }
+            extents.insert(merged_start, merged_end);
+            *sums_k += extents.len() as f64;
+        }
+    }
+    sums.iter().map(|&s| s / trials as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sample_is_one_cluster() {
+        let c = expected_cluster_counts(1000, 10, 5, 16, 3);
+        assert!((c[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_rises_then_converges_to_one() {
+        // Paper-shaped ratio: samples are ~1% of memory, so early samples
+        // rarely overlap (count rises ~linearly), then merging wins.
+        let total = 16_384u64;
+        let run = 160u64;
+        let c = expected_cluster_counts(total, run, 800, 4, 7);
+        // Early growth.
+        assert!(c[20] > 15.0, "early count {}", c[20]);
+        // Peak exists strictly inside the curve.
+        let peak_idx = c
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak_idx > 10 && peak_idx < 700, "peak at {peak_idx}");
+        // Late samples merge everything into nearly one cluster.
+        assert!(*c.last().unwrap() < 2.0, "final count {}", c.last().unwrap());
+    }
+
+    #[test]
+    fn full_coverage_run_always_one() {
+        // A run covering the whole memory overlaps everything.
+        let c = expected_cluster_counts(64, 64, 10, 4, 1);
+        assert!(c.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn adjacent_but_disjoint_runs_do_not_merge() {
+        // With total = 2*run and placements only at 0 or run... placements
+        // are random, but overlap requires strict intersection; statistically
+        // the two-sample expectation must be strictly above 1.
+        let c = expected_cluster_counts(1_000_000, 2, 2, 64, 11);
+        assert!(c[1] > 1.9, "two tiny samples almost never overlap: {}", c[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad run size")]
+    fn oversized_run_rejected() {
+        expected_cluster_counts(10, 20, 5, 1, 0);
+    }
+}

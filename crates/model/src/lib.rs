@@ -1,0 +1,38 @@
+//! The paper's mathematical model of approximate-DRAM fingerprints
+//! (Section 7.1) and the quantile-based decay emulator used for system-scale
+//! experiments (Section 7.6).
+//!
+//! Two halves:
+//!
+//! - [`FingerprintSpace`] evaluates Equations 1–4 — fingerprint-space size,
+//!   the Hamming-bound range of distinguishable fingerprints, mismatch-chance
+//!   bounds, and entropy — in the log domain (the raw numbers reach 10⁷⁹⁵).
+//!   Regenerates Tables 1 and 2.
+//! - [`QuantileMemory`] emulates decay for memories far too large to simulate
+//!   cell-by-cell: each cell has a deterministic volatility *quantile* and a
+//!   charged cell fails at error rate `p` iff its (noise-jittered) quantile is
+//!   below `p`. The paper's own Fig. 13 is produced the same way: a
+//!   mathematical model driven by observed page placement, not silicon. The
+//!   subset ordering of error sets across accuracies (Fig. 10) is structural
+//!   in this model, matching the paper's hypothesis.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_model::FingerprintSpace;
+//! // Table 1's configuration: one 4 KB page, 1% error, 10% noise threshold.
+//! let s = FingerprintSpace::paper_page();
+//! assert!((s.log10_max_fingerprints() - 795.9).abs() < 0.5);
+//! assert!(s.entropy_bits() > 2000.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod convergence;
+mod quantile;
+mod space;
+
+pub use convergence::expected_cluster_counts;
+pub use quantile::QuantileMemory;
+pub use space::FingerprintSpace;

@@ -1,0 +1,72 @@
+//! Property-based tests for the mathematical model and quantile emulator.
+
+use pc_model::{expected_cluster_counts, FingerprintSpace, QuantileMemory};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bounds_always_ordered(m in 256u64..65_536, frac in 0.005f64..0.2) {
+        let a = ((m as f64 * frac) as u64).max(2);
+        let t = (a / 10).max(1);
+        prop_assume!(t < a);
+        let s = FingerprintSpace::new(m, a, t);
+        let (dlo, dhi) = s.log10_distinguishable_bounds();
+        let (mlo, mhi) = s.log10_mismatch_bounds();
+        prop_assert!(dlo <= dhi);
+        prop_assert!(mlo <= mhi);
+        prop_assert!(mhi < 0.0, "mismatch probability must stay below 1");
+        prop_assert!(dhi <= s.log10_max_fingerprints() + 1e-9);
+        prop_assert!(s.entropy_bits() > 0.0);
+        prop_assert!(s.entropy_bits() < m as f64);
+    }
+
+    #[test]
+    fn more_errors_more_entropy(m in 1024u64..32_768, a1 in 20u64..200, extra in 10u64..200) {
+        let t = 5u64;
+        prop_assume!(a1 + extra <= m);
+        let s1 = FingerprintSpace::new(m, a1, t);
+        let s2 = FingerprintSpace::new(m, a1 + extra, t);
+        prop_assume!(a1 + extra - t <= m / 2); // stay on the rising side of C(m, ·)
+        prop_assert!(s2.entropy_bits() > s1.entropy_bits());
+    }
+
+    #[test]
+    fn page_errors_rate_tracks_parameter(seed in 0u64..200, rate in 0.002f64..0.1,
+                                         trial in 0u64..4) {
+        let q = QuantileMemory::new(seed);
+        let n = q.page_errors(7, rate, trial).len() as f64;
+        let want = rate * q.page_bits() as f64;
+        prop_assert!((n - want).abs() < want * 0.3 + 10.0, "got {n} want ~{want}");
+    }
+
+    #[test]
+    fn ground_truth_is_exact_count(seed in 0u64..200, rate in 0.002f64..0.1) {
+        let q = QuantileMemory::new(seed);
+        let gt = q.page_ground_truth(3, rate);
+        prop_assert_eq!(gt.len(), (rate * q.page_bits() as f64).round() as usize);
+        prop_assert!(gt.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn failure_order_is_prefix_stable(seed in 0u64..200, page in 0u64..64,
+                                      short in 10usize..100, extra in 1usize..100) {
+        let q = QuantileMemory::new(seed);
+        let a = q.failure_order(page, short);
+        let b = q.failure_order(page, short + extra);
+        prop_assert_eq!(&b[..short], &a[..]);
+    }
+
+    #[test]
+    fn cluster_counts_bounded_by_samples(total in 64u64..1024, frac in 0.02f64..0.5,
+                                         samples in 1usize..40) {
+        let run = ((total as f64 * frac) as u64).max(1);
+        let counts = expected_cluster_counts(total, run, samples, 4, 7);
+        prop_assert_eq!(counts.len(), samples);
+        for (k, &c) in counts.iter().enumerate() {
+            prop_assert!(c >= 1.0 - 1e-9, "fewer than one cluster");
+            prop_assert!(c <= (k + 1) as f64 + 1e-9, "more clusters than samples");
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Commodity-system model: physical pages over approximate DRAM, OS page
+//! placement, and workloads that publish approximate outputs.
+//!
+//! The paper's end-to-end experiment (§7.6) runs edge detection on an Ubuntu
+//! VM with 1 GB of RAM and observes, via Valgrind, that:
+//!
+//! 1. outputs land in **contiguous physical page runs**,
+//! 2. the run's **start page varies between runs** (OS mapping),
+//! 3. pages are **not remapped during a run**.
+//!
+//! This crate models exactly that: an [`EmulatedMemory`] of 4 KB pages backed
+//! by a decay model, an [`Allocator`] implementing the observed placement
+//! policy (plus the page-scrambling ASLR defense of §8.2.3), and an
+//! [`ApproxSystem`] that publishes outputs the way the victim's machine
+//! would — returning both the attacker-visible error view and the hidden
+//! ground-truth placement for evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_os::{ApproxSystem, SystemConfig};
+//!
+//! // A small emulated system: 1024 pages (4 MB), 1% error rate.
+//! let mut sys = ApproxSystem::emulated(SystemConfig {
+//!     total_pages: 1024,
+//!     error_rate: 0.01,
+//!     seed: 7,
+//!     ..SystemConfig::default()
+//! });
+//! let out = sys.publish_worst_case(16); // a 16-page output
+//! assert_eq!(out.page_errors.len(), 16);
+//! assert_eq!(out.placement.len(), 16);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod allocator;
+mod memory;
+mod system;
+mod trace;
+mod workload;
+
+pub use allocator::{Allocation, Allocator, PlacementPolicy};
+pub use memory::{EmulatedMemory, PageDecay, PAGE_BYTES};
+pub use system::{ApproxSystem, PublishedOutput, SystemConfig};
+pub use trace::{AllocationTrace, TraceRecord};
+pub use workload::{run_edge_detect, run_image_workload, EdgeDetectResult};

@@ -1,0 +1,161 @@
+//! Page-granular decay backends.
+
+use pc_model::QuantileMemory;
+
+/// Bytes per physical page. The paper analyzes 4 KB chunks "because that is
+/// the smallest unit of contiguous memory that operating systems manage"
+/// (§4, footnote 1).
+pub const PAGE_BYTES: usize = 4096;
+
+/// Bits per physical page.
+pub const PAGE_BITS: u32 = (PAGE_BYTES * 8) as u32;
+
+/// A memory that corrupts page-resident data with a device-specific error
+/// pattern.
+///
+/// The error rate is a property of the *system* (its approximate-memory
+/// controller holds it constant), so it is fixed at construction; `trial`
+/// selects the noise realization, advancing once per published output.
+pub trait PageDecay {
+    /// Number of physical pages.
+    fn total_pages(&self) -> u64;
+
+    /// Error bit positions (sorted, page-relative) for one page of `data`
+    /// resident in physical page `page` during noise realization `trial`.
+    ///
+    /// `data` must be exactly [`PAGE_BYTES`] long.
+    fn page_errors(&self, page: u64, data: &[u8], trial: u64) -> Vec<u32>;
+
+    /// Error positions for a page holding worst-case (all cells charged)
+    /// data — the upper envelope of any real data's error set.
+    fn page_errors_worst_case(&self, page: u64, trial: u64) -> Vec<u32>;
+}
+
+/// The default backend: the quantile decay emulator of [`pc_model`], with
+/// DRAM default-value striping so only charged cells can fail.
+///
+/// This is the reproduction of the paper's own methodology for §7.6 — they
+/// likewise drive a mathematical model (validated against silicon in §7.1–7.5)
+/// rather than a 1 GB hardware platform.
+#[derive(Debug, Clone)]
+pub struct EmulatedMemory {
+    model: QuantileMemory,
+    total_pages: u64,
+    error_rate: f64,
+    /// Bits per default-value stripe (rows of 1024 bits × stripe of 2).
+    stripe_bits: u32,
+}
+
+impl EmulatedMemory {
+    /// Creates an emulated memory of `total_pages` pages with the given
+    /// worst-case `error_rate`, seeded by the victim machine's identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_pages` is zero or `error_rate` is outside `(0, 1)`.
+    pub fn new(seed: u64, total_pages: u64, error_rate: f64) -> Self {
+        assert!(total_pages > 0, "memory needs at least one page");
+        assert!(
+            error_rate > 0.0 && error_rate < 1.0,
+            "error rate must be in (0,1), got {error_rate}"
+        );
+        Self {
+            model: QuantileMemory::with_params(seed, PAGE_BITS, 0.002),
+            total_pages,
+            error_rate,
+            stripe_bits: 2048,
+        }
+    }
+
+    /// The configured worst-case error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+
+    /// The underlying quantile model (for ground-truth queries in tests and
+    /// experiment evaluation).
+    pub fn model(&self) -> &QuantileMemory {
+        &self.model
+    }
+
+    /// Default (discharged) logical value of bit `bit` within any page:
+    /// alternates every `stripe_bits` bits, mirroring DRAM row striping.
+    pub fn default_bit(&self, bit: u32) -> bool {
+        (bit / self.stripe_bits) % 2 == 1
+    }
+}
+
+impl PageDecay for EmulatedMemory {
+    fn total_pages(&self) -> u64 {
+        self.total_pages
+    }
+
+    fn page_errors(&self, page: u64, data: &[u8], trial: u64) -> Vec<u32> {
+        assert!(page < self.total_pages, "page {page} out of range");
+        self.model
+            .page_errors_for_data(page, data, |b| self.default_bit(b), self.error_rate, trial)
+    }
+
+    fn page_errors_worst_case(&self, page: u64, trial: u64) -> Vec<u32> {
+        assert!(page < self.total_pages, "page {page} out of range");
+        self.model.page_errors(page, self.error_rate, trial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_is_superset_of_data_errors() {
+        let m = EmulatedMemory::new(1, 64, 0.01);
+        let data = vec![0x3Cu8; PAGE_BYTES];
+        let with_data = m.page_errors(5, &data, 0);
+        let worst = m.page_errors_worst_case(5, 0);
+        assert!(with_data.iter().all(|c| worst.binary_search(c).is_ok()));
+        assert!(with_data.len() < worst.len());
+    }
+
+    #[test]
+    fn roughly_half_of_errors_survive_random_data() {
+        let m = EmulatedMemory::new(2, 64, 0.01);
+        // Alternating bits: half the cells charged regardless of striping.
+        let data = vec![0xAAu8; PAGE_BYTES];
+        let with_data = m.page_errors(3, &data, 0);
+        let worst = m.page_errors_worst_case(3, 0);
+        let frac = with_data.len() as f64 / worst.len() as f64;
+        assert!((0.35..0.65).contains(&frac), "fraction {frac}");
+    }
+
+    #[test]
+    fn default_striping_alternates() {
+        let m = EmulatedMemory::new(3, 4, 0.01);
+        assert!(!m.default_bit(0));
+        assert!(!m.default_bit(2047));
+        assert!(m.default_bit(2048));
+        assert!(!m.default_bit(4096));
+    }
+
+    #[test]
+    fn pages_are_device_unique() {
+        let a = EmulatedMemory::new(10, 64, 0.01);
+        let b = EmulatedMemory::new(11, 64, 0.01);
+        assert_ne!(
+            a.page_errors_worst_case(0, 0),
+            b.page_errors_worst_case(0, 0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn page_bounds_checked() {
+        let m = EmulatedMemory::new(1, 4, 0.01);
+        m.page_errors_worst_case(4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate")]
+    fn bad_rate_rejected() {
+        EmulatedMemory::new(1, 4, 0.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! The paper's benchmark workload: edge detection whose output buffer lives
+//! in approximate memory (§7.6, Fig. 12).
+
+use crate::{ApproxSystem, PageDecay, PublishedOutput};
+use pc_image::{ops, GrayImage};
+
+/// Everything one workload run produces: the exact result, the corrupted
+/// result the user actually publishes, and the system-level output record.
+#[derive(Debug, Clone)]
+pub struct EdgeDetectResult {
+    /// The exact edge-detection output (recomputable by the attacker from
+    /// the input, §8.3).
+    pub exact: GrayImage,
+    /// The approximate output as published.
+    pub approximate: GrayImage,
+    /// The publish record (attacker-visible error view + ground truth).
+    pub output: PublishedOutput,
+}
+
+impl EdgeDetectResult {
+    /// Bit error positions across the whole output buffer (flat bit index).
+    pub fn error_bits(&self) -> Vec<u64> {
+        self.exact
+            .as_bytes()
+            .iter()
+            .zip(self.approximate.as_bytes())
+            .enumerate()
+            .flat_map(|(i, (a, b))| {
+                let diff = a ^ b;
+                (0..8u64).filter_map(move |bit| {
+                    if diff & (1 << bit) != 0 {
+                        Some(i as u64 * 8 + bit)
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect()
+    }
+}
+
+/// Runs gradient edge detection on `input`, storing the result through the
+/// system's approximate memory, and returns both the exact and corrupted
+/// outputs.
+///
+/// # Example
+///
+/// ```
+/// use pc_os::{run_edge_detect, ApproxSystem, SystemConfig};
+/// use pc_image::synth;
+///
+/// let mut sys = ApproxSystem::emulated(SystemConfig {
+///     total_pages: 256,
+///     seed: 1,
+///     ..SystemConfig::default()
+/// });
+/// let input = synth::shapes_scene(128, 96, 3);
+/// let r = run_edge_detect(&mut sys, &input);
+/// assert_eq!(r.approximate.width(), 128);
+/// ```
+pub fn run_edge_detect<M: PageDecay>(
+    system: &mut ApproxSystem<M>,
+    input: &GrayImage,
+) -> EdgeDetectResult {
+    run_image_workload(system, input, ops::edge_detect)
+}
+
+/// Runs an arbitrary image transform as the approximate workload: compute
+/// exactly, store the result through approximate memory, publish. Lets the
+/// experiments diversify payloads (e.g. [`pc_image::ops::sobel`]) — different
+/// output bytes charge different cell subsets, yet the fingerprint persists.
+pub fn run_image_workload<M: PageDecay>(
+    system: &mut ApproxSystem<M>,
+    input: &GrayImage,
+    transform: impl FnOnce(&GrayImage) -> GrayImage,
+) -> EdgeDetectResult {
+    let exact = transform(input);
+    let output = system.publish(exact.as_bytes());
+    let corrupted = system.corrupt(exact.as_bytes(), &output);
+    let approximate = GrayImage::from_bytes(exact.width(), exact.height(), corrupted);
+    EdgeDetectResult {
+        exact,
+        approximate,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PlacementPolicy, SystemConfig};
+    use pc_image::synth;
+
+    fn sys(seed: u64) -> ApproxSystem {
+        ApproxSystem::emulated(SystemConfig {
+            total_pages: 512,
+            error_rate: 0.01,
+            seed,
+            placement: PlacementPolicy::ContiguousRandom,
+        })
+    }
+
+    #[test]
+    fn workload_produces_errors_on_edges_output() {
+        let mut s = sys(1);
+        let input = synth::shapes_scene(256, 128, 7);
+        let r = run_edge_detect(&mut s, &input);
+        // Edge output has many non-background pixels => many charged cells.
+        let errs = r.error_bits();
+        assert!(!errs.is_empty(), "no decay errors imprinted");
+        assert_eq!(errs.len(), {
+            // error_bits must agree with the output record, restricted to
+            // bits inside the image buffer.
+            let len_bits = (r.exact.as_bytes().len() * 8) as u64;
+            r.output
+                .page_errors
+                .iter()
+                .enumerate()
+                .flat_map(|(v, e)| {
+                    e.iter()
+                        .map(move |&b| v as u64 * crate::PAGE_BYTES as u64 * 8 + b as u64)
+                })
+                .filter(|&b| b < len_bits)
+                .count()
+        });
+    }
+
+    #[test]
+    fn exact_output_is_deterministic() {
+        let input = synth::shapes_scene(64, 64, 2);
+        let mut s1 = sys(1);
+        let mut s2 = sys(2);
+        let r1 = run_edge_detect(&mut s1, &input);
+        let r2 = run_edge_detect(&mut s2, &input);
+        assert_eq!(r1.exact, r2.exact, "exact computation must not vary by machine");
+        assert_ne!(
+            r1.approximate, r2.approximate,
+            "different machines imprint different errors"
+        );
+    }
+
+    #[test]
+    fn different_workloads_same_machine_share_error_locations() {
+        // Two workloads (gradient, Sobel) on the same machine and pages:
+        // the error patterns differ in detail (different charged subsets)
+        // but the shared errors betray the common volatile-cell set.
+        let mut s = ApproxSystem::emulated(SystemConfig {
+            total_pages: 512,
+            error_rate: 0.01,
+            seed: 9,
+            placement: PlacementPolicy::ContiguousFixed(10),
+        });
+        let input = synth::shapes_scene(256, 128, 7);
+        let a = crate::run_image_workload(&mut s, &input, pc_image::ops::edge_detect);
+        let b = crate::run_image_workload(&mut s, &input, pc_image::ops::sobel);
+        let ea: std::collections::HashSet<u64> = a.error_bits().into_iter().collect();
+        let eb: std::collections::HashSet<u64> = b.error_bits().into_iter().collect();
+        assert!(!ea.is_empty() && !eb.is_empty());
+        let common = ea.intersection(&eb).count();
+        // Volatile cells charged by both payloads fail in both outputs.
+        assert!(common > 0, "no shared error locations across workloads");
+    }
+
+    #[test]
+    fn psnr_degrades_but_stays_recognizable() {
+        let mut s = sys(3);
+        let input = synth::shapes_scene(128, 128, 5);
+        let r = run_edge_detect(&mut s, &input);
+        let psnr = r.approximate.psnr(&r.exact);
+        assert!(psnr.is_finite() && psnr > 10.0, "psnr={psnr}");
+    }
+}

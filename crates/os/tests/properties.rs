@@ -1,0 +1,81 @@
+//! Property-based tests for the OS model.
+
+use pc_os::{
+    Allocator, ApproxSystem, PageDecay, PlacementPolicy, SystemConfig, PAGE_BYTES,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn allocator_never_escapes_memory(total in 8u64..2048, frac in 0.01f64..1.0,
+                                      seed in any::<u64>(),
+                                      policy_pick in 0u8..3) {
+        let run = ((total as f64 * frac) as usize).clamp(1, total as usize);
+        let policy = match policy_pick {
+            0 => PlacementPolicy::ContiguousRandom,
+            1 => PlacementPolicy::ContiguousFixed(0),
+            _ => PlacementPolicy::PageScrambled,
+        };
+        let mut a = Allocator::new(policy, total, seed);
+        for _ in 0..10 {
+            let alloc = a.allocate(run);
+            prop_assert_eq!(alloc.len(), run);
+            prop_assert!(alloc.pages().iter().all(|&p| p < total));
+            if matches!(policy, PlacementPolicy::ContiguousRandom | PlacementPolicy::ContiguousFixed(_)) {
+                prop_assert!(alloc.is_contiguous());
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_deterministic_per_seed(total in 16u64..512, seed in any::<u64>()) {
+        let mut a = Allocator::new(PlacementPolicy::ContiguousRandom, total, seed);
+        let mut b = Allocator::new(PlacementPolicy::ContiguousRandom, total, seed);
+        for _ in 0..5 {
+            prop_assert_eq!(a.allocate(4), b.allocate(4));
+        }
+    }
+
+    #[test]
+    fn published_errors_are_sorted_in_range(seed in any::<u64>(), pages in 1usize..6) {
+        let mut sys = ApproxSystem::emulated(SystemConfig {
+            total_pages: 64,
+            error_rate: 0.01,
+            seed,
+            placement: PlacementPolicy::ContiguousRandom,
+        });
+        let out = sys.publish_worst_case(pages);
+        prop_assert_eq!(out.page_errors.len(), pages);
+        for page in &out.page_errors {
+            prop_assert!(page.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(page.iter().all(|&b| (b as usize) < PAGE_BYTES * 8));
+        }
+    }
+
+    #[test]
+    fn corrupt_is_involution_on_error_bits(seed in any::<u64>()) {
+        // Applying the same error pattern twice restores the original bytes.
+        let mut sys = ApproxSystem::emulated(SystemConfig {
+            total_pages: 64,
+            error_rate: 0.01,
+            seed,
+            placement: PlacementPolicy::ContiguousRandom,
+        });
+        let data = vec![0xC3u8; PAGE_BYTES * 2];
+        let out = sys.publish(&data);
+        let once = sys.corrupt(&data, &out);
+        let twice = sys.corrupt(&once, &out);
+        prop_assert_eq!(twice, data);
+    }
+
+    #[test]
+    fn worst_case_errors_bound_data_errors(seed in any::<u64>(), byte in any::<u8>()) {
+        let mem = pc_os::EmulatedMemory::new(seed, 16, 0.01);
+        let data = vec![byte; PAGE_BYTES];
+        let with_data = mem.page_errors(3, &data, 0);
+        let worst = mem.page_errors_worst_case(3, 0);
+        prop_assert!(with_data.iter().all(|c| worst.binary_search(c).is_ok()));
+    }
+}

@@ -1,0 +1,56 @@
+//! Deterministic randomness and numerics substrate for the Probable Cause
+//! reproduction.
+//!
+//! The DRAM simulator needs *per-cell* randomness that is:
+//!
+//! - **deterministic** — the same chip must expose the same retention map on
+//!   every run (process variation is locked in at manufacturing time);
+//! - **lazy** — a 1 GB memory has 8 × 10⁹ cells, so retention values must be
+//!   computable on demand from `(seed, cell index)` without storing arrays;
+//! - **shaped** — retention variation is Gaussian (paper §2, citing
+//!   Hamamoto et al.), so uniform hashes must be mapped through the normal
+//!   quantile function.
+//!
+//! This crate provides those pieces plus the supporting numerics (special
+//! functions, log-domain binomials for the paper's Section 7.1 model) and
+//! light statistics helpers (histograms, summaries) used by the experiment
+//! harnesses.
+//!
+//! # Example
+//!
+//! ```
+//! use pc_stats::{CellHasher, Normal, Histogram};
+//!
+//! // Two draws from the same (seed, index) are identical; different indices
+//! // are effectively independent.
+//! let h = CellHasher::new(0xC0FFEE);
+//! assert_eq!(h.uniform(42), h.uniform(42));
+//! assert_ne!(h.uniform(42), h.uniform(43));
+//!
+//! // Deterministic standard-normal value for a cell.
+//! let n = Normal::standard();
+//! let z = n.quantile(h.uniform(42));
+//! assert!(z.is_finite());
+//!
+//! let mut hist = Histogram::new(0.0, 1.0, 10);
+//! hist.add(h.uniform(7));
+//! assert_eq!(hist.total(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dist;
+mod hash;
+mod histogram;
+mod special;
+mod summary;
+
+pub use dist::{LogNormal, Normal, SkewNormal, VolatilityDistribution};
+pub use hash::{mix64, CellHasher, StreamRng};
+pub use histogram::Histogram;
+pub use special::{
+    erf, erfc, ln_binomial, ln_factorial, ln_gamma, log10_binomial, log2_binomial, log_sum_exp,
+    normal_cdf, normal_pdf, probit,
+};
+pub use summary::{wilson_interval, KahanSum, Summary};

@@ -1,0 +1,331 @@
+//! Special functions: error function, normal CDF/PDF/quantile, log-gamma,
+//! and log-domain binomial coefficients.
+//!
+//! The paper's Section 7.1 model manipulates numbers like `C(32768, 328)`
+//! (≈ 10⁷⁹⁵), so all combinatorics are done in the log domain via the Lanczos
+//! approximation to `ln Γ`.
+
+/// Error function `erf(x)`, accurate to ~1.2e-7 (Abramowitz & Stegun 7.1.26
+/// refined with the Winitzki-style rational form used by Numerical Recipes).
+///
+/// # Example
+///
+/// ```
+/// assert!((pc_stats::erf(0.0)).abs() < 1e-6);
+/// assert!((pc_stats::erf(1.0) - 0.8427007929).abs() < 1e-6);
+/// ```
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Uses the Numerical Recipes rational Chebyshev approximation (relative error
+/// below 1.2e-7 everywhere), which stays accurate in the far tails where
+/// `1 - erf(x)` would cancel catastrophically.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    let ans = t * (-z * z - 1.26551223
+        + t * (1.00002368
+            + t * (0.37409196
+                + t * (0.09678418
+                    + t * (-0.18628806
+                        + t * (0.27886807
+                            + t * (-1.13520398
+                                + t * (1.48851587
+                                    + t * (-0.82215223 + t * 0.17087277)))))))))
+    .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal probability density function.
+pub fn normal_pdf(x: f64) -> f64 {
+    const INV_SQRT_2PI: f64 = 0.398_942_280_401_432_7;
+    INV_SQRT_2PI * (-0.5 * x * x).exp()
+}
+
+/// Standard normal cumulative distribution function Φ(x).
+///
+/// # Example
+///
+/// ```
+/// assert!((pc_stats::normal_cdf(0.0) - 0.5).abs() < 1e-6);
+/// assert!((pc_stats::normal_cdf(1.6448536) - 0.95).abs() < 1e-6);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x * std::f64::consts::FRAC_1_SQRT_2)
+}
+
+/// Standard normal quantile function Φ⁻¹(p) (a.k.a. the probit).
+///
+/// Implemented with Acklam's rational approximation followed by one Halley
+/// refinement step, giving ~1e-13 relative accuracy over `(0, 1)`.
+///
+/// # Panics
+///
+/// Panics if `p` is not strictly inside `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// assert!((pc_stats::probit(0.5)).abs() < 1e-7);
+/// assert!((pc_stats::probit(0.975) - 1.959964).abs() < 1e-5);
+/// ```
+#[allow(clippy::excessive_precision)] // published Acklam coefficients kept verbatim
+pub fn probit(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probit requires p in (0,1), got {p}");
+
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Natural log of the gamma function, via the Lanczos approximation
+/// (g = 7, n = 9 coefficients; ~1e-13 relative accuracy for `x > 0`).
+///
+/// # Panics
+///
+/// Panics for non-positive `x` (the reproduction never needs the reflection
+/// branch).
+#[allow(clippy::excessive_precision)] // published Lanczos coefficients kept verbatim
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires x > 0, got {x}");
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // ln Γ(x) = ln(π / sin(πx)) − ln Γ(1 − x); only reachable for x in
+        // (0, 0.5), which the callers below never hit with large arguments.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Natural log of `n!`.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        0.0
+    } else {
+        ln_gamma(n as f64 + 1.0)
+    }
+}
+
+/// Natural log of the binomial coefficient `C(n, k)`.
+///
+/// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is zero).
+///
+/// # Example
+///
+/// ```
+/// let ln_c = pc_stats::ln_binomial(10, 3);
+/// assert!((ln_c - (120f64).ln()).abs() < 1e-9);
+/// ```
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Base-2 log of `C(n, k)` — the entropy bookkeeping unit of paper Eq. 4.
+pub fn log2_binomial(n: u64, k: u64) -> f64 {
+    ln_binomial(n, k) / std::f64::consts::LN_2
+}
+
+/// Base-10 log of `C(n, k)` — used to print Table 1/2 style magnitudes.
+pub fn log10_binomial(n: u64, k: u64) -> f64 {
+    ln_binomial(n, k) / std::f64::consts::LN_10
+}
+
+/// Numerically stable `ln(Σ exp(xᵢ))` over a slice of log-domain values.
+///
+/// Returns `NEG_INFINITY` for an empty slice (the empty sum).
+///
+/// # Example
+///
+/// ```
+/// let v = [0.0f64.ln(), 1.0f64.ln(), 2.0f64.ln()]; // ln(0), ln(1), ln(2)
+/// let s = pc_stats::log_sum_exp(&v[1..]);
+/// assert!((s - 3.0f64.ln()).abs() < 1e-12);
+/// ```
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let s: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.5204998778),
+            (1.0, 0.8427007929),
+            (2.0, 0.9953222650),
+            (-1.0, -0.8427007929),
+        ];
+        for (x, want) in cases {
+            assert!((erf(x) - want).abs() < 2e-7, "erf({x})={} want {want}", erf(x));
+        }
+    }
+
+    #[test]
+    fn erfc_tail_accuracy() {
+        // erfc(3) ≈ 2.20905e-5; naive 1-erf would lose precision here.
+        assert!((erfc(3.0) - 2.209_049_699_858_544e-5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for &x in &[0.1, 0.7, 1.3, 2.9] {
+            let s = normal_cdf(x) + normal_cdf(-x);
+            assert!((s - 1.0).abs() < 1e-12, "x={x}: sum={s}");
+        }
+    }
+
+    #[test]
+    fn probit_inverts_cdf() {
+        for &p in &[1e-6, 0.001, 0.01, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0 - 1e-6] {
+            let x = probit(p);
+            let back = normal_cdf(x);
+            assert!((back - p).abs() < 1e-9, "p={p} x={x} back={back}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probit requires")]
+    fn probit_rejects_zero() {
+        probit(0.0);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            fact *= n as f64;
+            let lg = ln_gamma(n as f64 + 1.0);
+            assert!(
+                (lg - fact.ln()).abs() < 1e-9,
+                "ln_gamma({}) = {lg}, want {}",
+                n + 1,
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        let want = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - want).abs() < 1e-10);
+    }
+
+    #[test]
+    fn binomials_small_exact() {
+        assert_eq!(ln_binomial(5, 0), 0.0);
+        assert_eq!(ln_binomial(5, 5), 0.0);
+        assert!((ln_binomial(5, 2) - 10f64.ln()).abs() < 1e-10);
+        assert_eq!(ln_binomial(3, 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn binomial_paper_table1_magnitude() {
+        // Table 1: C(32768, 328) ≈ 8.70 × 10^795.
+        let l10 = log10_binomial(32768, 328);
+        assert!((l10 - 795.94).abs() < 0.2, "log10 C = {l10}");
+    }
+
+    #[test]
+    fn log_sum_exp_stability() {
+        let xs = [1000.0, 1000.0];
+        let s = log_sum_exp(&xs);
+        assert!((s - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn log2_log10_consistent() {
+        let n = 1000;
+        let k = 100;
+        let ratio = log2_binomial(n, k) / log10_binomial(n, k);
+        assert!((ratio - std::f64::consts::LN_10 / std::f64::consts::LN_2).abs() < 1e-9);
+    }
+}

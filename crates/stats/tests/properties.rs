@@ -1,0 +1,103 @@
+//! Property-based tests for the numerics substrate.
+
+use pc_stats::{
+    erf, erfc, ln_binomial, log_sum_exp, mix64, normal_cdf, probit, CellHasher, Histogram,
+    Normal, Summary,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn mix64_is_injective_on_samples(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(mix64(a), mix64(b)); // bijective mixer never collides
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -6.0f64..6.0) {
+        let v = erf(x);
+        prop_assert!((-1.0..=1.0).contains(&v));
+        prop_assert!((erf(-x) + v).abs() < 1e-7);
+    }
+
+    #[test]
+    fn erf_erfc_complement(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(a in -8.0f64..8.0, d in 0.001f64..4.0) {
+        prop_assert!(normal_cdf(a) <= normal_cdf(a + d));
+    }
+
+    #[test]
+    fn probit_inverts_cdf_everywhere(p in 1e-9f64..1.0) {
+        prop_assume!(p < 1.0 - 1e-9);
+        let x = probit(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-8, "p={p} x={x}");
+    }
+
+    #[test]
+    fn normal_quantile_respects_parameters(mean in -100.0f64..100.0, sd in 0.01f64..50.0,
+                                           p in 0.001f64..0.999) {
+        let n = Normal::new(mean, sd);
+        let x = n.quantile(p);
+        // Standardizing recovers the standard quantile.
+        prop_assert!(((x - mean) / sd - probit(p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_binomial_symmetry(n in 1u64..2000, k in 0u64..2000) {
+        prop_assume!(k <= n);
+        let a = ln_binomial(n, k);
+        let b = ln_binomial(n, n - k);
+        prop_assert!((a - b).abs() < 1e-6 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn ln_binomial_pascal_identity(n in 2u64..500, k in 1u64..500) {
+        prop_assume!(k < n);
+        // C(n,k) = C(n-1,k-1) + C(n-1,k), checked in log domain.
+        let lhs = ln_binomial(n, k);
+        let rhs = log_sum_exp(&[ln_binomial(n - 1, k - 1), ln_binomial(n - 1, k)]);
+        prop_assert!((lhs - rhs).abs() < 1e-8 * lhs.abs().max(1.0), "n={n} k={k}");
+    }
+
+    #[test]
+    fn cell_hasher_uniform_stays_in_unit_interval(seed in any::<u64>(), idx in any::<u64>()) {
+        let u = CellHasher::new(seed).uniform(idx);
+        prop_assert!(u > 0.0 && u < 1.0);
+    }
+
+    #[test]
+    fn histogram_conserves_samples(samples in proptest::collection::vec(-2.0f64..3.0, 0..200)) {
+        let mut h = Histogram::new(0.0, 1.0, 7);
+        h.extend(samples.iter().copied());
+        prop_assert_eq!(h.total(), samples.len() as u64);
+        prop_assert_eq!(h.counts().iter().sum::<u64>(), samples.len() as u64);
+    }
+
+    #[test]
+    fn summary_matches_naive_computation(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let s: Summary = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+    }
+
+    #[test]
+    fn summary_merge_any_split(xs in proptest::collection::vec(-50.0f64..50.0, 2..80),
+                               cut in 1usize..79) {
+        prop_assume!(cut < xs.len());
+        let whole: Summary = xs.iter().copied().collect();
+        let mut left: Summary = xs[..cut].iter().copied().collect();
+        let right: Summary = xs[cut..].iter().copied().collect();
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((left.sample_variance() - whole.sample_variance()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,73 @@
+//! Trying the paper's §8.2 defenses against the attack.
+//!
+//! ```sh
+//! cargo run --release --example defenses
+//! ```
+
+use probable_cause_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A characterized victim chip.
+    let chip = DramChip::new(ChipProfile::km41464a(), ChipId(5));
+    let mut victim = ApproxMemory::with_target(chip, 40.0, AccuracyTarget::percent(99.0)?)?;
+    let data = victim.medium().worst_case_pattern();
+    let size = data.len() as u64 * 8;
+    let observations: Vec<ErrorString> = (0..3)
+        .map(|_| ErrorString::from_sorted(victim.store_errors(0, &data), size))
+        .collect::<Result<_, _>>()?;
+    let mut db = FingerprintDb::new(PcDistance::new(), 0.25);
+    db.insert("victim", characterize(&observations)?);
+
+    // --- Defense 1: noise injection (§8.2.2) --------------------------------
+    println!("defense 1: random noise added to every published output");
+    for rate in [0.0, 0.01, 0.05, 0.2, 0.4] {
+        let clean = ErrorString::from_sorted(victim.store_errors(0, &data), size)?;
+        let noisy = defense::apply_random_flips(&clean, rate, 42);
+        let found = db.identify(&noisy).is_some();
+        println!(
+            "  flip rate {rate:<5}: output quality degraded by {:>6} extra errors, identified: {found}",
+            noisy.weight().saturating_sub(clean.weight()),
+        );
+    }
+    println!("  -> noise costs accuracy (the whole point of approximation) and only slows the attacker\n");
+
+    // --- Defense 2: data segregation (§8.2.1) -------------------------------
+    println!("defense 2: store 'sensitive' half of memory exactly");
+    let output = ErrorString::from_sorted(victim.store_errors(0, &data), size)?;
+    let kept: Vec<u64> = output
+        .positions()
+        .iter()
+        .copied()
+        .filter(|&b| b >= size / 2)
+        .collect();
+    let segregated = ErrorString::from_sorted(kept, size)?;
+    println!(
+        "  identified from the remaining approximate half: {}",
+        db.identify(&segregated).is_some()
+    );
+    println!("  -> any page left approximate still fingerprints the machine\n");
+
+    // --- Defense 3: page-level ASLR (§8.2.3) --------------------------------
+    println!("defense 3: page-granular address scrambling (vs the eavesdropper)");
+    for (name, placement) in [
+        ("contiguous (no defense)", PlacementPolicy::ContiguousRandom),
+        ("page-scrambled (ASLR)", PlacementPolicy::PageScrambled),
+    ] {
+        let mut sys = ApproxSystem::emulated(SystemConfig {
+            total_pages: 4_096,
+            error_rate: 0.01,
+            seed: 9,
+            placement,
+        });
+        let mut attacker = Eavesdropper::new(StitchConfig::default());
+        for _ in 0..150 {
+            attacker.observe_output(&sys.publish_worst_case(64));
+        }
+        println!(
+            "  {name:<26}: {:>4} suspected machines after 150 samples",
+            attacker.suspected_chips()
+        );
+    }
+    println!("  -> scrambling prevents stitching, at real memory-management cost (paper §8.2.3)");
+    Ok(())
+}

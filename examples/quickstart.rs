@@ -1,0 +1,61 @@
+//! Quickstart: fingerprint one approximate DRAM chip and identify its
+//! outputs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use probable_cause_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The victim's system: a KM41464A-class chip run at 99% accuracy —
+    //    the approximate-memory controller calibrates the refresh interval to
+    //    realize that error rate at 40 °C.
+    let chip = DramChip::new(ChipProfile::km41464a(), ChipId(7));
+    let mut victim = ApproxMemory::with_target(chip, 40.0, AccuracyTarget::percent(99.0)?)?;
+    println!(
+        "victim: {} at {}, refresh interval {:.2} s",
+        victim.medium().profile().name(),
+        victim.target(),
+        victim.refresh_interval_s()
+    );
+
+    // 2. The attacker characterizes the chip from three approximate outputs
+    //    (Algorithm 1: fingerprint = intersection of error patterns).
+    let data = victim.medium().worst_case_pattern();
+    let size = data.len() as u64 * 8;
+    let observations: Vec<ErrorString> = (0..3)
+        .map(|_| ErrorString::from_sorted(victim.store_errors(0, &data), size))
+        .collect::<Result<_, _>>()?;
+    let fingerprint = characterize(&observations)?;
+    println!(
+        "fingerprint: {} stable error bits from {} observations",
+        fingerprint.weight(),
+        fingerprint.observations()
+    );
+
+    // 3. Store it in a fingerprint database (Algorithm 2 machinery).
+    let mut db = FingerprintDb::new(PcDistance::new(), 0.25);
+    db.insert("victim-chip", fingerprint);
+
+    // 4. Later: the victim publishes a fresh approximate output — even at a
+    //    *different* temperature and accuracy level, it is identified.
+    victim.set_temperature(60.0)?;
+    victim.set_target(AccuracyTarget::percent(95.0)?)?;
+    let fresh = ErrorString::from_sorted(victim.store_errors(0, &data), size)?;
+    match db.identify(&fresh) {
+        Some(label) => println!("fresh output (60 °C, 95%) identified as: {label}"),
+        None => println!("fresh output not identified"),
+    }
+
+    // 5. An output from a different chip of the same model does not match.
+    let other_chip = DramChip::new(ChipProfile::km41464a(), ChipId(8));
+    let mut other = ApproxMemory::with_target(other_chip, 40.0, AccuracyTarget::percent(99.0)?)?;
+    let stranger = ErrorString::from_sorted(other.store_errors(0, &data), size)?;
+    println!(
+        "output from another chip identified as: {:?} (distance {:.3})",
+        db.identify(&stranger),
+        db.identify_best(&stranger).map(|(_, d)| d).unwrap_or(1.0)
+    );
+    Ok(())
+}

@@ -1,0 +1,189 @@
+//! `pc` — a small command-line front end to the Probable Cause toolkit.
+//!
+//! ```text
+//! pc characterize --db DB --label NAME EXACT.pgm APPROX.pgm [APPROX.pgm...]
+//!     Build (or extend) a fingerprint database from approximate outputs of
+//!     a known exact image.
+//!
+//! pc identify --db DB EXACT.pgm APPROX.pgm
+//!     Attribute an approximate output to a fingerprinted device.
+//!
+//! pc demo
+//!     Simulate two devices end to end and show attribution working.
+//! ```
+//!
+//! The database is the text format of `probable_cause::persistence`.
+
+use probable_cause_repro::core::persistence::{load_db, save_db};
+use probable_cause_repro::core::{characterize, ErrorString, FingerprintDb, PcDistance};
+use probable_cause_repro::image::read_pgm;
+use probable_cause_repro::prelude::*;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("characterize") => cmd_characterize(&args[1..]),
+        Some("identify") => cmd_identify(&args[1..]),
+        Some("demo") => cmd_demo(),
+        Some("--help" | "-h" | "help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}; try `pc help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "pc — Probable Cause: deanonymize approximate-DRAM outputs\n\
+         \n\
+         usage:\n\
+         \x20 pc characterize --db DB --label NAME EXACT.pgm APPROX.pgm [APPROX.pgm...]\n\
+         \x20 pc identify    --db DB EXACT.pgm APPROX.pgm\n\
+         \x20 pc demo"
+    );
+}
+
+/// Pulls `--flag value` out of an argument list, returning (value, rest).
+fn take_flag(args: &[String], flag: &str) -> Result<(String, Vec<String>), String> {
+    let pos = args
+        .iter()
+        .position(|a| a == flag)
+        .ok_or_else(|| format!("missing required {flag}"))?;
+    let value = args
+        .get(pos + 1)
+        .ok_or_else(|| format!("{flag} needs a value"))?
+        .clone();
+    let mut rest = args.to_vec();
+    rest.drain(pos..=pos + 1);
+    Ok((value, rest))
+}
+
+fn read_image(path: &str) -> Result<GrayImage, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    read_pgm(BufReader::new(f)).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn errors_between(exact: &GrayImage, approx_path: &str) -> Result<ErrorString, String> {
+    let approx = read_image(approx_path)?;
+    if (approx.width(), approx.height()) != (exact.width(), exact.height()) {
+        return Err(format!(
+            "{approx_path}: dimensions {}x{} do not match the exact image",
+            approx.width(),
+            approx.height()
+        ));
+    }
+    Ok(ErrorString::from_xor(approx.as_bytes(), exact.as_bytes()))
+}
+
+fn load_or_new_db(path: &str) -> Result<FingerprintDb<String, PcDistance>, String> {
+    if Path::new(path).exists() {
+        let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+        load_db(BufReader::new(f)).map_err(|e| format!("cannot load {path}: {e}"))
+    } else {
+        Ok(FingerprintDb::new(PcDistance::new(), 0.25))
+    }
+}
+
+fn cmd_characterize(args: &[String]) -> Result<(), String> {
+    let (db_path, rest) = take_flag(args, "--db")?;
+    let (label, files) = take_flag(&rest, "--label")?;
+    let (exact_path, approx_paths) = files
+        .split_first()
+        .ok_or("need an exact image and at least one approximate image")?;
+    if approx_paths.is_empty() {
+        return Err("need at least one approximate image".into());
+    }
+
+    let exact = read_image(exact_path)?;
+    let observations: Vec<ErrorString> = approx_paths
+        .iter()
+        .map(|p| errors_between(&exact, p))
+        .collect::<Result<_, _>>()?;
+    let fp = characterize(&observations).map_err(|e| e.to_string())?;
+    println!(
+        "fingerprint {label:?}: {} stable error bits from {} outputs",
+        fp.weight(),
+        fp.observations()
+    );
+
+    let mut db = load_or_new_db(&db_path)?;
+    db.insert(label, fp);
+    let f = File::create(&db_path).map_err(|e| format!("cannot write {db_path}: {e}"))?;
+    save_db(&db, BufWriter::new(f)).map_err(|e| format!("cannot write {db_path}: {e}"))?;
+    println!("database {db_path} now holds {} fingerprint(s)", db.len());
+    Ok(())
+}
+
+fn cmd_identify(args: &[String]) -> Result<(), String> {
+    let (db_path, files) = take_flag(args, "--db")?;
+    let [exact_path, approx_path] = files.as_slice() else {
+        return Err("identify needs exactly: EXACT.pgm APPROX.pgm".into());
+    };
+    let exact = read_image(exact_path)?;
+    let errors = errors_between(&exact, approx_path)?;
+    let f = File::open(&db_path).map_err(|e| format!("cannot open {db_path}: {e}"))?;
+    let db = load_db(BufReader::new(f)).map_err(|e| format!("cannot load {db_path}: {e}"))?;
+
+    println!("{} error bits in the output", errors.weight());
+    match db.identify_best(&errors) {
+        Some((label, d)) if d < db.threshold() => {
+            println!("MATCH: {label} (distance {d:.4}, threshold {})", db.threshold());
+        }
+        Some((label, d)) => {
+            println!(
+                "no match (closest: {label} at distance {d:.4}, threshold {})",
+                db.threshold()
+            );
+        }
+        None => println!("database is empty"),
+    }
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    println!("simulating two approximate systems and one anonymous post...\n");
+    let photo = synth::shapes_scene(256, 192, 11);
+    let mut machine_a = ApproxSystem::emulated(SystemConfig {
+        total_pages: 512,
+        error_rate: 0.01,
+        seed: 1,
+        placement: PlacementPolicy::ContiguousFixed(16),
+    });
+    let mut machine_b = ApproxSystem::emulated(SystemConfig {
+        total_pages: 512,
+        error_rate: 0.01,
+        seed: 2,
+        placement: PlacementPolicy::ContiguousFixed(16),
+    });
+
+    let mut db = FingerprintDb::new(PcDistance::new(), 0.5);
+    for (name, machine) in [("machine-A", &mut machine_a), ("machine-B", &mut machine_b)] {
+        let obs: Vec<ErrorString> = (0..3)
+            .map(|_| {
+                let r = run_edge_detect(machine, &photo);
+                ErrorString::from_xor(r.approximate.as_bytes(), r.exact.as_bytes())
+            })
+            .collect();
+        let fp = characterize(&obs).map_err(|e| e.to_string())?;
+        println!("characterized {name}: {} stable error bits", fp.weight());
+        db.insert(name.to_string(), fp);
+    }
+
+    let anon = run_edge_detect(&mut machine_b, &photo);
+    let errors = ErrorString::from_xor(anon.approximate.as_bytes(), anon.exact.as_bytes());
+    let (label, d) = db.identify_best(&errors).expect("db is non-empty");
+    println!("\nanonymous post attributed to {label} (distance {d:.4})");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Workspace facade for the Probable Cause (ISCA 2015) reproduction.
+//!
+//! Re-exports every crate of the workspace under one roof so the root-level
+//! examples and integration tests — and downstream users who want a single
+//! dependency — can reach the whole system:
+//!
+//! - [`core`] *(crate `probable-cause`)* — the fingerprinting library: error
+//!   strings, distance metrics, Algorithms 1–4, stitching, attack pipelines,
+//!   defenses, and error localization.
+//! - [`dram`] — the cell-level DRAM decay simulator.
+//! - [`approx`] — the approximate-memory controller.
+//! - [`os`] — the commodity-system model (pages, placement, workloads).
+//! - [`image`] — the image-processing substrate (CImg stand-in).
+//! - [`model`] — the Section 7.1 mathematical model and quantile emulator.
+//! - [`stats`] — deterministic randomness and numerics.
+//!
+//! # Example
+//!
+//! ```
+//! use probable_cause_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let chip = DramChip::new(ChipProfile::km41464a(), ChipId(1));
+//! let mut mem = ApproxMemory::with_target(chip, 40.0, AccuracyTarget::percent(99.0)?)?;
+//! let data = mem.medium().worst_case_pattern();
+//! let size = data.len() as u64 * 8;
+//! let output = ErrorString::from_sorted(mem.store_errors(0, &data), size)?;
+//! assert!(output.weight() > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use pc_approx as approx;
+pub use pc_dram as dram;
+pub use pc_image as image;
+pub use pc_model as model;
+pub use pc_os as os;
+pub use pc_stats as stats;
+pub use probable_cause as core;
+
+/// One-stop imports for the examples and quick experiments.
+pub mod prelude {
+    pub use pc_approx::{AccuracyTarget, ApproxMemory, DecayMedium};
+    pub use pc_dram::{ChipGeometry, ChipId, ChipProfile, Conditions, DramBank, DramChip, MaskId};
+    pub use pc_image::{ops, synth, BitImage, GrayImage};
+    pub use pc_model::{FingerprintSpace, QuantileMemory};
+    pub use pc_os::{
+        run_edge_detect, ApproxSystem, PlacementPolicy, PublishedOutput, SystemConfig,
+    };
+    pub use probable_cause::{
+        characterize, cluster, defense, localize, DistanceMetric, Eavesdropper, ErrorString,
+        Fingerprint, FingerprintDb, HammingDistance, JaccardDistance, PcDistance,
+        SeparationReport, StitchConfig, Stitcher, SupplyChainAttacker,
+    };
+}

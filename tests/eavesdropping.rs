@@ -1,0 +1,169 @@
+//! Cross-crate integration: the eavesdropping attack — pc-os publishing,
+//! probable-cause stitching, and the pc-model convergence baseline.
+
+use probable_cause_repro::model::expected_cluster_counts;
+use probable_cause_repro::prelude::*;
+
+fn victim(seed: u64, total_pages: u64, placement: PlacementPolicy) -> ApproxSystem {
+    ApproxSystem::emulated(SystemConfig {
+        total_pages,
+        error_rate: 0.01,
+        seed,
+        placement,
+    })
+}
+
+/// Ideal cluster count from the hidden ground-truth placements.
+fn ideal_components(extents: &[(u64, u64)]) -> usize {
+    let mut sorted = extents.to_vec();
+    sorted.sort_unstable();
+    let mut n = 0;
+    let mut reach = 0;
+    for &(s, e) in &sorted {
+        if n == 0 || s >= reach {
+            n += 1;
+            reach = e;
+        } else {
+            reach = reach.max(e);
+        }
+    }
+    n
+}
+
+#[test]
+fn stitching_reconstructs_exact_overlap_structure() {
+    let mut v = victim(1, 2_048, PlacementPolicy::ContiguousRandom);
+    let mut attacker = Eavesdropper::new(StitchConfig::default());
+    let mut extents = Vec::new();
+    for k in 0..100 {
+        let out = v.publish_worst_case(32);
+        extents.push((out.placement[0], out.placement[0] + 32));
+        attacker.observe_output(&out);
+        assert_eq!(
+            attacker.suspected_chips(),
+            ideal_components(&extents),
+            "diverged at sample {k}"
+        );
+    }
+}
+
+#[test]
+fn two_interleaved_victims_stay_distinguished() {
+    let mut a = victim(10, 1_024, PlacementPolicy::ContiguousRandom);
+    let mut b = victim(11, 1_024, PlacementPolicy::ContiguousRandom);
+    let mut attacker = Eavesdropper::new(StitchConfig::default());
+    let mut a_extents = Vec::new();
+    let mut b_extents = Vec::new();
+    for _ in 0..40 {
+        let oa = a.publish_worst_case(32);
+        a_extents.push((oa.placement[0], oa.placement[0] + 32));
+        attacker.observe_output(&oa);
+        let ob = b.publish_worst_case(32);
+        b_extents.push((ob.placement[0], ob.placement[0] + 32));
+        attacker.observe_output(&ob);
+    }
+    assert_eq!(
+        attacker.suspected_chips(),
+        ideal_components(&a_extents) + ideal_components(&b_extents),
+        "cross-machine fusing or missed merges"
+    );
+}
+
+#[test]
+fn convergence_curve_tracks_model_expectation() {
+    let total = 4_096u64;
+    let run = 64u64;
+    let samples = 250usize;
+    let mut v = victim(3, total, PlacementPolicy::ContiguousRandom);
+    let mut attacker = Eavesdropper::new(StitchConfig::default());
+    let mut measured = Vec::new();
+    for _ in 0..samples {
+        attacker.observe_output(&v.publish_worst_case(run as usize));
+        measured.push(attacker.suspected_chips() as f64);
+    }
+    let model = expected_cluster_counts(total, run, samples, 8, 999);
+    // The measured curve follows the Monte-Carlo expectation within a loose
+    // band (it is one realization, the model is an average).
+    for k in [49usize, 99, 199, 249] {
+        let diff = (measured[k] - model[k]).abs();
+        assert!(
+            diff <= model[k].max(3.0) * 0.8 + 3.0,
+            "sample {k}: measured {} vs expected {:.1}",
+            measured[k],
+            model[k]
+        );
+    }
+}
+
+#[test]
+fn page_scrambling_blocks_fingerprint_assembly() {
+    let mut v = victim(4, 1_024, PlacementPolicy::PageScrambled);
+    let mut attacker = Eavesdropper::new(StitchConfig::default());
+    for _ in 0..60 {
+        attacker.observe_output(&v.publish_worst_case(16));
+    }
+    // Nearly every output stays its own island.
+    assert!(
+        attacker.suspected_chips() >= 54,
+        "scrambled outputs fused: {} clusters",
+        attacker.suspected_chips()
+    );
+}
+
+#[test]
+fn noise_defense_slows_but_does_not_stop_an_adapted_attacker() {
+    // 1% injected noise doubles each page's error density and destroys the
+    // near-identical structure the default (tight) stitcher relies on — but
+    // an attacker who widens thresholds and switches to union refinement
+    // (the data-dependent preset) keeps stitching, as §8.2.2 predicts
+    // ("adding noise only slows the attacker down").
+    let run = |config: StitchConfig| {
+        let mut v = victim(5, 1_024, PlacementPolicy::ContiguousRandom);
+        let mut attacker = Eavesdropper::new(config);
+        let mut extents = Vec::new();
+        for k in 0..60u64 {
+            let mut out = v.publish_worst_case(16);
+            extents.push((out.placement[0], out.placement[0] + 16));
+            for (i, page) in out.page_errors.iter_mut().enumerate() {
+                let es = ErrorString::from_page_bits(page, 32_768).expect("in range");
+                let noisy = defense::apply_random_flips(&es, 0.01, k * 100 + i as u64);
+                *page = noisy.positions().iter().map(|&b| b as u32).collect();
+            }
+            attacker.observe_output(&out);
+        }
+        (attacker.suspected_chips(), ideal_components(&extents))
+    };
+
+    let (naive, ideal_naive) = run(StitchConfig::default());
+    let (adapted, ideal_adapted) = run(StitchConfig::data_dependent());
+    assert!(
+        naive > ideal_naive + 10,
+        "noise should break the tight config: {naive} vs ideal {ideal_naive}"
+    );
+    assert!(
+        adapted <= ideal_adapted + 3,
+        "adapted attacker should still stitch: {adapted} vs ideal {ideal_adapted}"
+    );
+}
+
+#[test]
+fn segregated_pages_stay_out_of_the_fingerprint() {
+    let mut v = victim(6, 512, PlacementPolicy::ContiguousFixed(100));
+    let mut attacker = Eavesdropper::new(StitchConfig::default());
+    let seg = defense::DataSegregation::new(vec![true; 8]); // first 8 pages sensitive
+    for _ in 0..10 {
+        let out = v.publish_worst_case(16);
+        let pages: Vec<ErrorString> = out
+            .page_errors
+            .iter()
+            .map(|p| ErrorString::from_page_bits(p, 32_768).expect("in range"))
+            .collect();
+        attacker.observe_pages(&seg.apply(&pages));
+    }
+    // One cluster (the general half overlaps run to run), and the sensitive
+    // pages contributed nothing.
+    assert_eq!(attacker.suspected_chips(), 1);
+    let (_, pages) = attacker.stitcher().iter_clusters().next().expect("one cluster");
+    let informative = pages.values().filter(|fp| fp.weight() >= 8).count();
+    assert!(informative <= 8, "sensitive pages leaked: {informative}");
+}

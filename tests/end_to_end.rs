@@ -1,0 +1,153 @@
+//! Cross-crate integration: the supply-chain attack from chip fabrication to
+//! identification, exercising pc-dram → pc-approx → probable-cause together.
+
+use probable_cause_repro::prelude::*;
+
+/// A fast 8 KB chip for integration tests (same physics as the full part).
+fn test_chip(serial: u64) -> DramChip {
+    DramChip::new(
+        ChipProfile::km41464a().with_geometry(ChipGeometry::new(64, 1024, 2)),
+        ChipId(serial),
+    )
+}
+
+fn memory(serial: u64, accuracy: f64) -> ApproxMemory<DramChip> {
+    ApproxMemory::with_target(
+        test_chip(serial),
+        40.0,
+        AccuracyTarget::percent(accuracy).expect("valid accuracy"),
+    )
+    .expect("calibration converges")
+}
+
+#[test]
+fn supply_chain_attack_identifies_all_devices() {
+    let mut attacker = SupplyChainAttacker::new(0.25);
+    let mut fleet: Vec<_> = (0..6).map(|s| memory(100 + s, 99.0)).collect();
+    for (i, mem) in fleet.iter_mut().enumerate() {
+        attacker
+            .fingerprint_device(i, mem, 3)
+            .expect("characterization succeeds");
+    }
+    // Every later output is attributed to the right device.
+    for (i, mem) in fleet.iter_mut().enumerate() {
+        let data = mem.medium().worst_case_pattern();
+        let size = data.len() as u64 * 8;
+        let out = ErrorString::from_sorted(mem.store_errors(0, &data), size).expect("sorted");
+        assert_eq!(attacker.identify(&out), Some(&i), "device {i} misattributed");
+    }
+}
+
+#[test]
+fn identification_survives_temperature_and_accuracy_change() {
+    let mut attacker = SupplyChainAttacker::new(0.25);
+    let mut mem = memory(7, 99.0);
+    attacker.fingerprint_device("victim", &mut mem, 3).expect("ok");
+
+    for (temp, acc) in [(50.0, 99.0), (60.0, 95.0), (40.0, 90.0), (60.0, 90.0)] {
+        mem.set_temperature(temp).expect("recalibration");
+        mem.set_target(AccuracyTarget::percent(acc).expect("valid"))
+            .expect("recalibration");
+        let data = mem.medium().worst_case_pattern();
+        let size = data.len() as u64 * 8;
+        let out = ErrorString::from_sorted(mem.store_errors(0, &data), size).expect("sorted");
+        assert_eq!(
+            attacker.identify(&out),
+            Some(&"victim"),
+            "lost the victim at {temp} °C / {acc}%"
+        );
+    }
+}
+
+#[test]
+fn unseen_devices_are_rejected_not_misattributed() {
+    let mut attacker = SupplyChainAttacker::new(0.25);
+    for s in 0..4 {
+        attacker
+            .fingerprint_device(s, &mut memory(200 + s, 99.0), 3)
+            .expect("ok");
+    }
+    // 10 chips the attacker never fingerprinted.
+    for s in 0..10 {
+        let mut stranger = memory(900 + s, 99.0);
+        let data = stranger.medium().worst_case_pattern();
+        let size = data.len() as u64 * 8;
+        let out =
+            ErrorString::from_sorted(stranger.store_errors(0, &data), size).expect("sorted");
+        assert_eq!(attacker.identify(&out), None, "stranger {s} misattributed");
+    }
+}
+
+#[test]
+fn image_data_carries_the_same_fingerprint_as_worst_case() {
+    // The fingerprint learned from worst-case data identifies outputs whose
+    // payload is an image (only ~half the cells charged).
+    let mut attacker = SupplyChainAttacker::new(0.4);
+    let mut mem = memory(55, 99.0);
+    attacker.fingerprint_device("victim", &mut mem, 3).expect("ok");
+
+    let img = synth::shapes_scene(64, 128, 3); // 8192 bytes = chip size
+    let bytes = img.as_bytes();
+    let published = mem.store_readback(0, bytes);
+    let errors = ErrorString::from_xor(&published, bytes);
+    assert!(errors.weight() > 0, "image picked up no errors");
+    assert_eq!(attacker.identify(&errors), Some(&"victim"));
+}
+
+#[test]
+fn clustering_groups_outputs_by_device_across_conditions() {
+    let mut outputs = Vec::new();
+    let mut truth = Vec::new();
+    for s in 0..3u64 {
+        let mut mem = memory(300 + s, 99.0);
+        let data = mem.medium().worst_case_pattern();
+        let size = data.len() as u64 * 8;
+        for acc in [99.0, 95.0] {
+            mem.set_target(AccuracyTarget::percent(acc).expect("valid"))
+                .expect("ok");
+            outputs.push(
+                ErrorString::from_sorted(mem.store_errors(0, &data), size).expect("sorted"),
+            );
+            truth.push(s);
+        }
+    }
+    let clustering = cluster(&outputs, &PcDistance::new(), 0.25);
+    assert_eq!(clustering.len(), 3, "wrong device count");
+    for i in 0..outputs.len() {
+        for j in 0..outputs.len() {
+            assert_eq!(
+                clustering.assignments()[i] == clustering.assignments()[j],
+                truth[i] == truth[j],
+                "pair ({i},{j}) clustered wrongly"
+            );
+        }
+    }
+}
+
+#[test]
+fn bank_spanning_outputs_identify_like_single_chips() {
+    // A DIMM-like bank of 3 chips; the fingerprint of the whole bank
+    // identifies outputs spanning chip boundaries.
+    let profile = ChipProfile::km41464a().with_geometry(ChipGeometry::new(16, 1024, 2));
+    let bank = DramBank::new(profile.clone(), 3, 400);
+    let other = DramBank::new(profile, 3, 500);
+    let mut mem = ApproxMemory::with_target(bank, 40.0, AccuracyTarget::percent(99.0).unwrap())
+        .expect("calibration");
+    let mut other_mem =
+        ApproxMemory::with_target(other, 40.0, AccuracyTarget::percent(99.0).unwrap())
+            .expect("calibration");
+
+    let data = mem.medium().worst_case_pattern();
+    let size = data.len() as u64 * 8;
+    let obs: Vec<ErrorString> = (0..3)
+        .map(|_| ErrorString::from_sorted(mem.store_errors(0, &data), size).expect("sorted"))
+        .collect();
+    let mut db = FingerprintDb::new(PcDistance::new(), 0.25);
+    db.insert("bank", characterize(&obs).expect("ok"));
+
+    let fresh = ErrorString::from_sorted(mem.store_errors(0, &data), size).expect("sorted");
+    let foreign =
+        ErrorString::from_sorted(other_mem.store_errors(0, &data), size).expect("sorted");
+    assert_eq!(db.identify(&fresh), Some(&"bank"));
+    assert_eq!(db.identify(&foreign), None);
+}

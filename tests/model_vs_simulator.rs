@@ -1,0 +1,114 @@
+//! Consistency between the two decay engines: the cell-level DRAM simulator
+//! (pc-dram, used for chip-scale experiments) and the quantile emulator
+//! (pc-model, used for system-scale experiments). The paper validates its
+//! mathematical model against silicon the same way (§7.1 → §7.6).
+
+use probable_cause_repro::prelude::*;
+
+fn chip() -> DramChip {
+    DramChip::new(
+        ChipProfile::km41464a().with_geometry(ChipGeometry::new(64, 1024, 2)),
+        ChipId(1),
+    )
+}
+
+#[test]
+fn both_engines_realize_the_requested_error_rate() {
+    // Simulator: calibrated interval -> ~1% errors.
+    let mem = ApproxMemory::with_target(chip(), 40.0, AccuracyTarget::percent(99.0).unwrap())
+        .expect("calibration");
+    let mut mem = mem;
+    let data = mem.medium().worst_case_pattern();
+    let sim_rate = mem.store_errors(0, &data).len() as f64 / (data.len() * 8) as f64;
+    assert!((sim_rate - 0.01).abs() < 0.004, "simulator rate {sim_rate}");
+
+    // Emulator: direct error-rate parameter.
+    let q = QuantileMemory::new(1);
+    let emu_rate = q.page_errors(0, 0.01, 0).len() as f64 / q.page_bits() as f64;
+    assert!((emu_rate - 0.01).abs() < 0.004, "emulator rate {emu_rate}");
+}
+
+#[test]
+fn both_engines_show_the_same_trial_consistency() {
+    let consistency = |error_sets: &[Vec<u64>]| -> f64 {
+        use std::collections::HashMap;
+        let mut occ: HashMap<u64, u32> = HashMap::new();
+        for set in error_sets {
+            for &b in set {
+                *occ.entry(b).or_insert(0) += 1;
+            }
+        }
+        let full = occ.values().filter(|&&n| n == error_sets.len() as u32).count();
+        full as f64 / occ.len() as f64
+    };
+
+    let c = chip();
+    let data = c.worst_case_pattern();
+    let sim_sets: Vec<Vec<u64>> = (0..21)
+        .map(|t| c.readback_errors(&data, &Conditions::new(40.0, 6.04).trial(t)))
+        .collect();
+    let q = QuantileMemory::new(2);
+    let emu_sets: Vec<Vec<u64>> = (0..21)
+        .map(|t| q.page_errors(5, 0.01, t).into_iter().map(u64::from).collect())
+        .collect();
+
+    let (sim_c, emu_c) = (consistency(&sim_sets), consistency(&emu_sets));
+    // Both land in the paper's ">98% repeatable" band and within a couple of
+    // points of each other.
+    assert!(sim_c > 0.95, "simulator consistency {sim_c}");
+    assert!(emu_c > 0.95, "emulator consistency {emu_c}");
+    assert!((sim_c - emu_c).abs() < 0.04, "engines disagree: {sim_c} vs {emu_c}");
+}
+
+#[test]
+fn both_engines_preserve_failure_order_across_rates() {
+    // Simulator: error sets at longer intervals contain those at shorter
+    // (same trial).
+    let c = chip();
+    let data = c.worst_case_pattern();
+    let short = c.readback_errors(&data, &Conditions::new(40.0, 6.04).trial(3));
+    let long = c.readback_errors(&data, &Conditions::new(40.0, 12.0).trial(3));
+    assert!(short.iter().all(|b| long.binary_search(b).is_ok()));
+
+    // Emulator: by construction.
+    let q = QuantileMemory::new(3);
+    let e1 = q.page_errors(0, 0.01, 3);
+    let e5 = q.page_errors(0, 0.05, 3);
+    assert!(e1.iter().all(|b| e5.binary_search(b).is_ok()));
+}
+
+#[test]
+fn fingerprint_space_predicts_no_accidental_matches() {
+    // The Section 7.1 model says two distinct pages should essentially never
+    // match; verify on the emulator across many page pairs.
+    let space = FingerprintSpace::paper_page();
+    let (_, log10_upper) = space.log10_mismatch_bounds();
+    assert!(log10_upper < -100.0, "model predicts matches are possible?");
+
+    let metric = PcDistance::new();
+    let q = QuantileMemory::new(4);
+    let pages: Vec<ErrorString> = (0..40)
+        .map(|p| {
+            ErrorString::from_page_bits(&q.page_errors(p, 0.01, 0), q.page_bits())
+                .expect("in range")
+        })
+        .collect();
+    for i in 0..pages.len() {
+        for j in (i + 1)..pages.len() {
+            let d = metric.distance(&pages[i], &pages[j]);
+            assert!(d > 0.9, "pages {i},{j} accidentally similar: {d}");
+        }
+    }
+}
+
+#[test]
+fn entropy_model_consistent_with_observed_uniqueness() {
+    // With >2400 bits of entropy per page, every one of the distinct pages
+    // sampled must have a distinct fingerprint; check a few hundred.
+    let q = QuantileMemory::new(5);
+    let mut seen = std::collections::HashSet::new();
+    for p in 0..300u64 {
+        let fp = q.page_ground_truth(p, 0.01);
+        assert!(seen.insert(fp), "duplicate page fingerprint at page {p}");
+    }
+}

@@ -65,7 +65,10 @@ impl fmt::Display for CalibrationError {
                 "calibration did not converge: target error rate {target}, achieved {achieved}"
             ),
             CalibrationError::TargetUnreachable { target } => {
-                write!(f, "target error rate {target} unreachable in this environment")
+                write!(
+                    f,
+                    "target error rate {target} unreachable in this environment"
+                )
             }
         }
     }
@@ -154,8 +157,11 @@ pub fn calibrate_measured<M: DecayMedium>(
     target: AccuracyTarget,
     config: &CalibrationConfig,
 ) -> Result<f64, CalibrationError> {
+    let _span = pc_telemetry::time!("approx.calibrate");
+    pc_telemetry::counter!("approx.calibrations").incr();
     let want = target.error_rate();
     let rate_at = |interval: f64| {
+        pc_telemetry::counter!("approx.calibration.probes").incr();
         measure_error_rate(
             medium,
             &Conditions::new(temperature_c, interval).trial(u64::MAX), // calibration trial
@@ -173,6 +179,7 @@ pub fn calibrate_measured<M: DecayMedium>(
         hi_rate = rate_at(hi);
         growth += 1;
         if growth > 24 {
+            pc_telemetry::counter!("approx.calibration.failures").incr();
             return Err(CalibrationError::TargetUnreachable { target: want });
         }
     }
@@ -199,6 +206,7 @@ pub fn calibrate_measured<M: DecayMedium>(
     if (best_rate - want).abs() <= 2.0 * config.relative_tolerance * want {
         Ok(best)
     } else {
+        pc_telemetry::counter!("approx.calibration.failures").incr();
         Err(CalibrationError::DidNotConverge {
             target: want,
             achieved: best_rate,
@@ -237,7 +245,10 @@ mod tests {
         let t = AccuracyTarget::percent(99.0).unwrap();
         let cold = analytic_interval(&p, 40.0, t).unwrap();
         let hot = analytic_interval(&p, 60.0, t).unwrap();
-        assert!((cold / hot - 4.0).abs() < 1e-9, "20 °C should quarter the interval");
+        assert!(
+            (cold / hot - 4.0).abs() < 1e-9,
+            "20 °C should quarter the interval"
+        );
     }
 
     #[test]
@@ -281,8 +292,7 @@ mod tests {
 
     #[test]
     fn measured_calibration_works_on_skewed_ddr2() {
-        let p = ChipProfile::ddr2_test_window()
-            .with_geometry(ChipGeometry::new(64, 1024, 4));
+        let p = ChipProfile::ddr2_test_window().with_geometry(ChipGeometry::new(64, 1024, 4));
         let c = DramChip::new(p, ChipId(9));
         let target = AccuracyTarget::percent(95.0).unwrap();
         let cfg = CalibrationConfig {

@@ -167,6 +167,7 @@ impl<M: DecayMedium> ApproxMemory<M> {
     }
 
     fn advance_trial(&mut self) -> Conditions {
+        pc_telemetry::counter!("approx.trials").incr();
         let cond = self.next_conditions();
         self.next_trial += 1;
         cond
@@ -190,8 +191,7 @@ mod tests {
             sample_cells: None,
             ..CalibrationConfig::default()
         };
-        ApproxMemory::with_config(chip(), 40.0, AccuracyTarget::percent(pct).unwrap(), cfg)
-            .unwrap()
+        ApproxMemory::with_config(chip(), 40.0, AccuracyTarget::percent(pct).unwrap(), cfg).unwrap()
     }
 
     #[test]
@@ -199,7 +199,11 @@ mod tests {
         let mut m = mem(99.0);
         let data = m.medium().worst_case_pattern();
         let approx = m.store_readback(0, &data);
-        let flipped: u32 = data.iter().zip(&approx).map(|(a, b)| (a ^ b).count_ones()).sum();
+        let flipped: u32 = data
+            .iter()
+            .zip(&approx)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
         let rate = flipped as f64 / (data.len() * 8) as f64;
         assert!((rate - 0.01).abs() < 0.004, "rate={rate}");
     }
@@ -237,7 +241,11 @@ mod tests {
         assert!(m.refresh_interval_s() < i40);
         let data = m.medium().worst_case_pattern();
         let approx = m.store_readback(0, &data);
-        let flipped: u32 = data.iter().zip(&approx).map(|(a, b)| (a ^ b).count_ones()).sum();
+        let flipped: u32 = data
+            .iter()
+            .zip(&approx)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
         let rate = flipped as f64 / (data.len() * 8) as f64;
         assert!((rate - 0.05).abs() < 0.01, "rate={rate}");
     }
@@ -247,7 +255,8 @@ mod tests {
         let mut m = mem(99.0);
         let data = m.medium().worst_case_pattern();
         let e99 = m.store_errors(0, &data).len();
-        m.set_target(AccuracyTarget::percent(90.0).unwrap()).unwrap();
+        m.set_target(AccuracyTarget::percent(90.0).unwrap())
+            .unwrap();
         let e90 = m.store_errors(0, &data).len();
         assert!(e90 > 5 * e99, "e99={e99} e90={e90}");
     }

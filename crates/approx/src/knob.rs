@@ -165,10 +165,24 @@ mod tests {
     fn heavier_approximation_means_lower_voltage() {
         let c = chip();
         let v = VoltageModel::ddr2_like();
-        let v99 = calibrate_voltage(&c, 40.0, AccuracyTarget::percent(99.0).unwrap(), 0.064, &v, &full_scan())
-            .unwrap();
-        let v90 = calibrate_voltage(&c, 40.0, AccuracyTarget::percent(90.0).unwrap(), 0.064, &v, &full_scan())
-            .unwrap();
+        let v99 = calibrate_voltage(
+            &c,
+            40.0,
+            AccuracyTarget::percent(99.0).unwrap(),
+            0.064,
+            &v,
+            &full_scan(),
+        )
+        .unwrap();
+        let v90 = calibrate_voltage(
+            &c,
+            40.0,
+            AccuracyTarget::percent(90.0).unwrap(),
+            0.064,
+            &v,
+            &full_scan(),
+        )
+        .unwrap();
         assert!(v90.supply_v < v99.supply_v);
         assert!(v90.relative_power < v99.relative_power);
     }
@@ -180,11 +194,18 @@ mod tests {
         let c = chip();
         let data = c.worst_case_pattern();
         let target = AccuracyTarget::percent(99.0).unwrap();
-        let refresh_interval =
-            crate::calibrate_measured(&c, 40.0, target, &full_scan()).unwrap();
-        let by_refresh = c.readback_errors(&data, &Conditions::new(40.0, refresh_interval).trial(5));
-        let vout = calibrate_voltage(&c, 40.0, target, 0.064, &VoltageModel::ddr2_like(), &full_scan())
-            .unwrap();
+        let refresh_interval = crate::calibrate_measured(&c, 40.0, target, &full_scan()).unwrap();
+        let by_refresh =
+            c.readback_errors(&data, &Conditions::new(40.0, refresh_interval).trial(5));
+        let vout = calibrate_voltage(
+            &c,
+            40.0,
+            target,
+            0.064,
+            &VoltageModel::ddr2_like(),
+            &full_scan(),
+        )
+        .unwrap();
         let by_voltage = c.readback_errors(
             &data,
             &Conditions::new(40.0, 0.064)

@@ -126,7 +126,10 @@ mod tests {
         let per = bank.chip_capacity_bits();
         for cell in [0, 5, per - 1, per, per + 200] {
             let (chip, local) = bank.locate(cell);
-            assert_eq!(DecayMedium::default_bit(&bank, cell), chip.default_bit(local));
+            assert_eq!(
+                DecayMedium::default_bit(&bank, cell),
+                chip.default_bit(local)
+            );
         }
     }
 
@@ -134,6 +137,9 @@ mod tests {
     fn reference_impl_delegates() {
         let c = chip();
         let r = &c;
-        assert_eq!(DecayMedium::capacity_bits(&r), DecayMedium::capacity_bits(&c));
+        assert_eq!(
+            DecayMedium::capacity_bits(&r),
+            DecayMedium::capacity_bits(&c)
+        );
     }
 }

@@ -57,8 +57,7 @@ pub struct PolicyOutcome {
 impl PolicyOutcome {
     /// Fraction of rows populated.
     pub fn occupancy(&self) -> f64 {
-        self.populated_rows.iter().filter(|&&p| p).count() as f64
-            / self.populated_rows.len() as f64
+        self.populated_rows.iter().filter(|&&p| p).count() as f64 / self.populated_rows.len() as f64
     }
 }
 
@@ -102,7 +101,12 @@ pub fn plan_for_policy(
     match policy {
         RefreshPolicy::Uniform => {
             let interval = bisect_error_rate(target.error_rate(), |interval| {
-                rate_with_plan(chip, temperature_c, &RefreshPlan::uniform(rows, interval), None)
+                rate_with_plan(
+                    chip,
+                    temperature_c,
+                    &RefreshPlan::uniform(rows, interval),
+                    None,
+                )
             })?;
             let plan = RefreshPlan::uniform(rows, interval);
             finish(chip, temperature_c, plan, vec![true; rows as usize])
@@ -135,9 +139,16 @@ pub fn plan_for_policy(
             let alpha = bisect_error_rate(target.error_rate(), |alpha| {
                 rate_with_plan(chip, temperature_c, &plan_at(alpha), None)
             })?;
-            finish(chip, temperature_c, plan_at(alpha), vec![true; rows as usize])
+            finish(
+                chip,
+                temperature_c,
+                plan_at(alpha),
+                vec![true; rows as usize],
+            )
         }
-        RefreshPolicy::FlikkerPartition { low_refresh_fraction } => {
+        RefreshPolicy::FlikkerPartition {
+            low_refresh_fraction,
+        } => {
             assert!(
                 low_refresh_fraction > 0.0 && low_refresh_fraction <= 1.0,
                 "low-refresh fraction must be in (0, 1], got {low_refresh_fraction}"
@@ -155,14 +166,25 @@ pub fn plan_for_policy(
             let plan_at = |interval: f64| {
                 RefreshPlan::new(
                     (0..rows)
-                        .map(|r| if r < high_rows { exact_interval } else { interval })
+                        .map(|r| {
+                            if r < high_rows {
+                                exact_interval
+                            } else {
+                                interval
+                            }
+                        })
                         .collect(),
                 )
             };
             let interval = bisect_error_rate(target.error_rate(), |interval| {
                 rate_with_plan(chip, temperature_c, &plan_at(interval), None)
             })?;
-            finish(chip, temperature_c, plan_at(interval), vec![true; rows as usize])
+            finish(
+                chip,
+                temperature_c,
+                plan_at(interval),
+                vec![true; rows as usize],
+            )
         }
         RefreshPolicy::RapidPlacement { occupancy } => {
             assert!(
@@ -191,7 +213,12 @@ pub fn plan_for_policy(
             };
             let populated_ref = populated.clone();
             let interval = bisect_error_rate(target.error_rate(), |interval| {
-                rate_with_plan(chip, temperature_c, &plan_at(interval), Some(&populated_ref))
+                rate_with_plan(
+                    chip,
+                    temperature_c,
+                    &plan_at(interval),
+                    Some(&populated_ref),
+                )
             })?;
             finish(chip, temperature_c, plan_at(interval), populated)
         }
@@ -210,19 +237,14 @@ fn rate_with_plan(
     let errors = chip.errors_with_plan(&data, &cond, plan);
     let geom = chip.profile().geometry();
     let denom = match populated {
-        Some(p) => {
-            p.iter().filter(|&&x| x).count() as u64 * geom.bits_per_row() as u64
-        }
+        Some(p) => p.iter().filter(|&&x| x).count() as u64 * geom.bits_per_row() as u64,
         None => chip.capacity_bits(),
     };
     errors.len() as f64 / denom as f64
 }
 
 /// Bisects a monotone-increasing `rate(x)` (in x) to hit `want`.
-fn bisect_error_rate(
-    want: f64,
-    rate: impl Fn(f64) -> f64,
-) -> Result<f64, CalibrationError> {
+fn bisect_error_rate(want: f64, rate: impl Fn(f64) -> f64) -> Result<f64, CalibrationError> {
     let mut lo = 0.0f64;
     let mut hi = 1.0f64;
     let mut growth = 0;
@@ -306,7 +328,11 @@ mod tests {
         assert!(out.populated_rows.iter().all(|&p| p));
         // Uniform plan: all intervals equal.
         let first = out.plan.interval(0);
-        assert!(out.plan.intervals().iter().all(|&i| (i - first).abs() < 1e-12));
+        assert!(out
+            .plan
+            .intervals()
+            .iter()
+            .all(|&i| (i - first).abs() < 1e-12));
     }
 
     #[test]
@@ -327,8 +353,18 @@ mod tests {
             exact_refresh_rate_hz(&c, 40.0)
         );
         // Weak-bin rows are refreshed faster than strong-bin rows.
-        let min = raidr.plan.intervals().iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = raidr.plan.intervals().iter().cloned().fold(0.0f64, f64::max);
+        let min = raidr
+            .plan
+            .intervals()
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let max = raidr
+            .plan
+            .intervals()
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max);
         assert!(max > 2.0 * min, "bins not differentiated: {min}..{max}");
     }
 
@@ -371,7 +407,9 @@ mod tests {
             &c,
             40.0,
             target,
-            RefreshPolicy::FlikkerPartition { low_refresh_fraction: 0.5 },
+            RefreshPolicy::FlikkerPartition {
+                low_refresh_fraction: 0.5,
+            },
         )
         .unwrap();
         assert!((out.achieved_error_rate - 0.01).abs() < 0.003);

@@ -72,9 +72,7 @@ fn bench_fingerprint_observations(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_characterize_observations");
     let base = synthetic_errors(3, 2_621, 262_144);
     for n in [2usize, 3, 5, 9, 21] {
-        let obs: Vec<ErrorString> = (0..n)
-            .map(|t| perturbed(&base, 40, 40, t as u64))
-            .collect();
+        let obs: Vec<ErrorString> = (0..n).map(|t| perturbed(&base, 40, 40, t as u64)).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &obs, |b, obs| {
             b.iter(|| black_box(characterize(obs).expect("non-empty")))
         });

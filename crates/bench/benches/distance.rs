@@ -9,8 +9,10 @@ use std::hint::black_box;
 fn bench_metrics(c: &mut Criterion) {
     let mut group = c.benchmark_group("distance");
     // Page scale (32768 bits, 1% error) and chip scale (262144 bits).
-    for (label, size, weight) in [("page_1pct", 32_768u64, 328usize), ("chip_1pct", 262_144, 2_621)]
-    {
+    for (label, size, weight) in [
+        ("page_1pct", 32_768u64, 328usize),
+        ("chip_1pct", 262_144, 2_621),
+    ] {
         let fp = synthetic_errors(1, weight, size);
         let same = perturbed(&fp, weight / 50, weight / 50, 2);
         let other = synthetic_errors(99, weight, size);

@@ -13,14 +13,14 @@ fn bench_minhash(c: &mut Criterion) {
     let hasher = MinHasher::new(8, 2, 42);
     for weight in [32usize, 328, 3_277] {
         let page = synthetic_errors(1, weight, PAGE_BITS);
-        group.bench_with_input(
-            BenchmarkId::new("signature", weight),
-            &page,
-            |b, page| b.iter(|| black_box(hasher.signature(page))),
-        );
+        group.bench_with_input(BenchmarkId::new("signature", weight), &page, |b, page| {
+            b.iter(|| black_box(hasher.signature(page)))
+        });
     }
     let sig = hasher.signature(&synthetic_errors(1, 328, PAGE_BITS));
-    group.bench_function("band_keys", |b| b.iter(|| black_box(hasher.band_keys(&sig))));
+    group.bench_function("band_keys", |b| {
+        b.iter(|| black_box(hasher.band_keys(&sig)))
+    });
     group.finish();
 }
 
@@ -102,7 +102,10 @@ fn bench_convergence_run(c: &mut Criterion) {
             let mut st = Stitcher::new(PAGE_BITS, StitchConfig::default());
             let mut start = 3u64;
             for _ in 0..200 {
-                start = (start.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1)) % 496;
+                start = (start
+                    .wrapping_mul(2_862_933_555_777_941_757)
+                    .wrapping_add(1))
+                    % 496;
                 st.observe(&synthetic_output(1, start, 16, PAGE_BITS));
             }
             black_box(st.suspected_chips())

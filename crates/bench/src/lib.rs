@@ -14,9 +14,7 @@ use probable_cause::ErrorString;
 /// `seed` — the stand-in for one page/chip error pattern.
 pub fn synthetic_errors(seed: u64, weight: usize, size: u64) -> ErrorString {
     let h = CellHasher::new(seed);
-    let bits: Vec<u64> = (0..weight as u64 * 2)
-        .map(|i| h.word(i) % size)
-        .collect();
+    let bits: Vec<u64> = (0..weight as u64 * 2).map(|i| h.word(i) % size).collect();
     let mut es = ErrorString::from_unsorted(bits, size).expect("in-range bits");
     // Trim to the requested weight (dedup may have removed a few).
     if es.weight() as usize > weight {

@@ -1,0 +1,367 @@
+//! Offline stand-in for `criterion`, restricted to the API surface this
+//! workspace uses: [`criterion_group!`] / [`criterion_main!`], benchmark
+//! groups with `bench_function` / `bench_with_input` / `sample_size`, and
+//! [`Bencher::iter`] / [`Bencher::iter_batched`].
+//!
+//! Measurement is deliberately simple: per benchmark it runs a short warmup
+//! to calibrate iterations-per-sample, takes `sample_size` wall-clock
+//! samples, and prints the median, minimum, and mean time per iteration.
+//! Under `cargo test` (libtest passes `--test`) each benchmark runs exactly
+//! once as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point, constructed by [`criterion_main!`].
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            filter: None,
+            test_mode: false,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments: `--test` enables smoke mode (used by
+    /// `cargo test` on `harness = false` targets), the first free argument
+    /// is a substring filter on benchmark ids, other flags are ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                "--sample-size" => {
+                    if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                        self.sample_size = n;
+                    }
+                }
+                // Flags libtest/cargo pass that take no value we care about.
+                "--bench" | "--nocapture" | "--quiet" | "-q" | "--verbose" => {}
+                other if other.starts_with("--") => {
+                    // Skip unknown `--flag value` pairs conservatively.
+                    if !other.contains('=') {
+                        let _ = args.next();
+                    }
+                }
+                free => {
+                    if self.filter.is_none() {
+                        self.filter = Some(free.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(&id.into().full_id(None), sample_size, f);
+    }
+
+    fn run_one<F>(&mut self, full_id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            mode: if self.test_mode {
+                Mode::Smoke
+            } else {
+                Mode::Measure { sample_size }
+            },
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {full_id} ... ok");
+        } else {
+            b.report(full_id);
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into().full_id(Some(&self.name));
+        let n = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, n, f);
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn full_id(&self, group: Option<&str>) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if let Some(g) = group {
+            parts.push(g);
+        }
+        if let Some(f) = &self.function {
+            parts.push(f);
+        }
+        if let Some(p) = &self.parameter {
+            parts.push(p);
+        }
+        parts.join("/")
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self {
+            function: Some(s.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self {
+            function: Some(s),
+            parameter: None,
+        }
+    }
+}
+
+/// How [`Bencher::iter_batched`] batches setup outputs; accepted for
+/// compatibility, measurement is per-invocation either way.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    Smoke,
+    Measure { sample_size: usize },
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, called in a calibrated loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(f());
+            }
+            Mode::Measure { sample_size } => {
+                let iters = calibrate(|| {
+                    black_box(f());
+                });
+                self.samples = (0..sample_size)
+                    .map(|_| {
+                        let start = Instant::now();
+                        for _ in 0..iters {
+                            black_box(f());
+                        }
+                        start.elapsed().as_secs_f64() / iters as f64
+                    })
+                    .collect();
+            }
+        }
+    }
+
+    /// Measures `routine` over values produced by `setup`; setup time is
+    /// excluded from the reported figure.
+    pub fn iter_batched<S, O, SF, F>(&mut self, mut setup: SF, mut routine: F, _size: BatchSize)
+    where
+        SF: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure { sample_size } => {
+                // Calibrate on full setup+routine, then time routine alone.
+                let iters = calibrate(|| {
+                    black_box(routine(setup()));
+                })
+                .max(1);
+                self.samples = (0..sample_size)
+                    .map(|_| {
+                        let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+                        let start = Instant::now();
+                        for input in inputs {
+                            black_box(routine(input));
+                        }
+                        start.elapsed().as_secs_f64() / iters as f64
+                    })
+                    .collect();
+            }
+        }
+    }
+
+    fn report(&self, full_id: &str) {
+        if self.samples.is_empty() {
+            println!("{full_id:<60} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{full_id:<60} median {:>12} min {:>12} mean {:>12}",
+            Nanos(median),
+            Nanos(min),
+            Nanos(mean)
+        );
+    }
+}
+
+/// Picks an iteration count so one sample lasts roughly 5 ms.
+fn calibrate<F: FnMut()>(mut f: F) -> u64 {
+    let budget = Duration::from_millis(5);
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= budget / 4 || iters >= 1 << 24 {
+            let per_iter = elapsed.as_secs_f64() / iters as f64;
+            let want = budget.as_secs_f64() / per_iter.max(1e-9);
+            return (want as u64).clamp(1, 1 << 24);
+        }
+        iters *= 4;
+    }
+}
+
+struct Nanos(f64);
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0 * 1e9;
+        if ns < 1_000.0 {
+            write!(f, "{ns:8.1} ns")
+        } else if ns < 1_000_000.0 {
+            write!(f, "{:8.2} µs", ns / 1_000.0)
+        } else if ns < 1_000_000_000.0 {
+            write!(f, "{:8.2} ms", ns / 1_000_000.0)
+        } else {
+            write!(f, "{:8.3} s ", ns / 1_000_000_000.0)
+        }
+    }
+}
+
+/// Collects benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `fn main()` running the listed groups, mirroring criterion's macro
+/// of the same name.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,70 @@
+//! Offline stand-in for `crossbeam`, restricted to the API surface this
+//! workspace uses: [`thread::scope`] with crossbeam's closure shape (the
+//! spawned closure receives the scope, so workers can spawn sub-workers),
+//! implemented over `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads with crossbeam's `scope(|s| ...)` / `s.spawn(|s| ...)`
+/// call shape.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of [`scope`]: `Err` carries the payload of the first panicking
+    /// worker, as in crossbeam.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle passed to the [`scope`] closure and to every spawned worker.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped worker. The closure receives the scope so it can
+        /// spawn further workers, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing, non-`'static` threads can be
+    /// spawned; joins them all before returning. Panics from workers (or from
+    /// `f` itself) are captured into the `Err` variant rather than unwinding.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_borrowing_workers() {
+        let mut slots = vec![0u64; 4];
+        super::thread::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        })
+        .expect("workers do not panic");
+        assert_eq!(slots, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn worker_panic_is_captured() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

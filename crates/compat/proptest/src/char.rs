@@ -1,0 +1,31 @@
+//! Character strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniform characters in `[lo, hi]` (inclusive), skipping the surrogate gap.
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange { lo, hi }
+}
+
+/// Strategy returned by [`range`].
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    lo: char,
+    hi: char,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn new_value(&self, rng: &mut TestRng) -> char {
+        let (lo, hi) = (self.lo as u32, self.hi as u32);
+        loop {
+            let v = lo + rng.below(u64::from(hi - lo + 1)) as u32;
+            if let Some(c) = ::core::char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Case generation and execution for the [`proptest!`](crate::proptest)
+//! macro.
+
+/// Per-block configuration; only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; another will be drawn.
+    Reject(String),
+    /// An assertion failed; the test fails.
+    Fail(String),
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// SplitMix64 step — the generator behind [`TestRng`].
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic counter-based RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    key: u64,
+    counter: u64,
+}
+
+impl TestRng {
+    /// RNG keyed by `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            key: mix64(seed),
+            counter: 0,
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let w = mix64(self.key ^ mix64(self.counter));
+        self.counter = self.counter.wrapping_add(1);
+        w
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform value in `[0, n)` for `usize` bounds.
+    pub fn index(&mut self, n: usize) -> usize {
+        self.below(n as u64) as usize
+    }
+}
+
+/// FNV-1a over the test name, so sibling tests draw unrelated streams.
+fn name_key(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `cfg.cases` accepted cases of `f`, drawing each case's inputs from a
+/// deterministic seed derived from the test name (override the base with the
+/// `PROPTEST_SEED` environment variable).
+///
+/// # Panics
+///
+/// Panics if a case fails, reporting the case number and its seed, or if too
+/// many consecutive cases are rejected by `prop_assume!`.
+pub fn run_cases<F>(cfg: ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(0x50C4_15ED_5EED_0001);
+    let key = base ^ name_key(name);
+    let mut accepted: u32 = 0;
+    let mut attempt: u64 = 0;
+    let max_attempts = u64::from(cfg.cases) * 20 + 100;
+    while accepted < cfg.cases {
+        assert!(
+            attempt < max_attempts,
+            "proptest {name}: gave up after {attempt} attempts \
+             ({accepted}/{} cases accepted); prop_assume! rejects too much",
+            cfg.cases
+        );
+        let seed = key ^ mix64(attempt);
+        let mut rng = TestRng::new(seed);
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => panic!(
+                "proptest {name}: case #{accepted} (attempt {attempt}, seed {seed:#018x}) \
+                 failed:\n{msg}"
+            ),
+        }
+        attempt += 1;
+    }
+}

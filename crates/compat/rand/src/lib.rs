@@ -1,0 +1,260 @@
+//! Offline stand-in for the `rand` crate, restricted to the trait surface
+//! this workspace uses.
+//!
+//! The workspace never asks for an OS entropy source — every generator is a
+//! deterministic, caller-seeded type (e.g. `pc_stats::StreamRng`) that
+//! implements [`TryRng`]. This crate supplies the trait tower on top:
+//!
+//! * [`TryRng`] — fallible word source; the only trait implementors write.
+//! * [`RngCore`] — infallible word source, blanket-implemented for every
+//!   `TryRng<Error = Infallible>`.
+//! * [`Rng`] — marker alias for `RngCore`, kept for source compatibility.
+//! * [`RngExt`] — `random`, `random_range`, `random_bool` conveniences,
+//!   blanket-implemented for every `RngCore`.
+
+#![forbid(unsafe_code)]
+
+use core::convert::Infallible;
+use core::ops::{Range, RangeInclusive};
+
+/// A fallible source of random words. The workspace's deterministic
+/// generators implement this with `Error = Infallible`.
+pub trait TryRng {
+    /// Error produced when the underlying source fails.
+    type Error;
+
+    /// Next 32 uniform bits.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Next 64 uniform bits.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dst` with uniform bytes.
+    fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible source of random words.
+pub trait RngCore {
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dst` with uniform bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8]);
+}
+
+impl<R> RngCore for R
+where
+    R: TryRng<Error = Infallible> + ?Sized,
+{
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    #[inline]
+    fn fill_bytes(&mut self, dst: &mut [u8]) {
+        match self.try_fill_bytes(dst) {
+            Ok(()) => (),
+            Err(e) => match e {},
+        }
+    }
+}
+
+/// Marker trait for infallible generators; blanket-implemented so that
+/// `R: Rng` bounds in downstream code keep compiling.
+pub trait Rng: RngCore {}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from uniform bits via [`RngExt::random`].
+pub trait FromRng {
+    /// Draws one value from `rng`.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl FromRng for f64 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Top 53 bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+    }
+}
+
+impl FromRng for f32 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / 16_777_216.0)
+    }
+}
+
+impl FromRng for bool {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! from_rng_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl FromRng for $t {
+            #[inline]
+            fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+from_rng_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform draw below `span` (`1 <= span <= 2^64`) via 128-bit
+/// multiply-shift; unbiased enough for simulation use.
+#[inline]
+fn below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!((1..=1u128 << 64).contains(&span));
+    (u128::from(rng.next_u64()) * span) >> 64
+}
+
+/// Ranges samplable by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draws one value in the range from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::from_rng(rng);
+        let v = self.start + u * (self.end - self.start);
+        v.min(self.end - f64::EPSILON * self.end.abs().max(1.0))
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Draws one uniform value of type `T`.
+    #[inline]
+    fn random<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Draws one uniform value in `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl TryRng for Lcg {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok((self.try_next_u64()? >> 32) as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 = self
+                .0
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            Ok(self.0)
+        }
+
+        fn try_fill_bytes(&mut self, dst: &mut [u8]) -> Result<(), Infallible> {
+            for b in dst {
+                *b = self.try_next_u64()? as u8;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Lcg(7);
+        for _ in 0..1000 {
+            let a = rng.random_range(3u64..17);
+            assert!((3..17).contains(&a));
+            let b = rng.random_range(0u8..=255);
+            let _ = b;
+            let c = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&c));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = Lcg(9);
+        let _ = rng.random_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = Lcg(11);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+}

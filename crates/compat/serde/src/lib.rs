@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`, restricted to what this workspace uses:
+//! the `Serialize` / `Deserialize` derive markers.
+//!
+//! Nothing in the workspace performs serde serialization (persistence is a
+//! hand-rolled text format, telemetry writes its own JSON), so the derives
+//! expand to nothing; they exist so type definitions stay source-compatible
+//! with the real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`'s derive.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`'s derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -52,12 +52,16 @@ impl std::error::Error for CharacterizeError {}
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn characterize(observations: &[ErrorString]) -> Result<Fingerprint, CharacterizeError> {
+    let _span = pc_telemetry::time!("core.characterize");
+    pc_telemetry::counter!("core.characterize.observations").add(observations.len() as u64);
     let (first, rest) = observations
         .split_first()
         .ok_or(CharacterizeError::NoObservations)?;
     let mut fp = Fingerprint::from_observation(first.clone());
     for obs in rest {
-        fp = fp.refine(obs).map_err(|_| CharacterizeError::SizeMismatch)?;
+        fp = fp
+            .refine(obs)
+            .map_err(|_| CharacterizeError::SizeMismatch)?;
     }
     Ok(fp)
 }
@@ -125,6 +129,7 @@ pub fn cluster<M: DistanceMetric + ?Sized>(
     metric: &M,
     threshold: f64,
 ) -> Clustering {
+    let _span = pc_telemetry::time!("core.cluster");
     let mut clusters: Vec<Fingerprint> = Vec::new();
     let mut assignments = Vec::with_capacity(observations.len());
     for obs in observations {
@@ -142,6 +147,11 @@ pub fn cluster<M: DistanceMetric + ?Sized>(
             clusters.push(Fingerprint::from_observation(obs.clone()));
             clusters.len() - 1
         });
+        if assigned.is_some() {
+            pc_telemetry::counter!("core.cluster.refined").incr();
+        } else {
+            pc_telemetry::counter!("core.cluster.seeded").incr();
+        }
         assignments.push(id);
     }
     Clustering {
@@ -193,7 +203,11 @@ mod tests {
     #[test]
     fn cluster_groups_same_device() {
         // Two devices, three outputs each, with mild noise.
-        let dev_a = [es(&[1, 5, 9, 13]), es(&[1, 5, 9, 14]), es(&[1, 5, 9, 13, 20])];
+        let dev_a = [
+            es(&[1, 5, 9, 13]),
+            es(&[1, 5, 9, 14]),
+            es(&[1, 5, 9, 13, 20]),
+        ];
         let dev_b = [es(&[2, 6, 10, 50]), es(&[2, 6, 10, 51]), es(&[2, 6, 10])];
         let mut all = Vec::new();
         all.extend(dev_a.iter().cloned());

@@ -216,11 +216,16 @@ mod tests {
         // Fresh victim outputs attribute; stranger outputs stay anonymous.
         let mut hits = 0;
         for _ in 0..5 {
-            if attacker.attribute_output(&v.publish_worst_case(32)).is_some() {
+            if attacker
+                .attribute_output(&v.publish_worst_case(32))
+                .is_some()
+            {
                 hits += 1;
             }
             assert!(
-                attacker.attribute_output(&stranger.publish_worst_case(32)).is_none(),
+                attacker
+                    .attribute_output(&stranger.publish_worst_case(32))
+                    .is_none(),
                 "stranger output attributed"
             );
         }

@@ -124,8 +124,7 @@ mod tests {
             sample_cells: None,
             ..CalibrationConfig::default()
         };
-        ApproxMemory::with_config(chip, 40.0, AccuracyTarget::percent(99.0).unwrap(), cfg)
-            .unwrap()
+        ApproxMemory::with_config(chip, 40.0, AccuracyTarget::percent(99.0).unwrap(), cfg).unwrap()
     }
 
     #[test]
@@ -133,12 +132,13 @@ mod tests {
         let mut attacker = SupplyChainAttacker::new(0.25);
         let mut victim = memory(1);
         let mut other = memory(2);
-        attacker.fingerprint_device("victim", &mut victim, 3).unwrap();
+        attacker
+            .fingerprint_device("victim", &mut victim, 3)
+            .unwrap();
 
         let data = victim.medium().worst_case_pattern();
         let size = data.len() as u64 * 8;
-        let out_victim =
-            ErrorString::from_sorted(victim.store_errors(0, &data), size).unwrap();
+        let out_victim = ErrorString::from_sorted(victim.store_errors(0, &data), size).unwrap();
         let out_other = ErrorString::from_sorted(other.store_errors(0, &data), size).unwrap();
 
         assert_eq!(attacker.identify(&out_victim), Some(&"victim"));
@@ -160,7 +160,9 @@ mod tests {
         let mut attacker: SupplyChainAttacker<&str> = SupplyChainAttacker::new(0.25);
         let mut victim = memory(4);
         assert_eq!(
-            attacker.fingerprint_device("v", &mut victim, 0).unwrap_err(),
+            attacker
+                .fingerprint_device("v", &mut victim, 0)
+                .unwrap_err(),
             CharacterizeError::NoObservations
         );
         assert!(attacker.db().is_empty());

@@ -131,7 +131,10 @@ impl ErrorString {
 
     /// An empty error string of the given size.
     pub fn empty(size: u64) -> Self {
-        Self { bits: Vec::new(), size }
+        Self {
+            bits: Vec::new(),
+            size,
+        }
     }
 
     /// The declared size in bits.
@@ -205,7 +208,10 @@ impl ErrorString {
         }
         bits.extend_from_slice(&self.bits[i..]);
         bits.extend_from_slice(&other.bits[j..]);
-        Ok(ErrorString { bits, size: self.size })
+        Ok(ErrorString {
+            bits,
+            size: self.size,
+        })
     }
 
     /// Number of bits set in `self` but absent from `other` — the counting

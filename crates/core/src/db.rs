@@ -82,10 +82,23 @@ impl<L, M: DistanceMetric> FingerprintDb<L, M> {
     /// **Algorithm 2**: returns the first stored fingerprint whose distance
     /// to `error_string` is below the threshold, or `None` ("failed").
     pub fn identify(&self, error_string: &ErrorString) -> Option<&L> {
-        self.entries
+        let _span = pc_telemetry::time!("core.db.identify");
+        let mut compared = 0u64;
+        let hit = self
+            .entries
             .iter()
-            .find(|(_, fp)| self.metric.distance(fp.errors(), error_string) < self.threshold)
-            .map(|(l, _)| l)
+            .find(|(_, fp)| {
+                compared += 1;
+                self.metric.distance(fp.errors(), error_string) < self.threshold
+            })
+            .map(|(l, _)| l);
+        pc_telemetry::counter!("core.db.identify.comparisons").add(compared);
+        if hit.is_some() {
+            pc_telemetry::counter!("core.db.identify.hits").incr();
+        } else {
+            pc_telemetry::counter!("core.db.identify.misses").incr();
+        }
+        hit
     }
 
     /// Exhaustive variant: the closest fingerprint and its distance,

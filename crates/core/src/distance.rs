@@ -57,6 +57,7 @@ impl PcDistance {
 
 impl DistanceMetric for PcDistance {
     fn distance(&self, fingerprint: &ErrorString, error_string: &ErrorString) -> f64 {
+        pc_telemetry::counter!("core.distance.pc").incr();
         // Footnote 2: let the lower-weight string act as the fingerprint.
         let (small, big) = if fingerprint.weight() <= error_string.weight() {
             (fingerprint, error_string)
@@ -96,8 +97,9 @@ impl HammingDistance {
 
 impl DistanceMetric for HammingDistance {
     fn distance(&self, fingerprint: &ErrorString, error_string: &ErrorString) -> f64 {
-        let sym = fingerprint.difference_count(error_string)
-            + error_string.difference_count(fingerprint);
+        pc_telemetry::counter!("core.distance.hamming").incr();
+        let sym =
+            fingerprint.difference_count(error_string) + error_string.difference_count(fingerprint);
         // Normalize by the maximum possible symmetric difference between the
         // two strings so the result stays in [0, 1].
         let max = (fingerprint.weight() + error_string.weight()).max(1);
@@ -126,6 +128,7 @@ impl JaccardDistance {
 
 impl DistanceMetric for JaccardDistance {
     fn distance(&self, fingerprint: &ErrorString, error_string: &ErrorString) -> f64 {
+        pc_telemetry::counter!("core.distance.jaccard").incr();
         let inter = fingerprint.intersection_count(error_string);
         let union = fingerprint.weight() + error_string.weight() - inter;
         if union == 0 {
@@ -206,7 +209,10 @@ mod tests {
         let gap_pc = pc.distance(&fp, &other) - pc.distance(&fp, &same_dense);
         let gap_ham = ham.distance(&fp, &other) - ham.distance(&fp, &same_dense);
         assert!(gap_ham < 0.3, "hamming gap unexpectedly wide: {gap_ham}");
-        assert!(gap_pc > 3.0 * gap_ham, "pc gap {gap_pc} vs hamming gap {gap_ham}");
+        assert!(
+            gap_pc > 3.0 * gap_ham,
+            "pc gap {gap_pc} vs hamming gap {gap_ham}"
+        );
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl Fingerprint {
     /// Panics if `observations` is zero — a fingerprint is always backed by
     /// at least one observation.
     pub fn from_parts(errors: ErrorString, observations: u32) -> Self {
-        assert!(observations > 0, "a fingerprint needs at least one observation");
+        assert!(
+            observations > 0,
+            "a fingerprint needs at least one observation"
+        );
         Self {
             errors,
             observations,

@@ -168,14 +168,11 @@ mod tests {
         let fp_bits: Vec<u64> = (0..20).map(|i| i * 5).collect();
         db.insert(
             "victim",
-            Fingerprint::from_observation(
-                ErrorString::from_sorted(fp_bits.clone(), 1024).unwrap(),
-            ),
+            Fingerprint::from_observation(ErrorString::from_sorted(fp_bits.clone(), 1024).unwrap()),
         );
         let wrong = ErrorString::from_sorted(vec![7, 13, 501], 1024).unwrap();
         let right = ErrorString::from_sorted(fp_bits, 1024).unwrap();
-        let (label, d, idx) =
-            speculative_identify(&db, &[wrong, right]).expect("should match");
+        let (label, d, idx) = speculative_identify(&db, &[wrong, right]).expect("should match");
         assert_eq!(label, &"victim");
         assert_eq!(idx, 1);
         assert!(d < 0.3);

@@ -137,9 +137,7 @@ pub fn load_db<R: BufRead>(r: R) -> Result<FingerprintDb<String, PcDistance>, Db
     };
     let mut lines = r.lines().enumerate();
 
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| bad(1, "empty file"))?;
+    let (_, header) = lines.next().ok_or_else(|| bad(1, "empty file"))?;
     if header?.trim() != "probable-cause-db 1" {
         return Err(bad(1, "missing or unsupported header"));
     }
@@ -183,10 +181,7 @@ pub fn load_db<R: BufRead>(r: R) -> Result<FingerprintDb<String, PcDistance>, Db
         let mut positions = Vec::new();
         if !positions_field.is_empty() {
             for tok in positions_field.split(',') {
-                positions.push(
-                    tok.parse::<u64>()
-                        .map_err(|_| bad(n, "bad bit position"))?,
-                );
+                positions.push(tok.parse::<u64>().map_err(|_| bad(n, "bad bit position"))?);
             }
         }
         let errors = ErrorString::from_sorted(positions, size)
@@ -205,10 +200,7 @@ mod tests {
         let mut db = FingerprintDb::new(PcDistance::new(), 0.3);
         db.insert(
             "chip one".to_string(),
-            Fingerprint::from_parts(
-                ErrorString::from_sorted(vec![1, 5, 900], 4096).unwrap(),
-                3,
-            ),
+            Fingerprint::from_parts(ErrorString::from_sorted(vec![1, 5, 900], 4096).unwrap(), 3),
         );
         db.insert(
             "100%-weird\nlabel".to_string(),
@@ -249,8 +241,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_threshold() {
-        let err =
-            load_db(Cursor::new(b"probable-cause-db 1\nthreshold 7\n".to_vec())).unwrap_err();
+        let err = load_db(Cursor::new(b"probable-cause-db 1\nthreshold 7\n".to_vec())).unwrap_err();
         assert!(matches!(err, DbIoError::BadFormat { line: 2, .. }));
     }
 

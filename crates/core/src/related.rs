@@ -9,7 +9,9 @@
 //!   estimates how long a memory went unrefreshed. Probable Cause uses
 //!   *which* cells decayed; TARDIS uses *how many*.
 
-use crate::{characterize, CharacterizeError, DistanceMetric, ErrorString, Fingerprint, PcDistance};
+use crate::{
+    characterize, CharacterizeError, DistanceMetric, ErrorString, Fingerprint, PcDistance,
+};
 use pc_dram::{Conditions, DramChip};
 use pc_stats::VolatilityDistribution;
 
@@ -161,7 +163,10 @@ mod tests {
         let device = DramChip::new(profile(), ChipId(1));
         let puf = DramPuf::enroll(&device, 6.0, 3).unwrap();
         for nonce in 10..15 {
-            assert!(puf.verify(&device, nonce), "genuine rejected at nonce {nonce}");
+            assert!(
+                puf.verify(&device, nonce),
+                "genuine rejected at nonce {nonce}"
+            );
         }
         for serial in 2..8 {
             let impostor = DramChip::new(profile(), ChipId(serial));

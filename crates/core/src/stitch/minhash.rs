@@ -40,7 +40,10 @@ impl MinHasher {
     ///
     /// Panics if either count is zero.
     pub fn new(bands: usize, rows_per_band: usize, seed: u64) -> Self {
-        assert!(bands > 0 && rows_per_band > 0, "bands and rows must be positive");
+        assert!(
+            bands > 0 && rows_per_band > 0,
+            "bands and rows must be positive"
+        );
         let n = bands * rows_per_band;
         let seeds = (0..n as u64)
             .map(|i| mix64(seed ^ mix64(i ^ 0x4D49_4E48_4153_4821)))
@@ -67,6 +70,8 @@ impl MinHasher {
     /// `u64::MAX` — callers should exclude low-information pages instead of
     /// relying on that sentinel.
     pub fn signature(&self, errors: &ErrorString) -> Vec<u64> {
+        let _span = pc_telemetry::time!("core.minhash.signature");
+        pc_telemetry::counter!("core.minhash.signatures").incr();
         let mut sig = vec![u64::MAX; self.seeds.len()];
         for &bit in errors.positions() {
             let hb = mix64(bit ^ 0x706A_6765_6269_7473);
@@ -142,7 +147,7 @@ mod tests {
     #[test]
     fn similarity_estimate_tracks_jaccard() {
         let h = MinHasher::new(32, 4, 3); // 128 lanes for a tight estimate
-        // Two sets with Jaccard ~ 1/3: |A|=|B|=200, |A∩B|=100.
+                                          // Two sets with Jaccard ~ 1/3: |A|=|B|=200, |A∩B|=100.
         let a = es((0..200).collect());
         let b = es((100..300).collect());
         let est = h.estimate_similarity(&h.signature(&a), &h.signature(&b));
@@ -172,7 +177,10 @@ mod tests {
         let a = es((0..100).collect());
         let h1 = MinHasher::new(4, 2, 10);
         let h2 = MinHasher::new(4, 2, 11);
-        assert_ne!(h1.band_keys(&h1.signature(&a)), h2.band_keys(&h2.signature(&a)));
+        assert_ne!(
+            h1.band_keys(&h1.signature(&a)),
+            h2.band_keys(&h2.signature(&a))
+        );
     }
 
     #[test]

@@ -64,7 +64,10 @@ impl ReferenceStitcher {
     ///
     /// Panics if `pages` is empty or a page's size mismatches.
     pub fn observe(&mut self, pages: &[ErrorString]) -> usize {
-        assert!(!pages.is_empty(), "an output must contain at least one page");
+        assert!(
+            !pages.is_empty(),
+            "an output must contain at least one page"
+        );
         for p in pages {
             assert_eq!(p.size(), self.page_bits, "page size mismatch");
         }

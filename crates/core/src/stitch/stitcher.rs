@@ -178,11 +178,7 @@ impl Stitcher {
 
     /// Total pages held across live clusters (fingerprint coverage).
     pub fn total_pages(&self) -> usize {
-        self.clusters
-            .iter()
-            .flatten()
-            .map(|c| c.pages.len())
-            .sum()
+        self.clusters.iter().flatten().map(|c| c.pages.len()).sum()
     }
 
     /// The canonical id of cluster `id` after merges.
@@ -210,7 +206,11 @@ impl Stitcher {
     /// Validates an output and lists the verified `(cluster, alignment,
     /// matched pages)` candidates, best first.
     fn verified_alignments(&self, pages: &[ErrorString]) -> Vec<(ClusterId, i64, usize)> {
-        assert!(!pages.is_empty(), "an output must contain at least one page");
+        let _span = pc_telemetry::time!("core.stitch.align");
+        assert!(
+            !pages.is_empty(),
+            "an output must contain at least one page"
+        );
         for p in pages {
             assert_eq!(p.size(), self.page_bits, "page size mismatch");
         }
@@ -238,6 +238,7 @@ impl Stitcher {
         let mut candidates: Vec<((ClusterId, i64), u32)> = votes.into_iter().collect();
         candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         candidates.truncate(self.config.max_candidates);
+        pc_telemetry::counter!("core.stitch.candidates").add(candidates.len() as u64);
 
         // Best accepted alignment per cluster: cid -> (delta, matched pages).
         let mut accepted: HashMap<ClusterId, (i64, usize)> = HashMap::new();
@@ -245,7 +246,9 @@ impl Stitcher {
             if accepted.contains_key(&cid) {
                 continue;
             }
-            let cluster = self.clusters[cid].as_ref().expect("candidate cluster is live");
+            let cluster = self.clusters[cid]
+                .as_ref()
+                .expect("candidate cluster is live");
             let mut checked = 0usize;
             let mut matched = 0usize;
             for &i in &usable {
@@ -254,8 +257,7 @@ impl Stitcher {
                         continue;
                     }
                     checked += 1;
-                    if self.metric.distance(fp.errors(), &pages[i])
-                        < self.config.distance_threshold
+                    if self.metric.distance(fp.errors(), &pages[i]) < self.config.distance_threshold
                     {
                         matched += 1;
                     }
@@ -272,6 +274,7 @@ impl Stitcher {
         let mut accepted: Vec<(ClusterId, i64, usize)> =
             accepted.into_iter().map(|(c, (d, m))| (c, d, m)).collect();
         accepted.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+        pc_telemetry::counter!("core.stitch.alignments_accepted").add(accepted.len() as u64);
         accepted
     }
 
@@ -292,6 +295,9 @@ impl Stitcher {
     /// Panics if `pages` is empty or any page's size differs from
     /// [`Stitcher::page_bits`].
     pub fn observe(&mut self, pages: &[ErrorString]) -> ClusterId {
+        let _span = pc_telemetry::time!("core.stitch.observe");
+        pc_telemetry::counter!("core.stitch.observations").incr();
+        pc_telemetry::counter!("core.stitch.pages_observed").add(pages.len() as u64);
         let accepted = self.verified_alignments(pages);
         self.observations += 1;
 
@@ -307,6 +313,7 @@ impl Stitcher {
             home
         } else {
             // No verified overlap: a brand-new suspected memory.
+            pc_telemetry::counter!("core.stitch.clusters_seeded").incr();
             let id = self.clusters.len();
             self.clusters.push(Some(Cluster {
                 pages: BTreeMap::new(),
@@ -354,6 +361,7 @@ impl Stitcher {
         if home == other {
             return;
         }
+        pc_telemetry::counter!("core.stitch.merges").incr();
         let other_cluster = self.clusters[other].take().expect("merge source is live");
         self.parent[other] = home;
         self.live -= 1;
@@ -485,10 +493,8 @@ mod tests {
         // first/last 30 of 40, overlapping in the middle 20).
         let mut st = Stitcher::new(PAGE, StitchConfig::data_dependent());
         let full = phys_page(1, 0);
-        let obs_a =
-            ErrorString::from_unsorted(full.positions()[..30].to_vec(), PAGE).unwrap();
-        let obs_b =
-            ErrorString::from_unsorted(full.positions()[10..].to_vec(), PAGE).unwrap();
+        let obs_a = ErrorString::from_unsorted(full.positions()[..30].to_vec(), PAGE).unwrap();
+        let obs_b = ErrorString::from_unsorted(full.positions()[10..].to_vec(), PAGE).unwrap();
         let id = st.observe(std::slice::from_ref(&obs_a));
         st.observe(std::slice::from_ref(&obs_b));
         assert_eq!(st.suspected_chips(), 1);

@@ -32,8 +32,14 @@ impl SeparationReport {
     ///
     /// Panics if either sample set is empty.
     pub fn from_samples(within: &[f64], between: &[f64]) -> Self {
-        assert!(!within.is_empty(), "need at least one within-class distance");
-        assert!(!between.is_empty(), "need at least one between-class distance");
+        assert!(
+            !within.is_empty(),
+            "need at least one within-class distance"
+        );
+        assert!(
+            !between.is_empty(),
+            "need at least one between-class distance"
+        );
         Self {
             within: within.iter().copied().collect(),
             between: between.iter().copied().collect(),

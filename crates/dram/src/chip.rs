@@ -227,6 +227,9 @@ impl DramChip {
     ///
     /// Panics if the buffer does not fit at that offset.
     pub fn errors_at(&self, offset_bytes: usize, data: &[u8], cond: &Conditions) -> Vec<u64> {
+        let _span = pc_telemetry::time!("dram.errors_at");
+        pc_telemetry::counter!("dram.readbacks").incr();
+        pc_telemetry::counter!("dram.cells_scanned").add(data.len() as u64 * 8);
         let start_bit = offset_bytes as u64 * 8;
         let end_bit = start_bit + data.len() as u64 * 8;
         assert!(
@@ -244,6 +247,7 @@ impl DramChip {
                 }
             }
         }
+        pc_telemetry::counter!("dram.error_bits").add(errors.len() as u64);
         errors
     }
 
@@ -341,8 +345,12 @@ mod tests {
     fn longer_interval_more_errors() {
         let chip = DramChip::new(small_profile(), ChipId(3));
         let data = chip.worst_case_pattern();
-        let e_short = chip.readback_errors(&data, &Conditions::new(40.0, 4.0)).len();
-        let e_long = chip.readback_errors(&data, &Conditions::new(40.0, 12.0)).len();
+        let e_short = chip
+            .readback_errors(&data, &Conditions::new(40.0, 4.0))
+            .len();
+        let e_long = chip
+            .readback_errors(&data, &Conditions::new(40.0, 12.0))
+            .len();
         assert!(e_long > e_short, "short={e_short} long={e_long}");
     }
 
@@ -350,8 +358,12 @@ mod tests {
     fn hotter_more_errors_at_same_interval() {
         let chip = DramChip::new(small_profile(), ChipId(3));
         let data = chip.worst_case_pattern();
-        let cold = chip.readback_errors(&data, &Conditions::new(40.0, 6.0)).len();
-        let hot = chip.readback_errors(&data, &Conditions::new(60.0, 6.0)).len();
+        let cold = chip
+            .readback_errors(&data, &Conditions::new(40.0, 6.0))
+            .len();
+        let hot = chip
+            .readback_errors(&data, &Conditions::new(60.0, 6.0))
+            .len();
         assert!(hot > cold, "cold={cold} hot={hot}");
     }
 

@@ -109,7 +109,9 @@ mod tests {
 
     #[test]
     fn builder_roundtrip() {
-        let c = Conditions::new(60.0, 2.5).trial(9).with_refresh_interval(1.25);
+        let c = Conditions::new(60.0, 2.5)
+            .trial(9)
+            .with_refresh_interval(1.25);
         assert_eq!(c.temperature_c(), 60.0);
         assert_eq!(c.refresh_interval_s(), 1.25);
         assert_eq!(c.trial_id(), 9);

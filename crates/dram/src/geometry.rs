@@ -37,7 +37,10 @@ impl ChipGeometry {
     pub fn new(rows: u32, bits_per_row: u32, default_stripe_rows: u32) -> Self {
         assert!(rows > 0, "rows must be positive");
         assert!(bits_per_row > 0, "bits_per_row must be positive");
-        assert!(default_stripe_rows > 0, "default_stripe_rows must be positive");
+        assert!(
+            default_stripe_rows > 0,
+            "default_stripe_rows must be positive"
+        );
         Self {
             rows,
             bits_per_row,

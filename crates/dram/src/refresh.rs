@@ -111,8 +111,14 @@ impl DramChip {
         base_conditions: &Conditions,
         plan: &RefreshPlan,
     ) -> Vec<u64> {
+        let _span = pc_telemetry::time!("dram.errors_with_plan");
+        pc_telemetry::counter!("dram.plan_readbacks").incr();
         let geom = *self.profile().geometry();
-        assert_eq!(plan.rows(), geom.rows(), "plan does not match chip geometry");
+        assert_eq!(
+            plan.rows(),
+            geom.rows(),
+            "plan does not match chip geometry"
+        );
         assert!(
             data.len() as u64 * 8 <= self.capacity_bits(),
             "buffer exceeds chip capacity"
@@ -132,6 +138,7 @@ impl DramChip {
                 }
             }
         }
+        pc_telemetry::counter!("dram.error_bits").add(errors.len() as u64);
         errors
     }
 }
@@ -171,7 +178,9 @@ mod tests {
         let errors = c.errors_with_plan(&data, &cond, &plan);
         assert!(!errors.is_empty());
         assert!(
-            errors.iter().all(|&e| c.profile().geometry().row_of(e) >= 8),
+            errors
+                .iter()
+                .all(|&e| c.profile().geometry().row_of(e) >= 8),
             "protected row erred"
         );
     }
@@ -199,7 +208,11 @@ mod tests {
     fn plan_geometry_checked() {
         let c = chip();
         let data = c.worst_case_pattern();
-        c.errors_with_plan(&data, &Conditions::new(40.0, 1.0), &RefreshPlan::uniform(4, 1.0));
+        c.errors_with_plan(
+            &data,
+            &Conditions::new(40.0, 1.0),
+            &RefreshPlan::uniform(4, 1.0),
+        );
     }
 
     #[test]

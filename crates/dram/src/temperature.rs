@@ -40,7 +40,10 @@ impl TemperatureModel {
             halving_interval_c.is_finite() && halving_interval_c > 0.0,
             "halving interval must be positive"
         );
-        assert!(reference_c.is_finite(), "reference temperature must be finite");
+        assert!(
+            reference_c.is_finite(),
+            "reference temperature must be finite"
+        );
         Self {
             reference_c,
             halving_interval_c,

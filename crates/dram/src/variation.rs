@@ -88,8 +88,8 @@ impl VariationMix {
     /// Combines standard-normal mask and chip scores into a standard-normal
     /// cell score.
     pub fn combine(&self, z_mask: f64, z_chip: f64) -> f64 {
-        let norm = (self.mask_weight * self.mask_weight + self.chip_weight * self.chip_weight)
-            .sqrt();
+        let norm =
+            (self.mask_weight * self.mask_weight + self.chip_weight * self.chip_weight).sqrt();
         (self.mask_weight * z_mask + self.chip_weight * z_chip) / norm
     }
 }

@@ -38,7 +38,10 @@ impl VoltageModel {
             retain_v.is_finite() && nominal_v.is_finite() && retain_v < nominal_v,
             "need retain_v < nominal_v"
         );
-        assert!(exponent.is_finite() && exponent > 0.0, "exponent must be positive");
+        assert!(
+            exponent.is_finite() && exponent > 0.0,
+            "exponent must be positive"
+        );
         Self {
             nominal_v,
             retain_v,

@@ -134,9 +134,17 @@ mod tests {
             points[1].true_positive >= points[0].true_positive,
             "more coverage must not hurt TPR"
         );
-        assert!(points[1].true_positive > 0.8, "TPR {}", points[1].true_positive);
+        assert!(
+            points[1].true_positive > 0.8,
+            "TPR {}",
+            points[1].true_positive
+        );
         for p in &points {
-            assert_eq!(p.false_positive, 0.0, "false positive at {} samples", p.samples);
+            assert_eq!(
+                p.false_positive, 0.0,
+                "false positive at {} samples",
+                p.samples
+            );
         }
     }
 }

@@ -1,38 +1,18 @@
 //! Runs the complete evaluation: every table and figure, in paper order.
-//! Artifacts land in ./results; the combined report prints to stdout.
+//! Artifacts and per-experiment manifests land in ./results; the combined
+//! report prints to stdout. Set `PC_TELEMETRY=PATH` for a JSON-lines event
+//! stream spanning the whole evaluation.
+use pc_experiments::harness;
 use std::path::Path;
-
-type Experiment = fn(&Path) -> std::io::Result<String>;
 
 fn main() {
     let out = Path::new("results");
-    let experiments: &[(&str, Experiment)] = &[
-        ("fig05", pc_experiments::fig05::run),
-        ("fig07", pc_experiments::fig07::run),
-        ("table1", pc_experiments::table1::run),
-        ("fig08", pc_experiments::fig08::run),
-        ("fig09", pc_experiments::fig09::run),
-        ("fig10", pc_experiments::fig10::run),
-        ("fig11", pc_experiments::fig11::run),
-        ("table2", pc_experiments::table2::run),
-        ("fig12", pc_experiments::fig12::run),
-        ("fig13", pc_experiments::fig13::run),
-        ("identification", pc_experiments::identification::run),
-        ("hamming_baseline", pc_experiments::hamming::run),
-        ("ddr2", pc_experiments::ddr2::run),
-        ("defenses", pc_experiments::defenses::run),
-        ("localization", pc_experiments::localization::run),
-        ("knobs", pc_experiments::knobs::run),
-        ("policies", pc_experiments::policies::run),
-        ("mask_study", pc_experiments::mask_study::run),
-        ("attribution", pc_experiments::attribution::run),
-    ];
-    for (name, run) in experiments {
-        eprintln!("[all] running {name} ...");
-        match run(out) {
+    for e in harness::CATALOG {
+        eprintln!("[all] running {} ...", e.name);
+        match harness::capture(out, e.name, e.configure, e.run) {
             Ok(report) => println!("{report}\n"),
-            Err(e) => {
-                eprintln!("[all] {name} FAILED: {e}");
+            Err(err) => {
+                eprintln!("[all] {} FAILED: {err}", e.name);
                 std::process::exit(1);
             }
         }

@@ -1,6 +1,6 @@
-//! Regenerates the paper's fig10 artifact. Artifacts land in ./results.
+//! Regenerates the `fig10` artifact under the telemetry harness. Artifacts
+//! and `manifest.json` land in `./results/fig10`; set `PC_TELEMETRY=PATH`
+//! for a JSON-lines event stream.
 fn main() {
-    let report = pc_experiments::fig10::run(std::path::Path::new("results"))
-        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
-    print!("{report}");
+    pc_experiments::harness::exec_named("fig10");
 }

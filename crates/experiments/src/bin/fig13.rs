@@ -1,11 +1,20 @@
-//! Regenerates Fig. 13 (eavesdropping attack). Defaults to the 1/16-scale
-//! run; pass --paper-scale for the full 1 GB / 10 MB configuration.
+//! Regenerates Fig. 13 (eavesdropping attack) under the telemetry harness.
+//! Defaults to the 1/16-scale run; pass --paper-scale for the full
+//! 1 GB / 10 MB configuration. Artifacts and `manifest.json` land in
+//! `./results/fig13`; set `PC_TELEMETRY=PATH` for a JSON-lines event stream.
 use pc_experiments::fig13::{run_at, Scale};
+use pc_experiments::harness;
 
 fn main() {
     let paper = std::env::args().any(|a| a == "--paper-scale");
-    let scale = if paper { Scale::paper() } else { Scale::scaled() };
-    let report = run_at(std::path::Path::new("results"), scale)
-        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
-    print!("{report}");
+    let scale = if paper {
+        Scale::paper()
+    } else {
+        Scale::scaled()
+    };
+    harness::exec(
+        "fig13",
+        |m| harness::configure_fig13(m, scale, paper),
+        |out| run_at(out, scale),
+    );
 }

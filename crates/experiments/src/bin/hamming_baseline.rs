@@ -1,6 +1,6 @@
-//! Regenerates the §5.2 Hamming-baseline comparison. Artifacts land in ./results.
+//! Regenerates the `hamming_baseline` artifact under the telemetry harness. Artifacts
+//! and `manifest.json` land in `./results/hamming_baseline`; set `PC_TELEMETRY=PATH`
+//! for a JSON-lines event stream.
 fn main() {
-    let report = pc_experiments::hamming::run(std::path::Path::new("results"))
-        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
-    print!("{report}");
+    pc_experiments::harness::exec_named("hamming_baseline");
 }

@@ -1,6 +1,6 @@
-//! Regenerates the paper's identification artifact. Artifacts land in ./results.
+//! Regenerates the `identification` artifact under the telemetry harness. Artifacts
+//! and `manifest.json` land in `./results/identification`; set `PC_TELEMETRY=PATH`
+//! for a JSON-lines event stream.
 fn main() {
-    let report = pc_experiments::identification::run(std::path::Path::new("results"))
-        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
-    print!("{report}");
+    pc_experiments::harness::exec_named("identification");
 }

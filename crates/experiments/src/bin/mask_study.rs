@@ -1,6 +1,6 @@
-//! Regenerates the mask_study extension experiment. Artifacts land in ./results.
+//! Regenerates the `mask_study` artifact under the telemetry harness. Artifacts
+//! and `manifest.json` land in `./results/mask_study`; set `PC_TELEMETRY=PATH`
+//! for a JSON-lines event stream.
 fn main() {
-    let report = pc_experiments::mask_study::run(std::path::Path::new("results"))
-        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
-    print!("{report}");
+    pc_experiments::harness::exec_named("mask_study");
 }

@@ -1,6 +1,6 @@
-//! Regenerates the paper's table1 artifact. Artifacts land in ./results.
+//! Regenerates the `table1` artifact under the telemetry harness. Artifacts
+//! and `manifest.json` land in `./results/table1`; set `PC_TELEMETRY=PATH`
+//! for a JSON-lines event stream.
 fn main() {
-    let report = pc_experiments::table1::run(std::path::Path::new("results"))
-        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
-    print!("{report}");
+    pc_experiments::harness::exec_named("table1");
 }

@@ -1,6 +1,6 @@
-//! Regenerates the paper's table2 artifact. Artifacts land in ./results.
+//! Regenerates the `table2` artifact under the telemetry harness. Artifacts
+//! and `manifest.json` land in `./results/table2`; set `PC_TELEMETRY=PATH`
+//! for a JSON-lines event stream.
 fn main() {
-    let report = pc_experiments::table2::run(std::path::Path::new("results"))
-        .unwrap_or_else(|e| panic!("experiment failed: {e}"));
-    print!("{report}");
+    pc_experiments::harness::exec_named("table2");
 }

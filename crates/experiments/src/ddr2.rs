@@ -52,7 +52,10 @@ pub fn run(out: &Path) -> io::Result<String> {
     r.section("volatility distribution shape");
     let skew_ddr2 = retention_skewness(&platform, 20_000);
     let skew_km = retention_skewness(&km, 20_000);
-    r.kv("retention skewness, KM41464A", format!("{skew_km:.3} (paper: no skew)"));
+    r.kv(
+        "retention skewness, KM41464A",
+        format!("{skew_km:.3} (paper: no skew)"),
+    );
     r.kv("retention skewness, DDR2", format!("{skew_ddr2:.3}"));
     r.kv(
         "DDR2 mass skewed toward higher volatility",
@@ -62,13 +65,24 @@ pub fn run(out: &Path) -> io::Result<String> {
     r.section("uniqueness (Fig. 7 protocol on DDR2)");
     let samples = fig07::collect(&platform);
     let rep = SeparationReport::from_samples(
-        &samples.within.iter().map(|&(_, _, d)| d).collect::<Vec<_>>(),
-        &samples.between.iter().map(|&(_, _, d)| d).collect::<Vec<_>>(),
+        &samples
+            .within
+            .iter()
+            .map(|&(_, _, d)| d)
+            .collect::<Vec<_>>(),
+        &samples
+            .between
+            .iter()
+            .map(|&(_, _, d)| d)
+            .collect::<Vec<_>>(),
     );
     r.kv("max within-class", format!("{:.6}", rep.within().max()));
     r.kv("min between-class", format!("{:.6}", rep.between().min()));
     r.kv("separable", rep.is_separable());
-    r.kv("orders of magnitude", format!("{:.2}", rep.orders_of_magnitude()));
+    r.kv(
+        "orders of magnitude",
+        format!("{:.2}", rep.orders_of_magnitude()),
+    );
 
     r.section("consistency (Fig. 8 protocol on DDR2)");
     let stats = fig08::collect(&platform, 0, 21);
@@ -79,7 +93,10 @@ pub fn run(out: &Path) -> io::Result<String> {
 
     r.section("order of failures (Fig. 10 protocol on DDR2)");
     let c = fig10::collect(&platform, 0);
-    r.kv("errors at 99/95/90%", format!("{}/{}/{}", c.e99, c.e95, c.e90));
+    r.kv(
+        "errors at 99/95/90%",
+        format!("{}/{}/{}", c.e99, c.e95, c.e90),
+    );
     r.kv("subset violations 99-in-95", c.violations_99_in_95);
     r.kv("subset violations 95-in-90", c.violations_95_in_90);
 
@@ -99,8 +116,14 @@ mod tests {
     fn ddr2_is_skewed_where_km41464a_is_not() {
         let ddr2 = ddr2_platform(1);
         let km = Platform::km41464a(1);
-        let (s_ddr2, s_km) = (retention_skewness(&ddr2, 8_000), retention_skewness(&km, 8_000));
-        assert!(s_km.abs() < 0.2, "KM41464A should be symmetric, skew {s_km}");
+        let (s_ddr2, s_km) = (
+            retention_skewness(&ddr2, 8_000),
+            retention_skewness(&km, 8_000),
+        );
+        assert!(
+            s_km.abs() < 0.2,
+            "KM41464A should be symmetric, skew {s_km}"
+        );
         assert!(s_ddr2 > 0.3, "DDR2 should be skewed, skew {s_ddr2}");
     }
 
@@ -112,8 +135,16 @@ mod tests {
         );
         let samples = fig07::collect(&platform);
         let rep = SeparationReport::from_samples(
-            &samples.within.iter().map(|&(_, _, d)| d).collect::<Vec<_>>(),
-            &samples.between.iter().map(|&(_, _, d)| d).collect::<Vec<_>>(),
+            &samples
+                .within
+                .iter()
+                .map(|&(_, _, d)| d)
+                .collect::<Vec<_>>(),
+            &samples
+                .between
+                .iter()
+                .map(|&(_, _, d)| d)
+                .collect::<Vec<_>>(),
         );
         assert!(rep.is_separable(), "DDR2 classes overlap");
     }

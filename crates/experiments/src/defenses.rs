@@ -133,8 +133,8 @@ pub fn run(out: &Path) -> io::Result<String> {
         .copied()
         .filter(|&b| b >= half)
         .collect();
-    let segregated = ErrorString::from_sorted(kept, platform.size_bits())
-        .expect("filtered sorted positions");
+    let segregated =
+        ErrorString::from_sorted(kept, platform.size_bits()).expect("filtered sorted positions");
     let d_full = metric.distance(fp.errors(), &output);
     let d_seg = metric.distance(fp.errors(), &segregated);
     r.kv("distance, no segregation", format!("{d_full:.4}"));

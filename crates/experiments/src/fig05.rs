@@ -36,10 +36,16 @@ pub fn run(out: &Path) -> io::Result<String> {
         BitImage::from_bytes(image.width(), image.height(), &buf)
     };
 
-    write_pbm(BufWriter::new(File::create(dir.join("original.pbm"))?), &image)
-        .map_err(io::Error::other)?;
-    for (name, errs) in [("a_chipA_40C", &out_a), ("b_chipA_60C", &out_b), ("c_chipB_50C", &out_c)]
-    {
+    write_pbm(
+        BufWriter::new(File::create(dir.join("original.pbm"))?),
+        &image,
+    )
+    .map_err(io::Error::other)?;
+    for (name, errs) in [
+        ("a_chipA_40C", &out_a),
+        ("b_chipA_60C", &out_b),
+        ("c_chipB_50C", &out_c),
+    ] {
         write_pbm(
             BufWriter::new(File::create(dir.join(format!("{name}.pbm")))?),
             &corrupted(errs),

@@ -44,7 +44,9 @@ pub fn collect(platform: &Platform) -> DistanceSamples {
             }
         })
         .expect("worker threads do not panic");
-        outs.into_iter().map(|o| o.expect("filled by worker")).collect()
+        outs.into_iter()
+            .map(|o| o.expect("filled by worker"))
+            .collect()
     };
     for (c, outs) in outputs.iter().enumerate() {
         for (t, a, es) in outs {
@@ -88,8 +90,16 @@ pub fn run_with(out: &Path, platform: &Platform) -> io::Result<String> {
     within_hist.extend(samples.within.iter().map(|&(_, _, d)| d));
 
     let report_sep = SeparationReport::from_samples(
-        &samples.within.iter().map(|&(_, _, d)| d).collect::<Vec<_>>(),
-        &samples.between.iter().map(|&(_, _, d)| d).collect::<Vec<_>>(),
+        &samples
+            .within
+            .iter()
+            .map(|&(_, _, d)| d)
+            .collect::<Vec<_>>(),
+        &samples
+            .between
+            .iter()
+            .map(|&(_, _, d)| d)
+            .collect::<Vec<_>>(),
     );
 
     write_csv_series(
@@ -108,9 +118,18 @@ pub fn run_with(out: &Path, platform: &Platform) -> io::Result<String> {
     r.kv("within-class pairs", samples.within.len());
     r.kv("between-class pairs", samples.between.len());
     r.section("separation");
-    r.kv("max within-class distance", format!("{:.6}", report_sep.within().max()));
-    r.kv("min between-class distance", format!("{:.6}", report_sep.between().min()));
-    r.kv("separation ratio", format!("{:.1}", report_sep.separation_ratio()));
+    r.kv(
+        "max within-class distance",
+        format!("{:.6}", report_sep.within().max()),
+    );
+    r.kv(
+        "min between-class distance",
+        format!("{:.6}", report_sep.between().min()),
+    );
+    r.kv(
+        "separation ratio",
+        format!("{:.1}", report_sep.separation_ratio()),
+    );
     r.kv(
         "orders of magnitude",
         format!("{:.2} (paper: ~2)", report_sep.orders_of_magnitude()),
@@ -121,7 +140,10 @@ pub fn run_with(out: &Path, platform: &Platform) -> io::Result<String> {
         format!("{:.4}", report_sep.recommended_threshold()),
     );
     r.histogram("between-class distance histogram [0,1]:", &between_hist);
-    r.histogram("within-class distance histogram [0,0.001] (inset):", &within_hist);
+    r.histogram(
+        "within-class distance histogram [0,0.001] (inset):",
+        &within_hist,
+    );
     r.line(format!("\nartifacts: {}", dir.display()));
     Ok(r.finish())
 }

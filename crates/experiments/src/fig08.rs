@@ -97,7 +97,10 @@ pub fn run(out: &Path) -> io::Result<String> {
     let mut r = Report::new("Figure 8: error consistency across 21 trials (99%, 40C)");
     r.kv("trials", stats.trials);
     r.kv("cells that ever erred", stats.occurrences.len());
-    r.kv("cells erring in all trials", stats.occurrences.len() - stats.noisy_cells());
+    r.kv(
+        "cells erring in all trials",
+        stats.occurrences.len() - stats.noisy_cells(),
+    );
     r.kv("noise-like cells", stats.noisy_cells());
     r.kv(
         "fully consistent fraction",

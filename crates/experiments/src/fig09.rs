@@ -52,14 +52,14 @@ pub fn run_with(out: &Path, platform: &Platform) -> io::Result<String> {
         means.push(summary.mean());
     }
 
-    let spread = means
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - means.iter().cloned().fold(f64::INFINITY, f64::min);
     r.section("conclusion");
     r.kv("spread of per-temperature means", format!("{spread:.4}"));
-    r.kv("temperature effect", "none (controller compensates, paper: same)");
+    r.kv(
+        "temperature effect",
+        "none (controller compensates, paper: same)",
+    );
     r.line(format!("\nartifacts: {}", dir.display()));
     Ok(r.finish())
 }

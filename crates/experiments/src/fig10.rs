@@ -56,8 +56,14 @@ pub fn run(_out: &Path) -> io::Result<String> {
     r.kv("errors at 95% accuracy", c.e95);
     r.kv("errors at 90% accuracy", c.e90);
     r.section("subset violations");
-    r.kv("cells in 99% set missing from 95% set", format!("{} (paper: 1)", c.violations_99_in_95));
-    r.kv("cells in 95% set missing from 90% set", format!("{} (paper: 32)", c.violations_95_in_90));
+    r.kv(
+        "cells in 99% set missing from 95% set",
+        format!("{} (paper: 1)", c.violations_99_in_95),
+    );
+    r.kv(
+        "cells in 95% set missing from 90% set",
+        format!("{} (paper: 32)", c.violations_95_in_90),
+    );
     r.kv(
         "subset relation 99% ⊂ 95% ⊂ 90%",
         format!(

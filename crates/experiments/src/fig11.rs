@@ -62,7 +62,10 @@ pub fn run_with(out: &Path, platform: &Platform) -> io::Result<String> {
     for (a, m) in &means {
         r.kv(&format!("mean between-class @ {a}%"), format!("{m:.4}"));
     }
-    r.kv("max within-class (any condition)", format!("{max_within:.5}"));
+    r.kv(
+        "max within-class (any condition)",
+        format!("{max_within:.5}"),
+    );
     r.line(
         "distance shrinks as accuracy drops (more accidental overlap), yet stays \
          two orders above within-class — matching the paper.",
@@ -93,7 +96,10 @@ mod tests {
             s.mean()
         };
         let (m99, m95, m90) = (mean_at(99.0), mean_at(95.0), mean_at(90.0));
-        assert!(m99 > m95 && m95 > m90, "ordering violated: {m99} {m95} {m90}");
+        assert!(
+            m99 > m95 && m95 > m90,
+            "ordering violated: {m99} {m95} {m90}"
+        );
         // Still far above within-class.
         let max_within = samples
             .within

@@ -40,7 +40,10 @@ pub fn run(out: &Path) -> io::Result<String> {
     }
 
     let mut r = Report::new("Figure 12: edge-detection workload sample");
-    r.kv("input", format!("{}x{} synthetic scene", input.width(), input.height()));
+    r.kv(
+        "input",
+        format!("{}x{} synthetic scene", input.width(), input.height()),
+    );
     r.kv("output bytes", exact.as_bytes().len());
     r.kv("bit errors imprinted", result.error_bits().len());
     r.kv(

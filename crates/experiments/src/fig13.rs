@@ -163,11 +163,19 @@ pub fn run_at(out: &Path, scale: Scale) -> io::Result<String> {
     let mut r = Report::new("Figure 13: suspected chips vs collected samples");
     r.kv(
         "memory",
-        format!("{} pages ({} MB)", scale.total_pages, scale.total_pages * 4 / 1024),
+        format!(
+            "{} pages ({} MB)",
+            scale.total_pages,
+            scale.total_pages * 4 / 1024
+        ),
     );
     r.kv(
         "sample size",
-        format!("{} pages ({} KB)", scale.sample_pages, scale.sample_pages * 4),
+        format!(
+            "{} pages ({} KB)",
+            scale.sample_pages,
+            scale.sample_pages * 4
+        ),
     );
     r.kv("samples", scale.samples);
     let peak = conv.suspects.iter().copied().max().unwrap_or(0);
@@ -179,8 +187,14 @@ pub fn run_at(out: &Path, scale: Scale) -> io::Result<String> {
             None => "never".to_string(),
         },
     );
-    r.kv("final suspected chips", *conv.suspects.last().expect("samples > 0"));
-    r.kv("final ideal components", *conv.ideal.last().expect("samples > 0"));
+    r.kv(
+        "final suspected chips",
+        *conv.suspects.last().expect("samples > 0"),
+    );
+    r.kv(
+        "final ideal components",
+        *conv.ideal.last().expect("samples > 0"),
+    );
     r.section("curve (every 50th sample): samples  measured  ideal  model");
     for i in (0..conv.suspects.len()).step_by(50.max(conv.suspects.len() / 20)) {
         r.line(format!(

@@ -27,7 +27,10 @@ pub fn collect(platform: &Platform) -> Vec<(&'static str, SeparationReport)> {
     let mut probes = Vec::new();
     for c in 0..n {
         for (k, &acc) in [95.0, 90.0].iter().enumerate() {
-            probes.push((c, platform.output(c, 40.0, acc, 60_000 + 10 * c as u64 + k as u64)));
+            probes.push((
+                c,
+                platform.output(c, 40.0, acc, 60_000 + 10 * c as u64 + k as u64),
+            ));
         }
     }
 
@@ -60,7 +63,9 @@ pub fn run(_out: &Path) -> io::Result<String> {
     let platform = Platform::km41464a(6);
     let reports = collect(&platform);
 
-    let mut r = Report::new("Baseline comparison under accuracy mismatch (fingerprint @99%, outputs @95/90%)");
+    let mut r = Report::new(
+        "Baseline comparison under accuracy mismatch (fingerprint @99%, outputs @95/90%)",
+    );
     r.line(format!(
         "{:<12} {:>14} {:>14} {:>10} {:>11}",
         "metric", "max within", "min between", "separable", "ratio"

@@ -1,0 +1,305 @@
+//! The shared experiment entry point: telemetry installation and run-manifest
+//! capture.
+//!
+//! Every experiment binary funnels through [`exec`] (or, for multi-experiment
+//! drivers like `all`, through [`capture`]): the global telemetry collector is
+//! installed, an optional JSON-lines event sink is attached when
+//! `PC_TELEMETRY=PATH` is set, and a [`RunManifest`] — seed, knobs, git
+//! revision, per-phase wall clock, and the final counter snapshot — is written
+//! as `manifest.json` next to the experiment's artifacts.
+//!
+//! Manifests from same-seed runs are byte-identical outside their `"timing"`
+//! section (see [`pc_telemetry::manifest`]), so `diff <(jq 'del(.timing)' a)
+//! <(jq 'del(.timing)' b)` is the reproducibility check.
+
+use pc_telemetry::RunManifest;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Installs the global telemetry collector, attaching a JSON-lines event sink
+/// when the `PC_TELEMETRY` environment variable names a path. Idempotent; a
+/// sink that cannot be opened degrades to a warning, never a failed run.
+pub fn init_telemetry() {
+    match std::env::var_os("PC_TELEMETRY") {
+        Some(path) => {
+            let path = PathBuf::from(path);
+            if let Err(e) = pc_telemetry::install_with_sink(&path) {
+                eprintln!(
+                    "warning: cannot open telemetry sink {}: {e}",
+                    path.display()
+                );
+            }
+        }
+        None => {
+            pc_telemetry::install();
+        }
+    }
+}
+
+/// Runs one experiment under the telemetry harness.
+///
+/// `configure` records the run's seed and knobs into the manifest before the
+/// experiment starts; `run` is the experiment body (the module `run`
+/// functions slot in directly). The manifest lands at
+/// `<out>/<name>/manifest.json` and its path is appended to the report.
+///
+/// # Errors
+///
+/// Propagates the experiment's own error, or filesystem errors from writing
+/// the manifest.
+pub fn capture(
+    out: &Path,
+    name: &str,
+    configure: impl FnOnce(&mut RunManifest),
+    run: impl FnOnce(&Path) -> io::Result<String>,
+) -> io::Result<String> {
+    init_telemetry();
+    let mut manifest = RunManifest::new(name);
+    configure(&mut manifest);
+    manifest.begin_phase("run");
+    let mut report = run(out)?;
+    manifest.end_phase();
+    manifest.begin_phase("write_manifest");
+    let path = crate::report::artifact_dir(out, name)?.join("manifest.json");
+    manifest.write(&path)?;
+    if let Some(collector) = pc_telemetry::global() {
+        let mut fields = pc_telemetry::JsonObject::new();
+        fields.set("experiment", name);
+        collector.emit("experiment.complete", fields);
+        collector.flush();
+    }
+    report.push_str(&format!("manifest: {}\n", path.display()));
+    Ok(report)
+}
+
+/// Binary `main` body: runs the experiment against `./results`, prints the
+/// report, and panics (non-zero exit) on failure.
+pub fn exec(
+    name: &str,
+    configure: impl FnOnce(&mut RunManifest),
+    run: impl FnOnce(&Path) -> io::Result<String>,
+) {
+    let report = capture(Path::new("results"), name, configure, run)
+        .unwrap_or_else(|e| panic!("experiment {name} failed: {e}"));
+    print!("{report}");
+}
+
+/// The experiment body shared by the per-figure binaries and `all`.
+pub type RunFn = fn(&Path) -> io::Result<String>;
+
+/// Records an experiment's seed and knobs into its manifest.
+pub type ConfigureFn = fn(&mut RunManifest);
+
+/// One catalog row: an experiment name, its manifest configuration, and its
+/// body.
+pub struct Entry {
+    /// Experiment (and artifact directory) name.
+    pub name: &'static str,
+    /// Manifest configuration (seed, knobs).
+    pub configure: ConfigureFn,
+    /// Experiment body.
+    pub run: RunFn,
+}
+
+/// Every experiment, in paper order — the single source of truth for the
+/// per-figure binaries and the `all` driver. Seeds and knobs mirror the
+/// constants hard-wired in each module.
+pub const CATALOG: &[Entry] = &[
+    Entry {
+        name: "fig05",
+        configure: |m| {
+            m.knob("chips", 2u64);
+        },
+        run: crate::fig05::run,
+    },
+    Entry {
+        name: "fig07",
+        configure: |m| {
+            m.knob("chips", 10u64);
+        },
+        run: crate::fig07::run,
+    },
+    Entry {
+        name: "table1",
+        configure: |_| {},
+        run: crate::table1::run,
+    },
+    Entry {
+        name: "fig08",
+        configure: |m| {
+            m.knob("chips", 1u64).knob("trials", 21u64);
+        },
+        run: crate::fig08::run,
+    },
+    Entry {
+        name: "fig09",
+        configure: |m| {
+            m.knob("chips", 10u64);
+        },
+        run: crate::fig09::run,
+    },
+    Entry {
+        name: "fig10",
+        configure: |m| {
+            m.knob("chips", 1u64);
+        },
+        run: crate::fig10::run,
+    },
+    Entry {
+        name: "fig11",
+        configure: |m| {
+            m.knob("chips", 10u64);
+        },
+        run: crate::fig11::run,
+    },
+    Entry {
+        name: "table2",
+        configure: |_| {},
+        run: crate::table2::run,
+    },
+    Entry {
+        name: "fig12",
+        configure: |m| {
+            m.set_seed(12);
+        },
+        run: crate::fig12::run,
+    },
+    Entry {
+        name: "fig13",
+        configure: |m| {
+            configure_fig13(m, crate::fig13::Scale::scaled(), false);
+        },
+        run: crate::fig13::run,
+    },
+    Entry {
+        name: "identification",
+        configure: |m| {
+            m.knob("chips", 10u64);
+        },
+        run: crate::identification::run,
+    },
+    Entry {
+        name: "hamming_baseline",
+        configure: |m| {
+            m.knob("chips", 6u64);
+        },
+        run: crate::hamming::run,
+    },
+    Entry {
+        name: "ddr2",
+        configure: |_| {},
+        run: crate::ddr2::run,
+    },
+    Entry {
+        name: "defenses",
+        configure: |m| {
+            m.knob("chips", 5u64);
+        },
+        run: crate::defenses::run,
+    },
+    Entry {
+        name: "localization",
+        configure: |m| {
+            m.set_seed(31);
+        },
+        run: crate::localization::run,
+    },
+    Entry {
+        name: "knobs",
+        configure: |m| {
+            m.knob("chips", 5u64);
+        },
+        run: crate::knobs::run,
+    },
+    Entry {
+        name: "policies",
+        configure: |_| {},
+        run: crate::policies::run,
+    },
+    Entry {
+        name: "mask_study",
+        configure: |m| {
+            m.knob("chips", 3u64);
+        },
+        run: crate::mask_study::run,
+    },
+    Entry {
+        name: "attribution",
+        configure: |m| {
+            m.set_seed(77);
+            m.knob("probes", 40u64);
+        },
+        run: crate::attribution::run,
+    },
+];
+
+/// Records the Fig. 13 scale into a manifest (shared by the catalog row and
+/// the `fig13` binary's `--paper-scale` path).
+pub fn configure_fig13(m: &mut RunManifest, scale: crate::fig13::Scale, paper_scale: bool) {
+    m.set_seed(13);
+    m.knob("total_pages", scale.total_pages)
+        .knob("sample_pages", scale.sample_pages)
+        .knob("samples", scale.samples)
+        .knob("paper_scale", paper_scale);
+}
+
+/// The catalog row named `name`.
+///
+/// # Panics
+///
+/// Panics if no such experiment exists (binaries pass literal names).
+pub fn entry(name: &str) -> &'static Entry {
+    CATALOG
+        .iter()
+        .find(|e| e.name == name)
+        .unwrap_or_else(|| panic!("unknown experiment {name}"))
+}
+
+/// Binary `main` body for a catalogued experiment.
+pub fn exec_named(name: &str) {
+    let e = entry(name);
+    exec(e.name, e.configure, e.run);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_writes_manifest_and_appends_path() {
+        let dir = std::env::temp_dir().join("pc_harness_test");
+        let report = capture(
+            &dir,
+            "unit",
+            |m| {
+                m.set_seed(5);
+                m.knob("k", 1u64);
+            },
+            |_| Ok("report body\n".to_string()),
+        )
+        .unwrap();
+        assert!(report.starts_with("report body\n"));
+        assert!(report.contains("manifest.json"));
+        let json = std::fs::read_to_string(dir.join("unit").join("manifest.json")).unwrap();
+        assert!(json.contains("\"experiment\": \"unit\""));
+        assert!(json.contains("\"seed\": 5"));
+        assert!(json.contains("\"timing\""));
+    }
+
+    #[test]
+    fn catalog_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = CATALOG.iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate catalog name");
+        assert_eq!(entry("fig13").name, "fig13");
+    }
+
+    #[test]
+    fn capture_propagates_experiment_failure() {
+        let dir = std::env::temp_dir().join("pc_harness_test_fail");
+        let err = capture(&dir, "failing", |_| {}, |_| Err(io::Error::other("boom"))).unwrap_err();
+        assert_eq!(err.to_string(), "boom");
+    }
+}

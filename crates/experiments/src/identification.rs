@@ -86,10 +86,7 @@ pub fn run(_out: &Path) -> io::Result<String> {
         "95% Wilson interval for the true rate",
         format!("[{:.1}%, {:.1}%]", 100.0 * lo, 100.0 * hi),
     );
-    r.kv(
-        "clusters found (true: 10)",
-        rates.clusters_found,
-    );
+    r.kv("clusters found (true: 10)", rates.clusters_found);
     r.kv(
         "pairwise clustering agreement",
         format!("{:.1}%", 100.0 * rates.clustering_pairwise),

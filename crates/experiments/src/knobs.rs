@@ -4,9 +4,7 @@
 //! under one knob identifies outputs produced under the other.
 
 use crate::report::Report;
-use pc_approx::{
-    calibrate_measured, calibrate_voltage, AccuracyTarget, CalibrationConfig,
-};
+use pc_approx::{calibrate_measured, calibrate_voltage, AccuracyTarget, CalibrationConfig};
 use pc_dram::{ChipId, ChipProfile, Conditions, DramChip, VoltageModel};
 use probable_cause::{characterize, DistanceMetric, ErrorString, PcDistance};
 use std::io;
@@ -103,7 +101,10 @@ pub fn collect(n: usize) -> Vec<KnobTransfer> {
 pub fn run(_out: &Path) -> io::Result<String> {
     let transfers = collect(5);
     let mut r = Report::new("Extension: refresh-scaling vs voltage-scaling knobs");
-    r.kv("supply voltage for 99% accuracy @64 ms", format!("{:.3} V", transfers[0].supply_v));
+    r.kv(
+        "supply voltage for 99% accuracy @64 ms",
+        format!("{:.3} V", transfers[0].supply_v),
+    );
     r.kv(
         "relative dynamic power",
         format!("{:.2}x", transfers[0].relative_power),
@@ -138,7 +139,11 @@ mod tests {
     fn fingerprints_transfer_across_knobs() {
         let transfers = collect(3);
         for (i, t) in transfers.iter().enumerate() {
-            assert!(t.within_distance < 0.25, "chip {i} lost across knobs: {}", t.within_distance);
+            assert!(
+                t.within_distance < 0.25,
+                "chip {i} lost across knobs: {}",
+                t.within_distance
+            );
             assert!(
                 t.min_between_distance > 0.5,
                 "chip {i} confusable: {}",

@@ -7,9 +7,7 @@
 use crate::report::Report;
 use pc_image::synth;
 use pc_os::{run_edge_detect, ApproxSystem, PlacementPolicy, SystemConfig};
-use probable_cause::{
-    characterize, localize, ErrorString, Fingerprint, FingerprintDb, PcDistance,
-};
+use probable_cause::{characterize, localize, ErrorString, Fingerprint, FingerprintDb, PcDistance};
 use std::io;
 use std::path::Path;
 
@@ -98,7 +96,10 @@ pub fn run(_out: &Path) -> io::Result<String> {
     let mut r = Report::new("Section 8.3: error localization without exact data");
 
     r.section("smoothness localizer (median predictor) on edge-detection output");
-    r.line(format!("{:<12} {:>10} {:>10}", "threshold", "precision", "recall"));
+    r.line(format!(
+        "{:<12} {:>10} {:>10}",
+        "threshold", "precision", "recall"
+    ));
     for p in sweep(&[16, 24, 32, 48, 64], 31) {
         r.line(format!(
             "{:<12} {:>9.1}% {:>9.1}%",

@@ -38,7 +38,10 @@ fn fingerprint(c: &DramChip, interval: f64, trial_base: u64) -> probable_cause::
     let obs: Vec<ErrorString> = (0..3)
         .map(|t| {
             ErrorString::from_sorted(
-                c.readback_errors(&data, &Conditions::new(40.0, interval).trial(trial_base + t)),
+                c.readback_errors(
+                    &data,
+                    &Conditions::new(40.0, interval).trial(trial_base + t),
+                ),
                 size,
             )
             .expect("sorted")
@@ -91,7 +94,10 @@ pub fn evaluate(mask_fraction: f64, chips_per_mask: usize) -> MaskStudyRow {
         let data = c.worst_case_pattern();
         let size = data.len() as u64 * 8;
         let fresh = ErrorString::from_sorted(
-            c.readback_errors(&data, &Conditions::new(40.0, interval).trial(900 + i as u64)),
+            c.readback_errors(
+                &data,
+                &Conditions::new(40.0, interval).trial(900 + i as u64),
+            ),
             size,
         )
         .expect("sorted");
@@ -145,7 +151,11 @@ mod tests {
         let row = evaluate(0.15, 2);
         // Same-mask distances stay indistinguishable from cross-mask ones,
         // and both dwarf within-chip distances.
-        assert!(row.same_mask.min() > 0.5, "same-mask too close: {}", row.same_mask.min());
+        assert!(
+            row.same_mask.min() > 0.5,
+            "same-mask too close: {}",
+            row.same_mask.min()
+        );
         assert!(row.within_chip.max() < 0.1);
     }
 

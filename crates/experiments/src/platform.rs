@@ -1,9 +1,7 @@
 //! The shared experimental platform: a fleet of simulated chips standing in
 //! for the paper's ten KM41464A parts (§6) and the DDR2 platform (§8.1).
 
-use pc_approx::{
-    analytic_interval, calibrate_measured, AccuracyTarget, CalibrationConfig,
-};
+use pc_approx::{analytic_interval, calibrate_measured, AccuracyTarget, CalibrationConfig};
 use pc_dram::{ChipId, ChipProfile, Conditions, DramChip};
 use probable_cause::{characterize, ErrorString, Fingerprint};
 use std::collections::HashMap;
@@ -75,16 +73,29 @@ impl Platform {
     /// (on chip 0) otherwise. Cached.
     pub fn interval_for(&self, temp_c: f64, accuracy_pct: f64) -> f64 {
         let key = ((temp_c * 1000.0) as i64, (accuracy_pct * 1000.0) as i64);
-        if let Some(&v) = self.intervals.lock().expect("interval cache lock").get(&key) {
+        if let Some(&v) = self
+            .intervals
+            .lock()
+            .expect("interval cache lock")
+            .get(&key)
+        {
             return v;
         }
         let target = AccuracyTarget::percent(accuracy_pct).expect("valid accuracy");
-        let interval = analytic_interval(self.chips[0].profile(), temp_c, target)
-            .unwrap_or_else(|| {
-                calibrate_measured(&self.chips[0], temp_c, target, &CalibrationConfig::default())
-                    .expect("measured calibration converges")
+        let interval =
+            analytic_interval(self.chips[0].profile(), temp_c, target).unwrap_or_else(|| {
+                calibrate_measured(
+                    &self.chips[0],
+                    temp_c,
+                    target,
+                    &CalibrationConfig::default(),
+                )
+                .expect("measured calibration converges")
             });
-        self.intervals.lock().expect("interval cache lock").insert(key, interval);
+        self.intervals
+            .lock()
+            .expect("interval cache lock")
+            .insert(key, interval);
         interval
     }
 
@@ -133,11 +144,7 @@ impl Platform {
     /// The paper's nine evaluation outputs per chip: every combination of
     /// temperature and accuracy (§7.1). Returned with their (temp, accuracy)
     /// labels.
-    pub fn evaluation_outputs(
-        &self,
-        chip: usize,
-        trial_base: u64,
-    ) -> Vec<(f64, f64, ErrorString)> {
+    pub fn evaluation_outputs(&self, chip: usize, trial_base: u64) -> Vec<(f64, f64, ErrorString)> {
         let mut out = Vec::with_capacity(9);
         let mut trial = trial_base;
         for &t in &TEMPERATURES {

@@ -6,7 +6,9 @@
 //! prevents it.
 
 use crate::report::Report;
-use pc_approx::{exact_refresh_rate_hz, plan_for_policy, AccuracyTarget, PolicyOutcome, RefreshPolicy};
+use pc_approx::{
+    exact_refresh_rate_hz, plan_for_policy, AccuracyTarget, PolicyOutcome, RefreshPolicy,
+};
 use pc_dram::{ChipGeometry, ChipId, ChipProfile, Conditions, DramChip};
 use probable_cause::{characterize, DistanceMetric, ErrorString, PcDistance, SeparationReport};
 use std::io;
@@ -104,10 +106,15 @@ pub fn run(_out: &Path) -> io::Result<String> {
     let policies = [
         ("uniform", RefreshPolicy::Uniform),
         ("raidr-4-bins", RefreshPolicy::RaidrBins { bins: 4 }),
-        ("rapid-75%-occupancy", RefreshPolicy::RapidPlacement { occupancy: 0.75 }),
+        (
+            "rapid-75%-occupancy",
+            RefreshPolicy::RapidPlacement { occupancy: 0.75 },
+        ),
         (
             "flikker-50%-low",
-            RefreshPolicy::FlikkerPartition { low_refresh_fraction: 0.5 },
+            RefreshPolicy::FlikkerPartition {
+                low_refresh_fraction: 0.5,
+            },
         ),
     ];
     let mut r = Report::new("Extension: fingerprinting under retention-aware refresh policies");
@@ -157,7 +164,9 @@ mod tests {
             RefreshPolicy::Uniform,
             RefreshPolicy::RaidrBins { bins: 4 },
             RefreshPolicy::RapidPlacement { occupancy: 0.75 },
-            RefreshPolicy::FlikkerPartition { low_refresh_fraction: 0.5 },
+            RefreshPolicy::FlikkerPartition {
+                low_refresh_fraction: 0.5,
+            },
         ] {
             let e = evaluate(p, 3);
             assert!(

@@ -69,7 +69,10 @@ impl BitImage {
     ///
     /// Panics when out of bounds.
     pub fn get(&self, x: usize, y: usize) -> bool {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.bits[y * self.width + x]
     }
 
@@ -79,7 +82,10 @@ impl BitImage {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, x: usize, y: usize, v: bool) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.bits[y * self.width + x] = v;
     }
 

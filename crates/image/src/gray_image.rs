@@ -85,7 +85,10 @@ impl GrayImage {
     ///
     /// Panics when out of bounds.
     pub fn get(&self, x: usize, y: usize) -> u8 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[y * self.width + x]
     }
 
@@ -102,7 +105,10 @@ impl GrayImage {
     ///
     /// Panics when out of bounds.
     pub fn set(&mut self, x: usize, y: usize, v: u8) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.pixels[y * self.width + x] = v;
     }
 

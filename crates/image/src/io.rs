@@ -105,7 +105,9 @@ pub fn read_pgm<R: BufRead>(mut r: R) -> Result<GrayImage, ImageIoError> {
     let height = parse(&header_fields[2])?;
     let maxval = parse(&header_fields[3])?;
     if maxval == 0 || maxval > 255 {
-        return Err(ImageIoError::BadFormat(format!("unsupported maxval {maxval}")));
+        return Err(ImageIoError::BadFormat(format!(
+            "unsupported maxval {maxval}"
+        )));
     }
     if width == 0 || height == 0 {
         return Err(ImageIoError::BadFormat("zero dimension".into()));

@@ -38,7 +38,9 @@ pub fn sobel(img: &GrayImage) -> GrayImage {
         let p = |dx: isize, dy: isize| img.get_clamped(xi + dx, yi + dy) as f64;
         let gx = (p(1, -1) + 2.0 * p(1, 0) + p(1, 1)) - (p(-1, -1) + 2.0 * p(-1, 0) + p(-1, 1));
         let gy = (p(-1, 1) + 2.0 * p(0, 1) + p(1, 1)) - (p(-1, -1) + 2.0 * p(0, -1) + p(1, -1));
-        (0.25 * (gx * gx + gy * gy).sqrt()).round().clamp(0.0, 255.0) as u8
+        (0.25 * (gx * gx + gy * gy).sqrt())
+            .round()
+            .clamp(0.0, 255.0) as u8
     })
 }
 

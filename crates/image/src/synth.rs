@@ -71,7 +71,9 @@ pub fn figure5_image() -> BitImage {
 /// Panics if `square` is zero.
 pub fn checkerboard(width: usize, height: usize, square: usize) -> BitImage {
     assert!(square > 0, "square size must be positive");
-    BitImage::from_fn(width, height, |x, y| (x / square + y / square).is_multiple_of(2))
+    BitImage::from_fn(width, height, |x, y| {
+        (x / square + y / square).is_multiple_of(2)
+    })
 }
 
 /// Uniform random noise image (for PSNR baselines and property tests).

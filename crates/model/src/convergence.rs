@@ -104,7 +104,11 @@ mod tests {
             .0;
         assert!(peak_idx > 10 && peak_idx < 700, "peak at {peak_idx}");
         // Late samples merge everything into nearly one cluster.
-        assert!(*c.last().unwrap() < 2.0, "final count {}", c.last().unwrap());
+        assert!(
+            *c.last().unwrap() < 2.0,
+            "final count {}",
+            c.last().unwrap()
+        );
     }
 
     #[test]
@@ -120,7 +124,11 @@ mod tests {
         // are random, but overlap requires strict intersection; statistically
         // the two-sample expectation must be strictly above 1.
         let c = expected_cluster_counts(1_000_000, 2, 2, 64, 11);
-        assert!(c[1] > 1.9, "two tiny samples almost never overlap: {}", c[1]);
+        assert!(
+            c[1] > 1.9,
+            "two tiny samples almost never overlap: {}",
+            c[1]
+        );
     }
 
     #[test]

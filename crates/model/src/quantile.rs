@@ -269,7 +269,10 @@ mod tests {
         let observed = m.page_errors(4, 0.01, 3);
         // The stable core of any observation is the ground truth; overlap
         // must be large.
-        let common = gt.iter().filter(|c| observed.binary_search(c).is_ok()).count();
+        let common = gt
+            .iter()
+            .filter(|c| observed.binary_search(c).is_ok())
+            .count();
         assert!(common as f64 > 0.9 * gt.len() as f64);
     }
 
@@ -291,7 +294,7 @@ mod tests {
     fn data_filter_restricts_to_charged_cells() {
         let m = QuantileMemory::with_params(5, 64, 0.0);
         let data = vec![0xFFu8; 8]; // all ones
-        // Default 1 everywhere -> nothing charged -> no errors.
+                                    // Default 1 everywhere -> nothing charged -> no errors.
         let none = m.page_errors_for_data(0, &data, |_| true, 0.5, 0);
         assert!(none.is_empty());
         // Default 0 everywhere -> everything charged -> full error set.

@@ -148,9 +148,15 @@ mod tests {
         let l10 = s.log10_max_fingerprints();
         assert!((l10 - 795.94).abs() < 0.1, "log10 max = {l10}");
         let (lo, _hi) = s.log10_distinguishable_bounds();
-        assert!((589.0..=601.0).contains(&lo), "log10 distinguishable lower = {lo}");
+        assert!(
+            (589.0..=601.0).contains(&lo),
+            "log10 distinguishable lower = {lo}"
+        );
         let (_mlo, mhi) = s.log10_mismatch_bounds();
-        assert!((-601.0..=-589.0).contains(&mhi), "log10 mismatch upper = {mhi}");
+        assert!(
+            (-601.0..=-589.0).contains(&mhi),
+            "log10 mismatch upper = {mhi}"
+        );
         let e = s.entropy_bits();
         assert!((e - 2423.0).abs() < 10.0, "entropy = {e}");
     }

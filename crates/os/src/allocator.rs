@@ -97,6 +97,8 @@ impl Allocator {
     ///
     /// Panics if the run does not fit in physical memory.
     pub fn allocate(&mut self, run_pages: usize) -> Allocation {
+        pc_telemetry::counter!("os.allocations").incr();
+        pc_telemetry::counter!("os.pages_allocated").add(run_pages as u64);
         assert!(
             run_pages as u64 <= self.total_pages,
             "run of {run_pages} pages exceeds memory of {} pages",
@@ -105,7 +107,9 @@ impl Allocator {
         assert!(run_pages > 0, "cannot allocate an empty run");
         let pages = match self.policy {
             PlacementPolicy::ContiguousRandom => {
-                let start = self.rng.random_range(0..=self.total_pages - run_pages as u64);
+                let start = self
+                    .rng
+                    .random_range(0..=self.total_pages - run_pages as u64);
                 (start..start + run_pages as u64).collect()
             }
             PlacementPolicy::ContiguousFixed(start) => {

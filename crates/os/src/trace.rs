@@ -69,6 +69,7 @@ impl AllocationTrace {
     /// Appends one output's placement.
     pub fn record(&mut self, output_id: u64, pages: Vec<u64>) {
         assert!(!pages.is_empty(), "cannot trace an empty allocation");
+        pc_telemetry::counter!("os.trace.records").incr();
         self.records.push(TraceRecord { output_id, pages });
     }
 
@@ -93,8 +94,7 @@ impl AllocationTrace {
         if self.records.is_empty() {
             return 1.0;
         }
-        self.records.iter().filter(|r| r.is_contiguous()).count() as f64
-            / self.records.len() as f64
+        self.records.iter().filter(|r| r.is_contiguous()).count() as f64 / self.records.len() as f64
     }
 
     /// Paper observation 2: the number of distinct start pages across runs —
@@ -145,7 +145,11 @@ mod tests {
         // (1) contiguous physical runs,
         assert_eq!(trace.fraction_contiguous(), 1.0);
         // (2) placement varies across runs,
-        assert!(trace.distinct_starts() > 20, "starts: {}", trace.distinct_starts());
+        assert!(
+            trace.distinct_starts() > 20,
+            "starts: {}",
+            trace.distinct_starts()
+        );
         // (3) no remapping within a run (contiguity per record implies the
         // virtual->physical map held for the run's duration).
         for r in trace.records() {

@@ -132,7 +132,10 @@ mod tests {
         let mut s2 = sys(2);
         let r1 = run_edge_detect(&mut s1, &input);
         let r2 = run_edge_detect(&mut s2, &input);
-        assert_eq!(r1.exact, r2.exact, "exact computation must not vary by machine");
+        assert_eq!(
+            r1.exact, r2.exact,
+            "exact computation must not vary by machine"
+        );
         assert_ne!(
             r1.approximate, r2.approximate,
             "different machines imprint different errors"

@@ -1,8 +1,6 @@
 //! Property-based tests for the OS model.
 
-use pc_os::{
-    Allocator, ApproxSystem, PageDecay, PlacementPolicy, SystemConfig, PAGE_BYTES,
-};
+use pc_os::{Allocator, ApproxSystem, PageDecay, PlacementPolicy, SystemConfig, PAGE_BYTES};
 use proptest::prelude::*;
 
 proptest! {

@@ -197,7 +197,9 @@ impl TryRng for StreamRng {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, RngExt};
+    // `next_u64`/`fill_bytes` live on `RngCore`; importing only the `Rng`
+    // marker does not bring supertrait methods into scope.
+    use rand::{RngCore, RngExt};
 
     #[test]
     fn mix64_is_deterministic_and_spreads() {
@@ -244,7 +246,11 @@ mod tests {
     #[test]
     fn word2_differs_from_word() {
         let h = CellHasher::new(5);
-        assert_ne!(h.word2(1, 2), h.word2(2, 1), "word2 should not be symmetric");
+        assert_ne!(
+            h.word2(1, 2),
+            h.word2(2, 1),
+            "word2 should not be symmetric"
+        );
         assert_ne!(h.word2(1, 0), h.word(1));
     }
 

@@ -36,7 +36,10 @@ impl Histogram {
     /// Panics if `bins == 0` or `lo >= hi` or either bound is non-finite.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "bad range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "bad range [{lo}, {hi})"
+        );
         Self {
             lo,
             hi,

@@ -1,8 +1,8 @@
 //! Property-based tests for the numerics substrate.
 
 use pc_stats::{
-    erf, erfc, ln_binomial, log_sum_exp, mix64, normal_cdf, probit, CellHasher, Histogram,
-    Normal, Summary,
+    erf, erfc, ln_binomial, log_sum_exp, mix64, normal_cdf, probit, CellHasher, Histogram, Normal,
+    Summary,
 };
 use proptest::prelude::*;
 

@@ -1,0 +1,310 @@
+//! A small, dependency-free JSON writer.
+//!
+//! The workspace's serde dependency is a derive-only marker (see
+//! `crates/compat/serde`), so telemetry writes its own JSON. Objects keep
+//! insertion order, making output byte-stable for a fixed sequence of
+//! `set` calls — the property run manifests rely on for reproducibility.
+
+use std::fmt::{self, Write as _};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point number; non-finite values render as `null`.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<JsonValue>),
+    /// Object (insertion-ordered).
+    Object(JsonObject),
+}
+
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<i32> for JsonValue {
+    fn from(v: i32) -> Self {
+        Self::I64(i64::from(v))
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        Self::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(v: Vec<JsonValue>) -> Self {
+        Self::Array(v)
+    }
+}
+
+impl From<JsonObject> for JsonValue {
+    fn from(v: JsonObject) -> Self {
+        Self::Object(v)
+    }
+}
+
+/// An insertion-ordered JSON object.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct JsonObject {
+    entries: Vec<(String, JsonValue)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends (or replaces) `key` with `value`, preserving the position of
+    /// a replaced key.
+    pub fn set(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        let value = value.into();
+        if let Some(entry) = self.entries.iter_mut().find(|(k, _)| k == key) {
+            entry.1 = value;
+        } else {
+            self.entries.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Appends every entry of `other`.
+    pub fn extend(&mut self, other: JsonObject) {
+        for (k, v) in other.entries {
+            self.set(&k, v);
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the object has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &str) -> Option<JsonValue> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_compact(&self) -> String {
+        let mut s = String::new();
+        write_value(&mut s, &JsonValue::Object(self.clone()), None, 0);
+        s
+    }
+
+    /// Pretty rendering with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut s = String::new();
+        write_value(&mut s, &JsonValue::Object(self.clone()), Some(2), 0);
+        s.push('\n');
+        s
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(&mut s, self, None, 0);
+        f.write_str(&s)
+    }
+}
+
+impl fmt::Display for JsonObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+fn write_value(out: &mut String, v: &JsonValue, indent: Option<usize>, depth: usize) {
+    match v {
+        JsonValue::Null => out.push_str("null"),
+        JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        JsonValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::F64(x) => {
+            if x.is_finite() {
+                // Rust's Display prints the shortest round-trip decimal,
+                // which is valid JSON (no exponent-only forms like `1e3`
+                // without digits, no trailing dot).
+                let _ = write!(out, "{x}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        JsonValue::Str(s) => write_string(out, s),
+        JsonValue::Array(items) => {
+            write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                write_value(out, &items[i], indent, depth + 1);
+            })
+        }
+        JsonValue::Object(obj) => {
+            write_seq(out, indent, depth, '{', '}', obj.entries.len(), |out, i| {
+                let (k, val) = &obj.entries[i];
+                write_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, indent, depth + 1);
+            });
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering_and_escaping() {
+        let mut obj = JsonObject::new();
+        obj.set("name", "a\"b\\c\nd");
+        obj.set("n", 3u64);
+        obj.set("x", -1.5);
+        obj.set("ok", true);
+        obj.set("nothing", JsonValue::Null);
+        assert_eq!(
+            obj.to_compact(),
+            r#"{"name":"a\"b\\c\nd","n":3,"x":-1.5,"ok":true,"nothing":null}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        let mut obj = JsonObject::new();
+        obj.set("bad", f64::NAN);
+        assert_eq!(obj.to_compact(), r#"{"bad":null}"#);
+    }
+
+    #[test]
+    fn set_replaces_in_place() {
+        let mut obj = JsonObject::new();
+        obj.set("a", 1u64).set("b", 2u64).set("a", 9u64);
+        assert_eq!(obj.to_compact(), r#"{"a":9,"b":2}"#);
+    }
+
+    #[test]
+    fn pretty_rendering_is_stable() {
+        let mut inner = JsonObject::new();
+        inner.set("k", 1u64);
+        let mut obj = JsonObject::new();
+        obj.set("outer", inner);
+        obj.set("list", vec![JsonValue::U64(1), JsonValue::U64(2)]);
+        assert_eq!(
+            obj.to_pretty(),
+            "{\n  \"outer\": {\n    \"k\": 1\n  },\n  \"list\": [\n    1,\n    2\n  ]\n}\n"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Structured JSON-lines event sink.
+
+use crate::json::JsonObject;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// A buffered JSON-lines writer: one event object per line.
+///
+/// Held behind the collector's mutex; all event emission serializes through
+/// [`Collector::emit`](crate::Collector::emit).
+#[derive(Debug)]
+pub struct EventSink {
+    writer: BufWriter<File>,
+}
+
+impl EventSink {
+    /// Creates (truncating) the sink file at `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        Ok(Self {
+            writer: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Appends one event line; write errors are swallowed (telemetry must
+    /// never take down the pipeline it observes).
+    pub fn write_event(&mut self, event: &JsonObject) {
+        let _ = writeln!(self.writer, "{}", event.to_compact());
+    }
+
+    /// Flushes buffered events to disk.
+    pub fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+impl Drop for EventSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}

@@ -1,0 +1,73 @@
+//! RAII wall-clock span timers.
+
+use crate::histogram::Histogram;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// A call-site handle to a named span, designed to live in a `static` (see
+/// the [`time!`](crate::time) macro). [`enter`](Self::enter) returns a guard
+/// that records the elapsed nanoseconds into the span's histogram on drop.
+#[derive(Debug)]
+pub struct SpanHandle {
+    name: &'static str,
+    resolved: OnceLock<&'static Histogram>,
+}
+
+impl SpanHandle {
+    /// A handle to the span named `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            resolved: OnceLock::new(),
+        }
+    }
+
+    /// The span's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Starts timing. When telemetry is not installed this reads no clock
+    /// and the guard's drop is a no-op.
+    #[inline]
+    pub fn enter(&self) -> Span {
+        match crate::global() {
+            Some(collector) => Span {
+                hist: Some(
+                    self.resolved
+                        .get_or_init(|| collector.span_histogram(self.name)),
+                ),
+                start: Some(Instant::now()),
+            },
+            None => Span {
+                hist: None,
+                start: None,
+            },
+        }
+    }
+}
+
+/// Guard returned by [`SpanHandle::enter`]; records the span duration when
+/// dropped.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct Span {
+    hist: Option<&'static Histogram>,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Elapsed nanoseconds so far, or `None` when telemetry is disabled.
+    pub fn elapsed_ns(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_nanos() as u64)
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let (Some(hist), Some(start)) = (self.hist, self.start) {
+            hist.record(start.elapsed().as_nanos() as u64);
+        }
+    }
+}

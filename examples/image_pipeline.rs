@@ -64,12 +64,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         placement: PlacementPolicy::ContiguousFixed(128),
     });
     let other_post = run_edge_detect(&mut other, &photo);
-    let other_errors =
-        ErrorString::from_xor(other_post.approximate.as_bytes(), other_post.exact.as_bytes());
+    let other_errors = ErrorString::from_xor(
+        other_post.approximate.as_bytes(),
+        other_post.exact.as_bytes(),
+    );
     println!(
         "post from another machine: identified = {:?} (closest distance {:.4})",
         db.identify(&other_errors),
-        db.identify_best(&other_errors).map(|(_, d)| d).unwrap_or(1.0)
+        db.identify_best(&other_errors)
+            .map(|(_, d)| d)
+            .unwrap_or(1.0)
     );
     println!("images written to {}", dir.display());
     Ok(())

@@ -22,10 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let chip = DramChip::new(ChipProfile::km41464a(), ChipId(1000 + serial));
         let mut mem = ApproxMemory::with_target(chip, 40.0, AccuracyTarget::percent(99.0)?)?;
         let fp = attacker.fingerprint_device(format!("device-{serial}"), &mut mem, 3)?;
-        println!(
-            "fingerprinted device-{serial}: {} stable bits",
-            fp.weight()
-        );
+        println!("fingerprinted device-{serial}: {} stable bits", fp.weight());
         devices.push(mem);
     }
 

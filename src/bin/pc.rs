@@ -10,9 +10,14 @@
 //!
 //! pc demo
 //!     Simulate two devices end to end and show attribution working.
+//!
+//! pc version
+//!     Report the toolkit version, git revision, and build configuration.
 //! ```
 //!
 //! The database is the text format of `probable_cause::persistence`.
+//! `--telemetry PATH` (or the `PC_TELEMETRY` environment variable) streams
+//! structured JSON-lines events and enables the metric counters.
 
 use probable_cause_repro::core::persistence::{load_db, save_db};
 use probable_cause_repro::core::{characterize, ErrorString, FingerprintDb, PcDistance};
@@ -25,23 +30,53 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
+    let result = dispatch(args);
+    if let Some(collector) = pc_telemetry::global() {
+        let mut fields = pc_telemetry::JsonObject::new();
+        fields.set("ok", result.is_ok());
+        for (name, value) in collector.counters_snapshot() {
+            fields.set(&name, value);
+        }
+        collector.emit("cli.complete", fields);
+        collector.flush();
+    }
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("pc: {msg}\n");
+            print_usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(args: Vec<String>) -> Result<(), String> {
+    let args = init_telemetry(args)?;
+    match args.first().map(String::as_str) {
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("identify") => cmd_identify(&args[1..]),
         Some("demo") => cmd_demo(),
+        Some("version" | "--version" | "-V") => cmd_version(),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}; try `pc help`")),
-    };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("pc: {msg}");
-            ExitCode::FAILURE
-        }
+        Some(other) => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Consumes a global `--telemetry PATH` flag (falling back to the
+/// `PC_TELEMETRY` environment variable) and installs the collector with a
+/// JSON-lines event sink at that path; without either, telemetry stays
+/// disabled and costs one atomic load per instrumented call.
+fn init_telemetry(args: Vec<String>) -> Result<Vec<String>, String> {
+    let (flag, rest) = take_optional_flag(&args, "--telemetry")?;
+    let sink = flag.or_else(|| std::env::var("PC_TELEMETRY").ok());
+    if let Some(path) = sink {
+        pc_telemetry::install_with_sink(Path::new(&path))
+            .map_err(|e| format!("cannot open telemetry sink {path}: {e}"))?;
+    }
+    Ok(rest)
 }
 
 fn print_usage() {
@@ -51,23 +86,63 @@ fn print_usage() {
          usage:\n\
          \x20 pc characterize --db DB --label NAME EXACT.pgm APPROX.pgm [APPROX.pgm...]\n\
          \x20 pc identify    --db DB EXACT.pgm APPROX.pgm\n\
-         \x20 pc demo"
+         \x20 pc demo\n\
+         \x20 pc version\n\
+         \n\
+         options:\n\
+         \x20 --telemetry PATH   stream JSON-lines telemetry events to PATH\n\
+         \x20                    (or set PC_TELEMETRY=PATH)"
     );
+}
+
+fn cmd_version() -> Result<(), String> {
+    println!("pc {}", env!("CARGO_PKG_VERSION"));
+    println!("git:       {}", pc_telemetry::manifest::git_describe());
+    println!(
+        "build:     {}",
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        }
+    );
+    println!(
+        "telemetry: {}",
+        if pc_telemetry::enabled() {
+            "enabled"
+        } else {
+            "disabled"
+        }
+    );
+    // The workspace compiles its vendored dependency shims unconditionally;
+    // no cargo features gate functionality today.
+    println!("features:  default");
+    Ok(())
 }
 
 /// Pulls `--flag value` out of an argument list, returning (value, rest).
 fn take_flag(args: &[String], flag: &str) -> Result<(String, Vec<String>), String> {
-    let pos = args
-        .iter()
-        .position(|a| a == flag)
-        .ok_or_else(|| format!("missing required {flag}"))?;
+    match take_optional_flag(args, flag)? {
+        (Some(value), rest) => Ok((value, rest)),
+        (None, _) => Err(format!("missing required {flag}")),
+    }
+}
+
+/// Like [`take_flag`] for a flag that may be absent.
+fn take_optional_flag(
+    args: &[String],
+    flag: &str,
+) -> Result<(Option<String>, Vec<String>), String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok((None, args.to_vec()));
+    };
     let value = args
         .get(pos + 1)
         .ok_or_else(|| format!("{flag} needs a value"))?
         .clone();
     let mut rest = args.to_vec();
     rest.drain(pos..=pos + 1);
-    Ok((value, rest))
+    Ok((Some(value), rest))
 }
 
 fn read_image(path: &str) -> Result<GrayImage, String> {
@@ -139,7 +214,10 @@ fn cmd_identify(args: &[String]) -> Result<(), String> {
     println!("{} error bits in the output", errors.weight());
     match db.identify_best(&errors) {
         Some((label, d)) if d < db.threshold() => {
-            println!("MATCH: {label} (distance {d:.4}, threshold {})", db.threshold());
+            println!(
+                "MATCH: {label} (distance {d:.4}, threshold {})",
+                db.threshold()
+            );
         }
         Some((label, d)) => {
             println!(

@@ -52,7 +52,7 @@ pub mod prelude {
     };
     pub use probable_cause::{
         characterize, cluster, defense, localize, DistanceMetric, Eavesdropper, ErrorString,
-        Fingerprint, FingerprintDb, HammingDistance, JaccardDistance, PcDistance,
-        SeparationReport, StitchConfig, Stitcher, SupplyChainAttacker,
+        Fingerprint, FingerprintDb, HammingDistance, JaccardDistance, PcDistance, SeparationReport,
+        StitchConfig, Stitcher, SupplyChainAttacker,
     };
 }

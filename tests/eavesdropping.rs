@@ -163,7 +163,11 @@ fn segregated_pages_stay_out_of_the_fingerprint() {
     // One cluster (the general half overlaps run to run), and the sensitive
     // pages contributed nothing.
     assert_eq!(attacker.suspected_chips(), 1);
-    let (_, pages) = attacker.stitcher().iter_clusters().next().expect("one cluster");
+    let (_, pages) = attacker
+        .stitcher()
+        .iter_clusters()
+        .next()
+        .expect("one cluster");
     let informative = pages.values().filter(|fp| fp.weight() >= 8).count();
     assert!(informative <= 8, "sensitive pages leaked: {informative}");
 }

@@ -34,7 +34,11 @@ fn supply_chain_attack_identifies_all_devices() {
         let data = mem.medium().worst_case_pattern();
         let size = data.len() as u64 * 8;
         let out = ErrorString::from_sorted(mem.store_errors(0, &data), size).expect("sorted");
-        assert_eq!(attacker.identify(&out), Some(&i), "device {i} misattributed");
+        assert_eq!(
+            attacker.identify(&out),
+            Some(&i),
+            "device {i} misattributed"
+        );
     }
 }
 
@@ -42,7 +46,9 @@ fn supply_chain_attack_identifies_all_devices() {
 fn identification_survives_temperature_and_accuracy_change() {
     let mut attacker = SupplyChainAttacker::new(0.25);
     let mut mem = memory(7, 99.0);
-    attacker.fingerprint_device("victim", &mut mem, 3).expect("ok");
+    attacker
+        .fingerprint_device("victim", &mut mem, 3)
+        .expect("ok");
 
     for (temp, acc) in [(50.0, 99.0), (60.0, 95.0), (40.0, 90.0), (60.0, 90.0)] {
         mem.set_temperature(temp).expect("recalibration");
@@ -72,8 +78,7 @@ fn unseen_devices_are_rejected_not_misattributed() {
         let mut stranger = memory(900 + s, 99.0);
         let data = stranger.medium().worst_case_pattern();
         let size = data.len() as u64 * 8;
-        let out =
-            ErrorString::from_sorted(stranger.store_errors(0, &data), size).expect("sorted");
+        let out = ErrorString::from_sorted(stranger.store_errors(0, &data), size).expect("sorted");
         assert_eq!(attacker.identify(&out), None, "stranger {s} misattributed");
     }
 }
@@ -84,7 +89,9 @@ fn image_data_carries_the_same_fingerprint_as_worst_case() {
     // payload is an image (only ~half the cells charged).
     let mut attacker = SupplyChainAttacker::new(0.4);
     let mut mem = memory(55, 99.0);
-    attacker.fingerprint_device("victim", &mut mem, 3).expect("ok");
+    attacker
+        .fingerprint_device("victim", &mut mem, 3)
+        .expect("ok");
 
     let img = synth::shapes_scene(64, 128, 3); // 8192 bytes = chip size
     let bytes = img.as_bytes();
@@ -105,9 +112,8 @@ fn clustering_groups_outputs_by_device_across_conditions() {
         for acc in [99.0, 95.0] {
             mem.set_target(AccuracyTarget::percent(acc).expect("valid"))
                 .expect("ok");
-            outputs.push(
-                ErrorString::from_sorted(mem.store_errors(0, &data), size).expect("sorted"),
-            );
+            outputs
+                .push(ErrorString::from_sorted(mem.store_errors(0, &data), size).expect("sorted"));
             truth.push(s);
         }
     }
@@ -146,8 +152,7 @@ fn bank_spanning_outputs_identify_like_single_chips() {
     db.insert("bank", characterize(&obs).expect("ok"));
 
     let fresh = ErrorString::from_sorted(mem.store_errors(0, &data), size).expect("sorted");
-    let foreign =
-        ErrorString::from_sorted(other_mem.store_errors(0, &data), size).expect("sorted");
+    let foreign = ErrorString::from_sorted(other_mem.store_errors(0, &data), size).expect("sorted");
     assert_eq!(db.identify(&fresh), Some(&"bank"));
     assert_eq!(db.identify(&foreign), None);
 }

@@ -38,7 +38,10 @@ fn both_engines_show_the_same_trial_consistency() {
                 *occ.entry(b).or_insert(0) += 1;
             }
         }
-        let full = occ.values().filter(|&&n| n == error_sets.len() as u32).count();
+        let full = occ
+            .values()
+            .filter(|&&n| n == error_sets.len() as u32)
+            .count();
         full as f64 / occ.len() as f64
     };
 
@@ -49,7 +52,12 @@ fn both_engines_show_the_same_trial_consistency() {
         .collect();
     let q = QuantileMemory::new(2);
     let emu_sets: Vec<Vec<u64>> = (0..21)
-        .map(|t| q.page_errors(5, 0.01, t).into_iter().map(u64::from).collect())
+        .map(|t| {
+            q.page_errors(5, 0.01, t)
+                .into_iter()
+                .map(u64::from)
+                .collect()
+        })
         .collect();
 
     let (sim_c, emu_c) = (consistency(&sim_sets), consistency(&emu_sets));
@@ -57,7 +65,10 @@ fn both_engines_show_the_same_trial_consistency() {
     // points of each other.
     assert!(sim_c > 0.95, "simulator consistency {sim_c}");
     assert!(emu_c > 0.95, "emulator consistency {emu_c}");
-    assert!((sim_c - emu_c).abs() < 0.04, "engines disagree: {sim_c} vs {emu_c}");
+    assert!(
+        (sim_c - emu_c).abs() < 0.04,
+        "engines disagree: {sim_c} vs {emu_c}"
+    );
 }
 
 #[test]

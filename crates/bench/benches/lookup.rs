@@ -1,0 +1,60 @@
+//! Identification-lookup benchmarks: Algorithm 2's linear scan vs the
+//! LSH-routed lookup (`identify_indexed`) at 100 / 1k / 10k stored chips —
+//! the serving-path speedup `pc-service` is built on. Index construction is
+//! benchmarked separately so the lookup numbers measure only the query path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pc_bench::{perturbed, synthetic_errors};
+use probable_cause::{Fingerprint, FingerprintDb, PcDistance};
+use std::hint::black_box;
+
+const SIZE: u64 = 32_768;
+const WEIGHT: usize = 328; // ~1% of a page, the paper's fingerprint density
+
+fn populated_db(chips: u64) -> FingerprintDb<String, PcDistance> {
+    let mut db = FingerprintDb::new(PcDistance::new(), 0.3);
+    for c in 0..chips {
+        db.insert(
+            format!("chip-{c:05}"),
+            Fingerprint::from_observation(synthetic_errors(c + 1, WEIGHT, SIZE)),
+        );
+    }
+    db
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup");
+    for chips in [100u64, 1_000, 10_000] {
+        let db = populated_db(chips);
+        let index = db.build_index(16, 4, 0x5eed);
+        // A noisy output of a chip in the middle of the database.
+        let probe = perturbed(&synthetic_errors(chips / 2 + 1, WEIGHT, SIZE), 6, 6, 7);
+
+        group.bench_with_input(BenchmarkId::new("linear", chips), &chips, |b, _| {
+            b.iter(|| black_box(db.identify_with_distance(black_box(&probe))))
+        });
+        group.bench_with_input(BenchmarkId::new("lsh_indexed", chips), &chips, |b, _| {
+            b.iter(|| black_box(db.identify_indexed(black_box(&index), black_box(&probe))))
+        });
+        // Both paths agree before we trust either number.
+        assert_eq!(
+            db.identify_with_distance(&probe).map(|(l, _)| l.clone()),
+            db.identify_indexed(&index, &probe).map(|(l, _)| l.clone()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lookup_index_build");
+    for chips in [100u64, 1_000] {
+        let db = populated_db(chips);
+        group.bench_with_input(BenchmarkId::new("build", chips), &chips, |b, _| {
+            b.iter(|| black_box(db.build_index(16, 4, 0x5eed)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookup, bench_index_build);
+criterion_main!(benches);

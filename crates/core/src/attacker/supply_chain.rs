@@ -82,8 +82,16 @@ impl<L> SupplyChainAttacker<L> {
         self.db.insert(label, fingerprint);
     }
 
+    /// The underlying fingerprint database.
+    pub fn db(&self) -> &FingerprintDb<L, PcDistance> {
+        &self.db
+    }
+}
+
+impl<L: Ord> SupplyChainAttacker<L> {
     /// Identifies the device that produced an output's error string
-    /// (Algorithm 2). `None` means "no fingerprinted device matches".
+    /// (Algorithm 2, deterministic best-match selection). `None` means "no
+    /// fingerprinted device matches".
     pub fn identify(&self, errors: &ErrorString) -> Option<&L> {
         self.db.identify(errors)
     }
@@ -101,11 +109,6 @@ impl<L> SupplyChainAttacker<L> {
     /// The closest fingerprint and its distance, ignoring the threshold.
     pub fn identify_best(&self, errors: &ErrorString) -> Option<(&L, f64)> {
         self.db.identify_best(errors)
-    }
-
-    /// The underlying fingerprint database.
-    pub fn db(&self) -> &FingerprintDb<L, PcDistance> {
-        &self.db
     }
 }
 

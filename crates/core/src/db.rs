@@ -1,6 +1,6 @@
 //! The fingerprint database and Algorithm 2 (identification).
 
-use crate::{DistanceMetric, ErrorString, Fingerprint};
+use crate::{DistanceMetric, ErrorString, Fingerprint, LshIndex};
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -79,36 +79,20 @@ impl<L, M: DistanceMetric> FingerprintDb<L, M> {
         self.entries.iter().map(|(l, f)| (l, f))
     }
 
-    /// **Algorithm 2**: returns the first stored fingerprint whose distance
-    /// to `error_string` is below the threshold, or `None` ("failed").
-    pub fn identify(&self, error_string: &ErrorString) -> Option<&L> {
-        let _span = pc_telemetry::time!("core.db.identify");
-        let mut compared = 0u64;
-        let hit = self
-            .entries
-            .iter()
-            .find(|(_, fp)| {
-                compared += 1;
-                self.metric.distance(fp.errors(), error_string) < self.threshold
-            })
-            .map(|(l, _)| l);
-        pc_telemetry::counter!("core.db.identify.comparisons").add(compared);
-        if hit.is_some() {
-            pc_telemetry::counter!("core.db.identify.hits").incr();
-        } else {
-            pc_telemetry::counter!("core.db.identify.misses").incr();
-        }
-        hit
+    /// The entry with insertion-order id `id`, if it exists. Ids are the
+    /// coordinates [`LshIndex`] candidates are expressed in.
+    pub fn entry(&self, id: usize) -> Option<(&L, &Fingerprint)> {
+        self.entries.get(id).map(|(l, f)| (l, f))
     }
 
-    /// Exhaustive variant: the closest fingerprint and its distance,
-    /// regardless of threshold (useful for calibrating thresholds and for
-    /// the experiment harnesses). `None` only when the database is empty.
-    pub fn identify_best(&self, error_string: &ErrorString) -> Option<(&L, f64)> {
-        self.entries
-            .iter()
-            .map(|(l, fp)| (l, self.metric.distance(fp.errors(), error_string)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are never NaN"))
+    /// Builds an [`LshIndex`] over every stored fingerprint (entry id =
+    /// insertion order), for [`FingerprintDb::identify_indexed`].
+    pub fn build_index(&self, bands: usize, rows_per_band: usize, seed: u64) -> LshIndex {
+        let mut index = LshIndex::new(bands, rows_per_band, seed);
+        for (id, (_, fp)) in self.entries.iter().enumerate() {
+            index.insert(id as u32, fp.errors());
+        }
+        index
     }
 
     /// Distances from `error_string` to every stored fingerprint, in
@@ -118,6 +102,94 @@ impl<L, M: DistanceMetric> FingerprintDb<L, M> {
             .iter()
             .map(|(_, fp)| self.metric.distance(fp.errors(), error_string))
             .collect()
+    }
+}
+
+impl<L: Ord, M: DistanceMetric> FingerprintDb<L, M> {
+    /// **Algorithm 2**: the stored fingerprint closest to `error_string`,
+    /// provided its distance is below the threshold; `None` means "failed".
+    ///
+    /// Selection is deterministic: lowest distance wins, and an exact
+    /// distance tie is broken by label order (`Ord`), never by insertion
+    /// order. (The paper's pseudocode returns the first sub-threshold match;
+    /// that made results depend silently on database construction order.)
+    pub fn identify(&self, error_string: &ErrorString) -> Option<&L> {
+        self.identify_with_distance(error_string).map(|(l, _)| l)
+    }
+
+    /// [`FingerprintDb::identify`], also reporting the winning distance.
+    pub fn identify_with_distance(&self, error_string: &ErrorString) -> Option<(&L, f64)> {
+        let _span = pc_telemetry::time!("core.db.identify");
+        pc_telemetry::counter!("core.db.identify.comparisons").add(self.entries.len() as u64);
+        let hit = self
+            .best_of(0..self.entries.len(), error_string)
+            .filter(|&(_, d)| d < self.threshold);
+        if hit.is_some() {
+            pc_telemetry::counter!("core.db.identify.hits").incr();
+        } else {
+            pc_telemetry::counter!("core.db.identify.misses").incr();
+        }
+        hit
+    }
+
+    /// Index-pruned **Algorithm 2**: like
+    /// [`identify_with_distance`](FingerprintDb::identify_with_distance) but
+    /// paying full distance computation only for `index` candidates, with
+    /// the same deterministic tie-break over that candidate set.
+    ///
+    /// The caller is responsible for keeping `index` in sync with this
+    /// database (same entry ids). A true match the index fails to shortlist
+    /// is reported as a miss — that false-negative probability is set by the
+    /// index's band/row parameters (see [`LshIndex`]).
+    pub fn identify_indexed(
+        &self,
+        index: &LshIndex,
+        error_string: &ErrorString,
+    ) -> Option<(&L, f64)> {
+        let _span = pc_telemetry::time!("core.db.identify_indexed");
+        let candidates = index.candidates(error_string);
+        pc_telemetry::counter!("core.db.identify_indexed.comparisons").add(candidates.len() as u64);
+        pc_telemetry::counter!("core.db.identify_indexed.pruned")
+            .add(self.entries.len().saturating_sub(candidates.len()) as u64);
+        let hit = self
+            .best_of(candidates.into_iter().map(|c| c as usize), error_string)
+            .filter(|&(_, d)| d < self.threshold);
+        if hit.is_some() {
+            pc_telemetry::counter!("core.db.identify_indexed.hits").incr();
+        } else {
+            pc_telemetry::counter!("core.db.identify_indexed.misses").incr();
+        }
+        hit
+    }
+
+    /// Exhaustive variant: the closest fingerprint and its distance,
+    /// regardless of threshold (useful for calibrating thresholds and for
+    /// the experiment harnesses). `None` only when the database is empty.
+    /// Distance ties break by label order, like
+    /// [`identify`](FingerprintDb::identify).
+    pub fn identify_best(&self, error_string: &ErrorString) -> Option<(&L, f64)> {
+        self.best_of(0..self.entries.len(), error_string)
+    }
+
+    /// The lowest-distance entry among `ids`, ties broken by label order.
+    fn best_of(
+        &self,
+        ids: impl Iterator<Item = usize>,
+        error_string: &ErrorString,
+    ) -> Option<(&L, f64)> {
+        let mut best: Option<(&L, f64)> = None;
+        for id in ids {
+            let (label, fp) = &self.entries[id];
+            let d = self.metric.distance(fp.errors(), error_string);
+            let better = match best {
+                None => true,
+                Some((best_label, best_d)) => d < best_d || (d == best_d && label < best_label),
+            };
+            if better {
+                best = Some((label, d));
+            }
+        }
+        best
     }
 }
 
@@ -140,12 +212,45 @@ mod tests {
     }
 
     #[test]
-    fn identify_returns_first_match() {
+    fn identify_picks_lowest_distance() {
         let mut db = FingerprintDb::new(PcDistance::new(), 0.5);
-        db.insert("a", fp(&[1, 2, 3, 4]));
-        db.insert("b", fp(&[1, 2, 3, 5])); // also within 0.5 of the probe
+        db.insert("b", fp(&[1, 2, 3, 5])); // distance 0.25 — also sub-threshold
+        db.insert("a", fp(&[1, 2, 3, 4])); // distance 0, inserted second
         let probe = es(&[1, 2, 3, 4]);
         assert_eq!(db.identify(&probe), Some(&"a"));
+        let (label, d) = db.identify_with_distance(&probe).unwrap();
+        assert_eq!((label, d), (&"a", 0.0));
+    }
+
+    #[test]
+    fn identify_breaks_distance_ties_by_label_order() {
+        let mut db = FingerprintDb::new(PcDistance::new(), 0.5);
+        // Identical fingerprints: every probe is equidistant from both.
+        db.insert("zeta", fp(&[1, 2, 3, 4]));
+        db.insert("alpha", fp(&[1, 2, 3, 4]));
+        let probe = es(&[1, 2, 3, 40]);
+        // Label order decides, not insertion order.
+        assert_eq!(db.identify(&probe), Some(&"alpha"));
+        assert_eq!(db.identify_best(&probe).unwrap().0, &"alpha");
+    }
+
+    #[test]
+    fn identify_indexed_agrees_with_linear_scan() {
+        let mut db = FingerprintDb::new(PcDistance::new(), 0.5);
+        for chip in 0..16u32 {
+            let bits: Vec<u64> = (0..8).map(|i| chip as u64 * 8 + i).collect();
+            db.insert(chip, Fingerprint::from_observation(es(&bits)));
+        }
+        let index = db.build_index(16, 2, 99);
+        for chip in 0..16u32 {
+            let bits: Vec<u64> = (0..8).map(|i| chip as u64 * 8 + i).collect();
+            let probe = es(&bits);
+            assert_eq!(
+                db.identify_indexed(&index, &probe),
+                db.identify_with_distance(&probe),
+                "chip {chip}"
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!   baseline).
 //! - [`cluster`] (Algorithm 4): online clustering of outputs from unknown
 //!   devices.
+//! - [`LshIndex`]: MinHash/LSH pruning of identification — route a query to
+//!   the few fingerprints it could plausibly match before paying full
+//!   distance computation (the serving path of `pc-service`).
 //! - [`Stitcher`] (Section 4 / Fig. 4): align and merge page-level
 //!   fingerprints of overlapping outputs into whole-memory fingerprints,
 //!   backed by a MinHash/LSH page index so matching scales.
@@ -66,6 +69,7 @@ mod db;
 pub mod defense;
 mod distance;
 mod fingerprint;
+mod index;
 pub mod localize;
 pub mod persistence;
 pub mod related;
@@ -80,5 +84,6 @@ pub use bits::{BitStringError, ErrorString};
 pub use db::{FingerprintDb, SharedFingerprintDb};
 pub use distance::{DistanceMetric, HammingDistance, JaccardDistance, PcDistance};
 pub use fingerprint::Fingerprint;
+pub use index::LshIndex;
 pub use stitch::{MinHasher, ReferenceStitcher, RefineRule, StitchConfig, Stitcher};
 pub use threshold::SeparationReport;

@@ -77,7 +77,7 @@ pub fn localize_image_errors(
 /// Route 3: try several candidate error sets against the database; return
 /// the best `(label, distance, candidate index)` whose distance clears the
 /// database threshold.
-pub fn speculative_identify<'a, L, M: DistanceMetric>(
+pub fn speculative_identify<'a, L: Ord, M: DistanceMetric>(
     db: &'a FingerprintDb<L, M>,
     candidates: &[ErrorString],
 ) -> Option<(&'a L, f64, usize)> {

@@ -13,8 +13,23 @@
 //!
 //! Labels are percent-encoded (`%20` for space etc.) so arbitrary strings
 //! survive; positions are ascending decimal integers.
+//!
+//! The companion index format ([`save_index`] / [`load_index`]) persists an
+//! [`LshIndex`]'s bucket layout so `pc-service` restarts recover their shard
+//! routing without re-signing every fingerprint:
+//!
+//! ```text
+//! probable-cause-index 1
+//! minhash <bands> <rows_per_band> <seed>
+//! entries <count>
+//! bucket <band_key> <id,id,id,...>
+//! ```
+//!
+//! Bucket lines are emitted in ascending band-key order and bucket members
+//! keep their stored order, so save → load → save is byte-identical.
 
-use crate::{ErrorString, Fingerprint, FingerprintDb, PcDistance};
+use crate::{ErrorString, Fingerprint, FingerprintDb, LshIndex, PcDistance};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
@@ -191,6 +206,127 @@ pub fn load_db<R: BufRead>(r: R) -> Result<FingerprintDb<String, PcDistance>, Db
     Ok(db)
 }
 
+/// Writes an [`LshIndex`]'s layout to `w` in the canonical index format.
+///
+/// A `&mut` reference may be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_index<W: Write>(index: &LshIndex, mut w: W) -> io::Result<()> {
+    writeln!(w, "probable-cause-index 1")?;
+    writeln!(
+        w,
+        "minhash {} {} {}",
+        index.bands(),
+        index.rows_per_band(),
+        index.seed()
+    )?;
+    writeln!(w, "entries {}", index.len())?;
+    for (key, ids) in index.buckets() {
+        write!(w, "bucket {key} ")?;
+        let mut first = true;
+        for &id in ids {
+            if first {
+                first = false;
+            } else {
+                w.write_all(b",")?;
+            }
+            write!(w, "{id}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Reads an [`LshIndex`] layout from `r`.
+///
+/// A `&mut` reference may be passed as the reader.
+///
+/// # Errors
+///
+/// [`DbIoError::BadFormat`] on any malformed line (including an entry count
+/// that disagrees with the bucket contents), [`DbIoError::Io`] on read
+/// failure.
+pub fn load_index<R: BufRead>(r: R) -> Result<LshIndex, DbIoError> {
+    let bad = |line: usize, message: &str| DbIoError::BadFormat {
+        line,
+        message: message.to_string(),
+    };
+    let mut lines = r.lines().enumerate();
+
+    let (_, header) = lines.next().ok_or_else(|| bad(1, "empty file"))?;
+    if header?.trim() != "probable-cause-index 1" {
+        return Err(bad(1, "missing or unsupported index header"));
+    }
+    let (_, minhash_line) = lines.next().ok_or_else(|| bad(2, "missing minhash line"))?;
+    let minhash_line = minhash_line?;
+    let fields: Vec<&str> = minhash_line
+        .strip_prefix("minhash ")
+        .ok_or_else(|| bad(2, "expected `minhash <bands> <rows> <seed>`"))?
+        .split_whitespace()
+        .collect();
+    let [bands, rows, seed] = fields.as_slice() else {
+        return Err(bad(2, "expected three minhash fields"));
+    };
+    let bands: usize = bands.parse().map_err(|_| bad(2, "bad band count"))?;
+    let rows: usize = rows.parse().map_err(|_| bad(2, "bad row count"))?;
+    let seed: u64 = seed.parse().map_err(|_| bad(2, "bad seed"))?;
+    if bands == 0 || rows == 0 {
+        return Err(bad(2, "bands and rows must be positive"));
+    }
+
+    let (_, entries_line) = lines.next().ok_or_else(|| bad(3, "missing entries line"))?;
+    let entries: usize = entries_line?
+        .strip_prefix("entries ")
+        .and_then(|s| s.trim().parse().ok())
+        .ok_or_else(|| bad(3, "expected `entries <count>`"))?;
+
+    let mut buckets: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
+    let mut last_key: Option<u64> = None;
+    for (idx, line) in lines {
+        let n = idx + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("bucket ")
+            .ok_or_else(|| bad(n, "expected `bucket ...`"))?;
+        let (key, ids) = rest
+            .split_once(' ')
+            .ok_or_else(|| bad(n, "expected `bucket <key> <ids>`"))?;
+        let key: u64 = key.parse().map_err(|_| bad(n, "bad bucket key"))?;
+        if last_key.is_some_and(|k| key <= k) {
+            return Err(bad(n, "bucket keys must be strictly ascending"));
+        }
+        last_key = Some(key);
+        let mut members = Vec::new();
+        for tok in ids.trim().split(',') {
+            let id = tok.parse::<u32>().map_err(|_| bad(n, "bad entry id"))?;
+            if members.contains(&id) {
+                return Err(bad(n, "duplicate id in bucket"));
+            }
+            members.push(id);
+        }
+        if members.is_empty() {
+            return Err(bad(n, "empty bucket"));
+        }
+        buckets.insert(key, members);
+    }
+    let index = LshIndex::from_parts(bands, rows, seed, buckets);
+    if index.len() != entries {
+        return Err(bad(
+            3,
+            &format!(
+                "entry count {entries} disagrees with bucket contents ({})",
+                index.len()
+            ),
+        ));
+    }
+    Ok(index)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,7 +366,21 @@ mod tests {
         save_db(&db, &mut buf).unwrap();
         let loaded = load_db(Cursor::new(buf)).unwrap();
         let probe = ErrorString::from_sorted(vec![1, 5, 900, 2000], 4096).unwrap();
-        assert_eq!(loaded.identify(&probe), Some(&"chip one".to_string()));
+        // Both stored fingerprints sit at distance 0 from this probe — "chip
+        // one" because all its bits are present, the empty fingerprint
+        // vacuously (the PcDistance edge case callers are told to screen
+        // out). The deterministic tie-break resolves by label order.
+        assert_eq!(
+            loaded.identify(&probe),
+            Some(&"100%-weird\nlabel".to_string())
+        );
+        let probe2 = ErrorString::from_sorted(vec![1, 5, 900], 4096).unwrap();
+        assert_eq!(
+            loaded
+                .identify_with_distance(&probe2)
+                .map(|(l, d)| (l.clone(), d)),
+            Some(("100%-weird\nlabel".to_string(), 0.0))
+        );
     }
 
     #[test]
@@ -257,6 +407,89 @@ mod tests {
         let data = b"probable-cause-db 1\nthreshold 0.2\n\nfp x 64 1 3,5\n\n".to_vec();
         let db = load_db(Cursor::new(data)).unwrap();
         assert_eq!(db.len(), 1);
+    }
+
+    fn sample_index() -> LshIndex {
+        let mut index = LshIndex::new(8, 2, 42);
+        for id in 0..25u32 {
+            let bits: Vec<u64> = (0..40).map(|i| (id as u64 * 131 + i * 97) % 4096).collect();
+            index.insert(id, &ErrorString::from_unsorted(bits, 4096).unwrap());
+        }
+        index
+    }
+
+    #[test]
+    fn index_roundtrip_is_byte_identical() {
+        let index = sample_index();
+        let mut first = Vec::new();
+        save_index(&index, &mut first).unwrap();
+        let loaded = load_index(Cursor::new(first.clone())).unwrap();
+        let mut second = Vec::new();
+        save_index(&loaded, &mut second).unwrap();
+        assert_eq!(first, second, "save -> load -> save must be byte-stable");
+        assert_eq!(loaded.len(), index.len());
+        assert_eq!(
+            (loaded.bands(), loaded.rows_per_band(), loaded.seed()),
+            (index.bands(), index.rows_per_band(), index.seed())
+        );
+    }
+
+    #[test]
+    fn loaded_index_routes_like_the_original() {
+        let index = sample_index();
+        let mut buf = Vec::new();
+        save_index(&index, &mut buf).unwrap();
+        let loaded = load_index(Cursor::new(buf)).unwrap();
+        for id in 0..25u32 {
+            let bits: Vec<u64> = (0..40).map(|i| (id as u64 * 131 + i * 97) % 4096).collect();
+            let probe = ErrorString::from_unsorted(bits, 4096).unwrap();
+            assert_eq!(loaded.candidates(&probe), index.candidates(&probe));
+        }
+    }
+
+    #[test]
+    fn empty_index_roundtrips() {
+        let index = LshIndex::new(4, 4, 7);
+        let mut buf = Vec::new();
+        save_index(&index, &mut buf).unwrap();
+        let loaded = load_index(Cursor::new(buf)).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn index_load_rejects_malformed_input() {
+        let cases: &[(&[u8], usize)] = &[
+            (b"nope\n", 1),
+            (b"probable-cause-index 1\nminhash 0 2 1\n", 2),
+            (b"probable-cause-index 1\nminhash 2 2\n", 2),
+            (b"probable-cause-index 1\nminhash 2 2 1\nentries x\n", 3),
+            (
+                b"probable-cause-index 1\nminhash 2 2 1\nentries 1\nbucket 5 1,1\n",
+                4,
+            ),
+            (
+                b"probable-cause-index 1\nminhash 2 2 1\nentries 1\nbucket 9 0\nbucket 4 0\n",
+                5,
+            ),
+            (
+                b"probable-cause-index 1\nminhash 2 2 1\nentries 3\nbucket 5 0\n",
+                3,
+            ),
+        ];
+        for (data, line) in cases {
+            let err = load_index(Cursor::new(data.to_vec())).unwrap_err();
+            match err {
+                DbIoError::BadFormat { line: l, .. } => {
+                    assert_eq!(
+                        l,
+                        *line,
+                        "wrong line for {:?}",
+                        String::from_utf8_lossy(data)
+                    )
+                }
+                other => panic!("expected BadFormat, got {other:?}"),
+            }
+        }
     }
 
     #[test]

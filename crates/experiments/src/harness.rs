@@ -231,6 +231,15 @@ pub const CATALOG: &[Entry] = &[
         },
         run: crate::attribution::run,
     },
+    Entry {
+        name: "serve_soak",
+        configure: |m| {
+            m.knob("chips", 64u64)
+                .knob("clients", 6u64)
+                .knob("requests_per_client", 50u64);
+        },
+        run: crate::serve_soak::run,
+    },
 ];
 
 /// Records the Fig. 13 scale into a manifest (shared by the catalog row and

@@ -28,6 +28,7 @@
 //! | [`policies`] | extension — RAIDR/RAPID-style refresh policies |
 //! | [`mask_study`] | extension — mask-correlated variation vs uniqueness |
 //! | [`attribution`] | extension — attribution TPR/FPR vs collected samples |
+//! | [`serve_soak`] | extension — `pc-service` concurrent-serving soak |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -53,6 +54,7 @@ pub mod knobs;
 pub mod localization;
 pub mod mask_study;
 pub mod policies;
+pub mod serve_soak;
 pub mod table1;
 pub mod table2;
 

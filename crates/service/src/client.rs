@@ -1,0 +1,157 @@
+//! A blocking client for the wire protocol, used by `pc query` and the
+//! integration tests.
+
+use crate::codec::{self, CodecError, MAX_FRAME_BYTES};
+use crate::protocol::{self, ProtocolError, Request, Response};
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Codec(CodecError),
+    /// The server sent a frame the protocol layer cannot decode.
+    Protocol(ProtocolError),
+    /// The response's sequence number does not match the request's.
+    SequenceMismatch {
+        /// Sequence number sent.
+        sent: u64,
+        /// Sequence number received.
+        received: u64,
+    },
+    /// The server kept answering `busy` through every allowed attempt.
+    ExhaustedRetries {
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Codec(e) => write!(f, "{e}"),
+            ClientError::Protocol(e) => write!(f, "{e}"),
+            ClientError::SequenceMismatch { sent, received } => {
+                write!(
+                    f,
+                    "response seq {received} does not match request seq {sent}"
+                )
+            }
+            ClientError::ExhaustedRetries { attempts } => {
+                write!(f, "server still busy after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<CodecError> for ClientError {
+    fn from(e: CodecError) -> Self {
+        ClientError::Codec(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        ClientError::Protocol(e)
+    }
+}
+
+/// A blocking connection to a `pc-service` server.
+///
+/// [`ServiceClient::call`] is the one-outstanding-request convenience;
+/// [`ServiceClient::send`] / [`ServiceClient::recv`] allow pipelining many
+/// requests before reading any responses (sequence numbers correlate them).
+pub struct ServiceClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    next_seq: u64,
+    max_frame_bytes: u32,
+}
+
+impl ServiceClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self {
+            writer,
+            reader,
+            next_seq: 1,
+            max_frame_bytes: MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Sends `request` without waiting, returning the sequence number its
+    /// response will carry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send(&mut self, request: &Request) -> Result<u64, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = protocol::encode_request(seq, request);
+        codec::write_frame(&mut self.writer, &frame).map_err(CodecError::Io)?;
+        Ok(seq)
+    }
+
+    /// Receives the next response as `(seq, response)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport, framing, and protocol failures.
+    pub fn recv(&mut self) -> Result<(u64, Response), ClientError> {
+        let value = codec::read_frame(&mut self.reader, self.max_frame_bytes)?;
+        Ok(protocol::decode_response(&value)?)
+    }
+
+    /// Sends `request` and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ServiceClient::send`] / [`ServiceClient::recv`] can
+    /// raise, plus [`ClientError::SequenceMismatch`] if the connection was
+    /// previously used for pipelining and has responses still in flight.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let sent = self.send(request)?;
+        let (received, response) = self.recv()?;
+        if received != sent {
+            return Err(ClientError::SequenceMismatch { sent, received });
+        }
+        Ok(response)
+    }
+
+    /// [`ServiceClient::call`], resubmitting on `busy` after the server's
+    /// suggested back-off, up to `max_attempts` total attempts.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ExhaustedRetries`] when every attempt answered `busy`;
+    /// otherwise as [`ServiceClient::call`].
+    pub fn call_retrying(
+        &mut self,
+        request: &Request,
+        max_attempts: u32,
+    ) -> Result<Response, ClientError> {
+        let mut attempts = 0;
+        while attempts < max_attempts.max(1) {
+            attempts += 1;
+            match self.call(request)? {
+                Response::Busy { retry_after_ms } => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                }
+                other => return Ok(other),
+            }
+        }
+        Err(ClientError::ExhaustedRetries { attempts })
+    }
+}

@@ -1,0 +1,57 @@
+//! **pc-service** — serving the Probable Cause attack database.
+//!
+//! The paper's attacker workflows (characterize, identify, cluster) are
+//! batch algorithms; this crate turns them into a long-lived, std-only TCP
+//! service so a database built over months of supply-chain interception can
+//! answer identification queries online:
+//!
+//! - [`protocol`]: the JSON request/response vocabulary.
+//! - [`codec`]: 4-byte length-prefixed framing with an enforced frame cap.
+//! - [`store`]: the sharded fingerprint store, routed by the core
+//!   [`probable_cause::LshIndex`] so a query pays full modified-Jaccard
+//!   distance only against fingerprints it shares a MinHash band with.
+//! - [`pool`]: a bounded submission queue (explicit `busy` backpressure),
+//!   one dispatcher, and per-shard scoring workers.
+//! - [`server`]: the accept loop, per-connection reader/writer threads, and
+//!   graceful drain-on-shutdown with database + index persistence.
+//! - [`client`]: a blocking client (`pc query` and the tests).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pc_service::{client::ServiceClient, protocol::{Request, Response}, server};
+//! use probable_cause::ErrorString;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let handle = server::start(server::ServerConfig::default())?;
+//! let mut client = ServiceClient::connect(handle.local_addr())?;
+//!
+//! let errors = ErrorString::from_sorted(vec![3, 17, 40], 4096)?;
+//! client.call(&Request::Characterize { label: "chip-A".into(), errors: errors.clone() })?;
+//! match client.call(&Request::Identify { errors })? {
+//!     Response::Match { label, .. } => assert_eq!(label, "chip-A"),
+//!     other => panic!("expected a match, got {other:?}"),
+//! }
+//! handle.shutdown_and_wait()?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod codec;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::{ClientError, ServiceClient};
+pub use codec::{read_frame, write_frame, CodecError, MAX_FRAME_BYTES};
+pub use protocol::{
+    decode_request, decode_response, encode_request, encode_response, ProtocolError, Request,
+    Response, StatsBody,
+};
+pub use server::{start, ServerConfig, ServerHandle, ShutdownTrigger};
+pub use store::{ShardedStore, StoreConfig};

@@ -1,0 +1,470 @@
+//! The server's execution engine: a bounded submission queue, one dispatcher
+//! thread, and one worker thread per shard.
+//!
+//! Connection threads *submit* work and never touch the store. The
+//! dispatcher pops jobs in batches; identifies are scattered to the shard
+//! workers holding the LSH candidates (scoring runs concurrently across
+//! shards, and the last worker to finish merges and replies), while
+//! mutations (characterize, cluster-ingest) execute serially on the
+//! dispatcher itself so writes are deterministic in admission order.
+//!
+//! Backpressure is explicit: the queue has a fixed capacity and
+//! [`SubmissionQueue::try_submit`] never blocks — a full queue bounces the
+//! job back so the connection can answer `busy` with a retry hint instead of
+//! stalling the read loop. Closing the queue lets already-admitted jobs
+//! drain: the dispatcher keeps popping until the queue is empty, then the
+//! shard channels close and every worker exits — that is the graceful-drain
+//! half of server shutdown.
+
+use crate::protocol::Response;
+use crate::store::ShardedStore;
+use pc_telemetry::counter;
+use probable_cause::ErrorString;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Where a job's response goes: the owning connection's writer channel.
+pub type Reply = mpsc::Sender<(u64, Response)>;
+
+/// A unit of admitted work.
+pub enum Job {
+    /// Score an output against the store.
+    Identify {
+        /// Request sequence number, echoed in the response.
+        seq: u64,
+        /// The output's error string (shared with shard workers).
+        errors: Arc<ErrorString>,
+        /// Response channel.
+        reply: Reply,
+    },
+    /// Refine (or create) a labelled fingerprint.
+    Characterize {
+        /// Request sequence number.
+        seq: u64,
+        /// Device label.
+        label: String,
+        /// The observation.
+        errors: ErrorString,
+        /// Response channel.
+        reply: Reply,
+    },
+    /// Online-cluster an output.
+    ClusterIngest {
+        /// Request sequence number.
+        seq: u64,
+        /// The output.
+        errors: ErrorString,
+        /// Response channel.
+        reply: Reply,
+    },
+}
+
+/// Why a job was not admitted.
+pub enum SubmitError {
+    /// The queue is at capacity; retry after a back-off. The job is handed
+    /// back so the caller can answer its reply channel.
+    Full(Job),
+    /// The queue is closed (server shutting down).
+    Closed(Job),
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The bounded, closable submission queue.
+pub struct SubmissionQueue {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    capacity: usize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl SubmissionQueue {
+    /// Creates a queue admitting at most `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            state: Mutex::new(QueueState {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Admits `job` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] at capacity, [`SubmitError::Closed`] after
+    /// [`SubmissionQueue::close`]; both return the job to the caller.
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        if state.closed {
+            return Err(SubmitError::Closed(job));
+        }
+        if state.jobs.len() >= self.capacity {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            counter!("service.queue.rejected").incr();
+            return Err(SubmitError::Full(job));
+        }
+        state.jobs.push_back(job);
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        counter!("service.queue.admitted").incr();
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one job is available (or the queue is closed),
+    /// then drains up to `max` jobs. Returns `None` only when the queue is
+    /// closed *and* empty — every admitted job is handed out exactly once.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().expect("queue mutex poisoned");
+        while state.jobs.is_empty() {
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue mutex poisoned");
+        }
+        let take = state.jobs.len().min(max.max(1));
+        Some(state.jobs.drain(..take).collect())
+    }
+
+    /// Closes the queue: future submissions fail, pending jobs still drain.
+    pub fn close(&self) {
+        self.state.lock().expect("queue mutex poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Jobs admitted since construction.
+    pub fn admitted(&self) -> u64 {
+        self.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs rejected with `Full` since construction.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Jobs currently pending.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue mutex poisoned").jobs.len()
+    }
+}
+
+/// One identify's scatter-gather state, shared by the shard workers scoring
+/// it. The last worker to report merges the partials and replies.
+struct Gather {
+    seq: u64,
+    remaining: AtomicUsize,
+    partials: Mutex<Vec<(String, f64)>>,
+    reply: Reply,
+}
+
+struct ShardTask {
+    ids: Vec<u32>,
+    errors: Arc<ErrorString>,
+    gather: Arc<Gather>,
+}
+
+/// The dispatcher + shard-worker thread set over a store and a queue.
+pub struct Pool {
+    queue: Arc<SubmissionQueue>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns the dispatcher and one worker per store shard, with `batch_size`
+    /// as the dispatcher's maximum drain per wakeup.
+    pub fn spawn(store: Arc<ShardedStore>, queue: Arc<SubmissionQueue>, batch_size: usize) -> Self {
+        let mut senders = Vec::with_capacity(store.num_shards());
+        let mut workers = Vec::with_capacity(store.num_shards());
+        for shard in 0..store.num_shards() {
+            let (tx, rx) = mpsc::channel::<ShardTask>();
+            senders.push(tx);
+            let store = Arc::clone(&store);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("pc-shard-{shard}"))
+                    .spawn(move || shard_worker(shard, store, rx))
+                    .expect("spawn shard worker"),
+            );
+        }
+        let dispatcher_queue = Arc::clone(&queue);
+        let dispatcher = thread::Builder::new()
+            .name("pc-dispatcher".to_string())
+            .spawn(move || dispatch_loop(store, dispatcher_queue, senders, batch_size))
+            .expect("spawn dispatcher");
+        Self {
+            queue,
+            dispatcher: Some(dispatcher),
+            workers,
+        }
+    }
+
+    /// Closes the queue and blocks until every admitted job has been
+    /// answered and all threads have exited.
+    pub fn drain_and_join(mut self) {
+        self.queue.close();
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn dispatch_loop(
+    store: Arc<ShardedStore>,
+    queue: Arc<SubmissionQueue>,
+    senders: Vec<mpsc::Sender<ShardTask>>,
+    batch_size: usize,
+) {
+    while let Some(batch) = queue.pop_batch(batch_size) {
+        counter!("service.dispatch.batches").incr();
+        counter!("service.dispatch.jobs").add(batch.len() as u64);
+        for job in batch {
+            let _span = pc_telemetry::time!("service.dispatch.route");
+            match job {
+                Job::Identify { seq, errors, reply } => {
+                    let (plan, total) = store.plan_identify(&errors);
+                    if total == 0 {
+                        // No band collision anywhere: a certain miss.
+                        let _ = reply.send((seq, Response::NoMatch { closest: None }));
+                        continue;
+                    }
+                    let busy: Vec<(usize, Vec<u32>)> = plan
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(_, ids)| !ids.is_empty())
+                        .collect();
+                    let gather = Arc::new(Gather {
+                        seq,
+                        remaining: AtomicUsize::new(busy.len()),
+                        partials: Mutex::new(Vec::with_capacity(busy.len())),
+                        reply,
+                    });
+                    for (shard, ids) in busy {
+                        let task = ShardTask {
+                            ids,
+                            errors: Arc::clone(&errors),
+                            gather: Arc::clone(&gather),
+                        };
+                        // A worker can only be gone if the pool is tearing
+                        // down, which cannot race the dispatcher's own loop.
+                        senders[shard].send(task).expect("shard worker alive");
+                    }
+                }
+                Job::Characterize {
+                    seq,
+                    label,
+                    errors,
+                    reply,
+                } => {
+                    let response = match store.characterize(&label, &errors) {
+                        Ok((weight, observations, created)) => Response::Characterized {
+                            label,
+                            weight,
+                            observations,
+                            created,
+                        },
+                        Err(message) => Response::Error { message },
+                    };
+                    let _ = reply.send((seq, response));
+                }
+                Job::ClusterIngest { seq, errors, reply } => {
+                    let response = match store.cluster_ingest(&errors) {
+                        Ok((cluster, seeded, clusters)) => Response::Clustered {
+                            cluster,
+                            seeded,
+                            clusters,
+                        },
+                        Err(message) => Response::Error { message },
+                    };
+                    let _ = reply.send((seq, response));
+                }
+            }
+        }
+    }
+    // Queue closed and drained; dropping `senders` closes the shard
+    // channels, letting workers finish their backlog and exit.
+}
+
+fn shard_worker(shard: usize, store: Arc<ShardedStore>, rx: mpsc::Receiver<ShardTask>) {
+    while let Ok(task) = rx.recv() {
+        let best = store.score_shard(shard, &task.ids, &task.errors);
+        let gather = task.gather;
+        if let Some(partial) = best {
+            gather
+                .partials
+                .lock()
+                .expect("gather mutex poisoned")
+                .push(partial);
+        }
+        if gather.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let partials =
+                std::mem::take(&mut *gather.partials.lock().expect("gather mutex poisoned"));
+            let response = match store.merge_verdict(partials) {
+                Ok((label, distance)) => Response::Match { label, distance },
+                Err(closest) => Response::NoMatch { closest },
+            };
+            let _ = gather.reply.send((gather.seq, response));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreConfig;
+
+    fn es(bits: &[u64]) -> ErrorString {
+        ErrorString::from_sorted(bits.to_vec(), 4096).unwrap()
+    }
+
+    fn chip_bits(chip: u64) -> Vec<u64> {
+        (0..40).map(|i| chip * 40 + i).collect()
+    }
+
+    fn store_with_chips(n: u64) -> Arc<ShardedStore> {
+        let store = ShardedStore::new(StoreConfig {
+            shards: 3,
+            threshold: 0.3,
+            ..StoreConfig::default()
+        });
+        for chip in 0..n {
+            store
+                .characterize(&format!("chip-{chip:02}"), &es(&chip_bits(chip)))
+                .unwrap();
+        }
+        Arc::new(store)
+    }
+
+    #[test]
+    fn pool_answers_identify_and_mutations() {
+        let store = store_with_chips(8);
+        let queue = Arc::new(SubmissionQueue::new(64));
+        let pool = Pool::spawn(Arc::clone(&store), Arc::clone(&queue), 8);
+        let (tx, rx) = mpsc::channel();
+
+        queue
+            .try_submit(Job::Identify {
+                seq: 1,
+                errors: Arc::new(es(&chip_bits(5))),
+                reply: tx.clone(),
+            })
+            .ok()
+            .unwrap();
+        queue
+            .try_submit(Job::ClusterIngest {
+                seq: 2,
+                errors: es(&[9, 99, 999]),
+                reply: tx.clone(),
+            })
+            .ok()
+            .unwrap();
+        queue
+            .try_submit(Job::Characterize {
+                seq: 3,
+                label: "fresh".to_string(),
+                errors: es(&[4, 44]),
+                reply: tx,
+            })
+            .ok()
+            .unwrap();
+
+        let mut got = std::collections::BTreeMap::new();
+        for _ in 0..3 {
+            let (seq, resp) = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            got.insert(seq, resp);
+        }
+        assert_eq!(
+            got[&1],
+            Response::Match {
+                label: "chip-05".to_string(),
+                distance: 0.0
+            }
+        );
+        assert_eq!(
+            got[&2],
+            Response::Clustered {
+                cluster: 0,
+                seeded: true,
+                clusters: 1
+            }
+        );
+        assert!(matches!(
+            &got[&3],
+            Response::Characterized { created: true, .. }
+        ));
+        pool.drain_and_join();
+    }
+
+    #[test]
+    fn full_queue_bounces_jobs_back() {
+        let queue = SubmissionQueue::new(1);
+        let (tx, _rx) = mpsc::channel();
+        let job = |seq| Job::ClusterIngest {
+            seq,
+            errors: es(&[1]),
+            reply: tx.clone(),
+        };
+        queue.try_submit(job(1)).ok().unwrap();
+        match queue.try_submit(job(2)) {
+            Err(SubmitError::Full(Job::ClusterIngest { seq: 2, .. })) => {}
+            _ => panic!("second submit should bounce with the job"),
+        }
+        assert_eq!(queue.admitted(), 1);
+        assert_eq!(queue.rejected(), 1);
+    }
+
+    #[test]
+    fn close_drains_admitted_jobs() {
+        let store = store_with_chips(4);
+        let queue = Arc::new(SubmissionQueue::new(64));
+        let (tx, rx) = mpsc::channel();
+        for seq in 0..20 {
+            queue
+                .try_submit(Job::Identify {
+                    seq,
+                    errors: Arc::new(es(&chip_bits(seq % 4))),
+                    reply: tx.clone(),
+                })
+                .ok()
+                .unwrap();
+        }
+        drop(tx);
+        // The pool starts with 20 jobs already queued; closing immediately
+        // must still answer every one of them.
+        let pool = Pool::spawn(store, Arc::clone(&queue), 4);
+        pool.drain_and_join();
+        let answered: Vec<_> = rx.try_iter().collect();
+        assert_eq!(answered.len(), 20, "every admitted job must be answered");
+        // After close, submissions are refused as Closed.
+        let (tx2, _rx2) = mpsc::channel();
+        assert!(matches!(
+            queue.try_submit(Job::ClusterIngest {
+                seq: 99,
+                errors: es(&[1]),
+                reply: tx2,
+            }),
+            Err(SubmitError::Closed(_))
+        ));
+    }
+}

@@ -1,0 +1,498 @@
+//! The `pc-service` wire protocol: request/response values and their JSON
+//! encoding.
+//!
+//! Every frame on the wire (see [`crate::codec`]) is one JSON object. A
+//! request carries a client-chosen `seq`; the matching response echoes it,
+//! so clients may pipeline many requests on one connection and match
+//! responses out of order.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"seq":1,"op":"ping"}
+//! {"seq":2,"op":"identify","size":32768,"positions":[3,17,...]}
+//! {"seq":3,"op":"characterize","label":"chip-A","size":32768,"positions":[...]}
+//! {"seq":4,"op":"cluster-ingest","size":32768,"positions":[...]}
+//! {"seq":5,"op":"stats"}
+//! {"seq":6,"op":"shutdown"}
+//! ```
+//!
+//! Responses are `{"seq":N,"ok":true,"kind":...,...}`, or `"ok":false` with
+//! `"retryable"` distinguishing backpressure (`busy`, retry after the hinted
+//! delay) from hard failures (`error`).
+
+use pc_telemetry::{JsonObject, JsonValue};
+use probable_cause::ErrorString;
+use std::fmt;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered inline, never queued.
+    Ping,
+    /// Algorithm 2 over the fingerprint database.
+    Identify {
+        /// The output's error string.
+        errors: ErrorString,
+    },
+    /// Incremental Algorithm 1: refine (or create) the labelled fingerprint
+    /// with one more observation.
+    Characterize {
+        /// Device label.
+        label: String,
+        /// The observation's error string.
+        errors: ErrorString,
+    },
+    /// Online Algorithm 4: assign the output to a cluster, refining or
+    /// seeding as needed.
+    ClusterIngest {
+        /// The output's error string.
+        errors: ErrorString,
+    },
+    /// Server statistics snapshot.
+    Stats,
+    /// Graceful shutdown: drain in-flight requests, persist, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The request's `op` string (also its telemetry label).
+    pub fn op(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::Identify { .. } => "identify",
+            Request::Characterize { .. } => "characterize",
+            Request::ClusterIngest { .. } => "cluster-ingest",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Server statistics reported by [`Response::Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsBody {
+    /// Fingerprints stored across all shards.
+    pub fingerprints: u64,
+    /// Clusters formed by `cluster-ingest` so far.
+    pub clusters: u64,
+    /// Number of shards.
+    pub shards: u64,
+    /// Requests admitted to the submission queue since start.
+    pub admitted: u64,
+    /// Requests rejected with `busy` since start.
+    pub rejected: u64,
+    /// Full distance evaluations paid by shard workers since start.
+    pub distance_evals: u64,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Identification succeeded: a fingerprint cleared the threshold.
+    Match {
+        /// Winning label (lowest distance, ties by label order).
+        label: String,
+        /// Its distance.
+        distance: f64,
+    },
+    /// No fingerprint cleared the threshold.
+    NoMatch {
+        /// Closest candidate, if any candidate was scored at all.
+        closest: Option<(String, f64)>,
+    },
+    /// The labelled fingerprint after a `characterize` observation.
+    Characterized {
+        /// Device label.
+        label: String,
+        /// Stable error bits remaining in the fingerprint.
+        weight: u64,
+        /// Observations folded in so far.
+        observations: u32,
+        /// Whether this observation created the label.
+        created: bool,
+    },
+    /// Cluster assignment for an ingested output.
+    Clustered {
+        /// Assigned cluster id.
+        cluster: u64,
+        /// Whether the output seeded a new cluster.
+        seeded: bool,
+        /// Total clusters after this ingest.
+        clusters: u64,
+    },
+    /// Statistics snapshot.
+    Stats(StatsBody),
+    /// Acknowledgement of [`Request::Shutdown`]; the server drains and
+    /// exits after sending it.
+    ShuttingDown,
+    /// Backpressure: the submission queue is full. Retry after the hint.
+    Busy {
+        /// Suggested client back-off in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// Hard failure (malformed request, size mismatch, ...). Not retryable.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Whether the response signals success (`"ok":true` on the wire).
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Busy { .. } | Response::Error { .. })
+    }
+
+    /// Whether a failed response may be retried verbatim.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Response::Busy { .. })
+    }
+}
+
+/// A malformed frame: what was wrong with it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn err(message: impl Into<String>) -> ProtocolError {
+    ProtocolError(message.into())
+}
+
+fn positions_json(errors: &ErrorString) -> Vec<JsonValue> {
+    errors
+        .positions()
+        .iter()
+        .map(|&b| JsonValue::U64(b))
+        .collect()
+}
+
+fn set_errors(obj: &mut JsonObject, errors: &ErrorString) {
+    obj.set("size", errors.size());
+    obj.set("positions", positions_json(errors));
+}
+
+fn get_u64(obj: &JsonObject, key: &str) -> Result<u64, ProtocolError> {
+    obj.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| err(format!("missing or non-integer `{key}`")))
+}
+
+fn get_str<'a>(obj: &'a JsonObject, key: &str) -> Result<&'a str, ProtocolError> {
+    obj.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| err(format!("missing or non-string `{key}`")))
+}
+
+fn get_errors(obj: &JsonObject) -> Result<ErrorString, ProtocolError> {
+    let size = get_u64(obj, "size")?;
+    let positions = obj
+        .get("positions")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| err("missing or non-array `positions`"))?;
+    let bits: Vec<u64> = positions
+        .iter()
+        .map(|v| v.as_u64().ok_or_else(|| err("non-integer bit position")))
+        .collect::<Result<_, _>>()?;
+    ErrorString::from_sorted(bits, size).map_err(|e| err(format!("bad error string: {e}")))
+}
+
+/// Encodes a request as the wire JSON object.
+pub fn encode_request(seq: u64, request: &Request) -> JsonObject {
+    let mut obj = JsonObject::new();
+    obj.set("seq", seq);
+    obj.set("op", request.op());
+    match request {
+        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::Identify { errors } | Request::ClusterIngest { errors } => {
+            set_errors(&mut obj, errors);
+        }
+        Request::Characterize { label, errors } => {
+            obj.set("label", label.as_str());
+            set_errors(&mut obj, errors);
+        }
+    }
+    obj
+}
+
+/// Decodes a request frame into `(seq, request)`.
+///
+/// # Errors
+///
+/// [`ProtocolError`] naming the first offending field.
+pub fn decode_request(frame: &JsonValue) -> Result<(u64, Request), ProtocolError> {
+    let obj = frame
+        .as_object()
+        .ok_or_else(|| err("frame is not an object"))?;
+    let seq = get_u64(obj, "seq")?;
+    let request = match get_str(obj, "op")? {
+        "ping" => Request::Ping,
+        "identify" => Request::Identify {
+            errors: get_errors(obj)?,
+        },
+        "characterize" => Request::Characterize {
+            label: get_str(obj, "label")?.to_string(),
+            errors: get_errors(obj)?,
+        },
+        "cluster-ingest" => Request::ClusterIngest {
+            errors: get_errors(obj)?,
+        },
+        "stats" => Request::Stats,
+        "shutdown" => Request::Shutdown,
+        other => return Err(err(format!("unknown op {other:?}"))),
+    };
+    Ok((seq, request))
+}
+
+/// Encodes a response as the wire JSON object.
+pub fn encode_response(seq: u64, response: &Response) -> JsonObject {
+    let mut obj = JsonObject::new();
+    obj.set("seq", seq);
+    obj.set("ok", response.is_ok());
+    match response {
+        Response::Pong => {
+            obj.set("kind", "pong");
+        }
+        Response::Match { label, distance } => {
+            obj.set("kind", "match");
+            obj.set("label", label.as_str());
+            obj.set("distance", *distance);
+        }
+        Response::NoMatch { closest } => {
+            obj.set("kind", "no-match");
+            if let Some((label, distance)) = closest {
+                obj.set("closest_label", label.as_str());
+                obj.set("closest_distance", *distance);
+            }
+        }
+        Response::Characterized {
+            label,
+            weight,
+            observations,
+            created,
+        } => {
+            obj.set("kind", "characterized");
+            obj.set("label", label.as_str());
+            obj.set("weight", *weight);
+            obj.set("observations", *observations);
+            obj.set("created", *created);
+        }
+        Response::Clustered {
+            cluster,
+            seeded,
+            clusters,
+        } => {
+            obj.set("kind", "clustered");
+            obj.set("cluster", *cluster);
+            obj.set("seeded", *seeded);
+            obj.set("clusters", *clusters);
+        }
+        Response::Stats(s) => {
+            obj.set("kind", "stats");
+            obj.set("fingerprints", s.fingerprints);
+            obj.set("clusters", s.clusters);
+            obj.set("shards", s.shards);
+            obj.set("admitted", s.admitted);
+            obj.set("rejected", s.rejected);
+            obj.set("distance_evals", s.distance_evals);
+        }
+        Response::ShuttingDown => {
+            obj.set("kind", "shutting-down");
+        }
+        Response::Busy { retry_after_ms } => {
+            obj.set("kind", "busy");
+            obj.set("retryable", true);
+            obj.set("retry_after_ms", *retry_after_ms);
+        }
+        Response::Error { message } => {
+            obj.set("kind", "error");
+            obj.set("retryable", false);
+            obj.set("message", message.as_str());
+        }
+    }
+    obj
+}
+
+/// Decodes a response frame into `(seq, response)`.
+///
+/// # Errors
+///
+/// [`ProtocolError`] naming the first offending field.
+pub fn decode_response(frame: &JsonValue) -> Result<(u64, Response), ProtocolError> {
+    let obj = frame
+        .as_object()
+        .ok_or_else(|| err("frame is not an object"))?;
+    let seq = get_u64(obj, "seq")?;
+    let response = match get_str(obj, "kind")? {
+        "pong" => Response::Pong,
+        "match" => Response::Match {
+            label: get_str(obj, "label")?.to_string(),
+            distance: obj
+                .get("distance")
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| err("missing `distance`"))?,
+        },
+        "no-match" => Response::NoMatch {
+            closest: match (obj.get("closest_label"), obj.get("closest_distance")) {
+                (Some(l), Some(d)) => Some((
+                    l.as_str()
+                        .ok_or_else(|| err("non-string closest_label"))?
+                        .to_string(),
+                    d.as_f64()
+                        .ok_or_else(|| err("non-number closest_distance"))?,
+                )),
+                (None, None) => None,
+                _ => return Err(err("half-present closest candidate")),
+            },
+        },
+        "characterized" => Response::Characterized {
+            label: get_str(obj, "label")?.to_string(),
+            weight: get_u64(obj, "weight")?,
+            observations: u32::try_from(get_u64(obj, "observations")?)
+                .map_err(|_| err("observation count overflows u32"))?,
+            created: obj
+                .get("created")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| err("missing `created`"))?,
+        },
+        "clustered" => Response::Clustered {
+            cluster: get_u64(obj, "cluster")?,
+            seeded: obj
+                .get("seeded")
+                .and_then(JsonValue::as_bool)
+                .ok_or_else(|| err("missing `seeded`"))?,
+            clusters: get_u64(obj, "clusters")?,
+        },
+        "stats" => Response::Stats(StatsBody {
+            fingerprints: get_u64(obj, "fingerprints")?,
+            clusters: get_u64(obj, "clusters")?,
+            shards: get_u64(obj, "shards")?,
+            admitted: get_u64(obj, "admitted")?,
+            rejected: get_u64(obj, "rejected")?,
+            distance_evals: get_u64(obj, "distance_evals")?,
+        }),
+        "shutting-down" => Response::ShuttingDown,
+        "busy" => Response::Busy {
+            retry_after_ms: get_u64(obj, "retry_after_ms")?,
+        },
+        "error" => Response::Error {
+            message: get_str(obj, "message")?.to_string(),
+        },
+        other => return Err(err(format!("unknown kind {other:?}"))),
+    };
+    Ok((seq, response))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn es(bits: &[u64]) -> ErrorString {
+        ErrorString::from_sorted(bits.to_vec(), 4096).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let requests = [
+            Request::Ping,
+            Request::Identify {
+                errors: es(&[1, 5, 9]),
+            },
+            Request::Characterize {
+                label: "chip A % weird".to_string(),
+                errors: es(&[]),
+            },
+            Request::ClusterIngest {
+                errors: es(&[0, 4095]),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for (seq, req) in requests.into_iter().enumerate() {
+            let text = encode_request(seq as u64, &req).to_compact();
+            let back = pc_telemetry::parse_json(&text).unwrap();
+            assert_eq!(decode_request(&back).unwrap(), (seq as u64, req));
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let responses = [
+            Response::Pong,
+            Response::Match {
+                label: "x".into(),
+                distance: 0.125,
+            },
+            Response::NoMatch { closest: None },
+            Response::NoMatch {
+                closest: Some(("y".into(), 0.75)),
+            },
+            Response::Characterized {
+                label: "z".into(),
+                weight: 321,
+                observations: 4,
+                created: true,
+            },
+            Response::Clustered {
+                cluster: 7,
+                seeded: false,
+                clusters: 8,
+            },
+            Response::Stats(StatsBody {
+                fingerprints: 1,
+                clusters: 2,
+                shards: 3,
+                admitted: 4,
+                rejected: 5,
+                distance_evals: 6,
+            }),
+            Response::ShuttingDown,
+            Response::Busy { retry_after_ms: 12 },
+            Response::Error {
+                message: "boom".into(),
+            },
+        ];
+        for (seq, resp) in responses.into_iter().enumerate() {
+            let text = encode_response(seq as u64, &resp).to_compact();
+            let back = pc_telemetry::parse_json(&text).unwrap();
+            assert_eq!(decode_response(&back).unwrap(), (seq as u64, resp));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_requests() {
+        for bad in [
+            r#"[1,2]"#,
+            r#"{"op":"identify","size":64,"positions":[1]}"#, // no seq
+            r#"{"seq":1,"op":"teleport"}"#,
+            r#"{"seq":1,"op":"identify","positions":[1]}"#, // no size
+            r#"{"seq":1,"op":"identify","size":64,"positions":[9,3]}"#, // unsorted
+            r#"{"seq":1,"op":"identify","size":4,"positions":[9]}"#, // out of range
+            r#"{"seq":1,"op":"characterize","size":64,"positions":[1]}"#, // no label
+        ] {
+            let v = pc_telemetry::parse_json(bad).unwrap();
+            assert!(decode_request(&v).is_err(), "{bad} should not decode");
+        }
+    }
+
+    #[test]
+    fn ok_and_retryable_flags() {
+        assert!(Response::Pong.is_ok());
+        assert!(!Response::Busy { retry_after_ms: 1 }.is_ok());
+        assert!(Response::Busy { retry_after_ms: 1 }.is_retryable());
+        let e = Response::Error {
+            message: "x".into(),
+        };
+        assert!(!e.is_ok());
+        assert!(!e.is_retryable());
+    }
+}

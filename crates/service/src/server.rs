@@ -1,0 +1,433 @@
+//! The TCP server: accept loop, per-connection reader/writer threads, and
+//! graceful drain-on-shutdown.
+//!
+//! Thread anatomy of a running server:
+//!
+//! ```text
+//! pc-accept ── spawns ──▶ pc-conn-N (reader)  ⇄  writer thread
+//!                                 │ try_submit
+//!                                 ▼
+//!                    SubmissionQueue (bounded)
+//!                                 │ pop_batch
+//!                         pc-dispatcher ── scatter ──▶ pc-shard-S …
+//! ```
+//!
+//! Shutdown can be triggered three ways — a `shutdown` request on any
+//! connection, [`ServerHandle::shutdown`], or dropping the handle — and is
+//! always graceful: the accept loop stops taking connections, every
+//! connection's read half is closed so no *new* requests arrive, the queue
+//! drains every already-admitted job (their responses still flow out through
+//! the per-connection writers), shard workers and dispatcher join, and the
+//! database + routing index are persisted if paths were configured.
+
+use crate::codec::{self, CodecError};
+use crate::pool::{Job, Pool, SubmissionQueue, SubmitError};
+use crate::protocol::{self, Request, Response, StatsBody};
+use crate::store::{ShardedStore, StoreConfig};
+use pc_telemetry::counter;
+use probable_cause::persistence;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Store geometry and matching parameters.
+    pub store: StoreConfig,
+    /// Submission-queue capacity; submissions beyond it answer `busy`.
+    pub queue_capacity: usize,
+    /// Maximum jobs the dispatcher drains per wakeup.
+    pub batch_size: usize,
+    /// Per-frame payload cap.
+    pub max_frame_bytes: u32,
+    /// Back-off hint attached to `busy` responses.
+    pub retry_after_ms: u64,
+    /// Database file: loaded at startup if present, written at shutdown.
+    pub db_path: Option<PathBuf>,
+    /// Routing-index file: loaded with the database, written at shutdown.
+    pub index_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            store: StoreConfig::default(),
+            queue_capacity: 1024,
+            batch_size: 32,
+            max_frame_bytes: codec::MAX_FRAME_BYTES,
+            retry_after_ms: 10,
+            db_path: None,
+            index_path: None,
+        }
+    }
+}
+
+/// State shared between the accept loop, connections, and the handle.
+struct Shared {
+    store: Arc<ShardedStore>,
+    queue: Arc<SubmissionQueue>,
+    config: ServerConfig,
+    local_addr: SocketAddr,
+    shutting_down: AtomicBool,
+}
+
+impl Shared {
+    /// Idempotently triggers shutdown and wakes the blocking accept call.
+    fn begin_shutdown(&self) {
+        if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            counter!("service.shutdown.triggered").incr();
+            // accept() has no timeout in std; a throwaway connection wakes it
+            // so it can observe the flag.
+            let _ = TcpStream::connect(self.local_addr);
+        }
+    }
+
+    fn stats(&self) -> StatsBody {
+        StatsBody {
+            fingerprints: self.store.len() as u64,
+            clusters: self.store.cluster_count() as u64,
+            shards: self.store.num_shards() as u64,
+            admitted: self.queue.admitted(),
+            rejected: self.queue.rejected(),
+            distance_evals: self.store.distance_evals(),
+        }
+    }
+}
+
+/// A handle to a running server.
+///
+/// Dropping the handle shuts the server down and blocks until it has
+/// drained; call [`ServerHandle::shutdown`] +
+/// [`ServerHandle::wait`] to do the same explicitly and observe errors.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The store behind the server (for tests and embedding).
+    pub fn store(&self) -> &Arc<ShardedStore> {
+        &self.shared.store
+    }
+
+    /// Triggers graceful shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// A detached trigger that can shut the server down from another thread
+    /// while this handle is blocked in [`ServerHandle::wait`].
+    pub fn trigger(&self) -> ShutdownTrigger {
+        ShutdownTrigger(Arc::clone(&self.shared))
+    }
+
+    /// Blocks until the server has fully drained and persisted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates persistence failures from the teardown path.
+    pub fn wait(mut self) -> io::Result<()> {
+        self.join_accept()
+    }
+
+    /// [`ServerHandle::shutdown`] followed by [`ServerHandle::wait`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates persistence failures from the teardown path.
+    pub fn shutdown_and_wait(self) -> io::Result<()> {
+        self.shutdown();
+        self.wait()
+    }
+
+    fn join_accept(&mut self) -> io::Result<()> {
+        match self.accept_thread.take() {
+            Some(t) => t
+                .join()
+                .map_err(|_| io::Error::other("accept thread panicked"))?,
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.shared.begin_shutdown();
+            let _ = self.join_accept();
+        }
+    }
+}
+
+/// A clonable shutdown trigger detached from the owning [`ServerHandle`].
+#[derive(Clone)]
+pub struct ShutdownTrigger(Arc<Shared>);
+
+impl ShutdownTrigger {
+    /// Triggers graceful shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.0.begin_shutdown();
+    }
+}
+
+/// Starts a server, loading any persisted state named by `config`.
+///
+/// # Errors
+///
+/// Bind failures and malformed persisted state.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let store = Arc::new(load_store(&config)?);
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    let queue = Arc::new(SubmissionQueue::new(config.queue_capacity));
+    let pool = Pool::spawn(Arc::clone(&store), Arc::clone(&queue), config.batch_size);
+    let shared = Arc::new(Shared {
+        store,
+        queue,
+        config,
+        local_addr,
+        shutting_down: AtomicBool::new(false),
+    });
+
+    let accept_shared = Arc::clone(&shared);
+    let accept_thread = thread::Builder::new()
+        .name("pc-accept".to_string())
+        .spawn(move || accept_loop(listener, accept_shared, pool))?;
+
+    Ok(ServerHandle {
+        shared,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+fn load_store(config: &ServerConfig) -> io::Result<ShardedStore> {
+    let to_io = |e: persistence::DbIoError| match e {
+        persistence::DbIoError::Io(e) => e,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    };
+    match (&config.db_path, &config.index_path) {
+        (Some(db), Some(idx)) if db.exists() && idx.exists() => ShardedStore::from_persisted(
+            config.store.clone(),
+            BufReader::new(File::open(db)?),
+            BufReader::new(File::open(idx)?),
+        )
+        .map_err(to_io),
+        (Some(db), _) if db.exists() => {
+            let flat = persistence::load_db(BufReader::new(File::open(db)?)).map_err(to_io)?;
+            Ok(ShardedStore::from_db(config.store.clone(), &flat))
+        }
+        _ => Ok(ShardedStore::new(config.store.clone())),
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Pool) -> io::Result<()> {
+    let mut conn_threads: Vec<JoinHandle<()>> = Vec::new();
+    let mut conn_streams: Vec<TcpStream> = Vec::new();
+    let mut next_conn = 0u64;
+    loop {
+        let (stream, _peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) if shared.shutting_down.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break; // the wake-up connection, or a late client
+        }
+        counter!("service.conn.accepted").incr();
+        conn_streams.push(stream.try_clone()?);
+        let conn_shared = Arc::clone(&shared);
+        let id = next_conn;
+        next_conn += 1;
+        conn_threads.push(
+            thread::Builder::new()
+                .name(format!("pc-conn-{id}"))
+                .spawn(move || serve_connection(stream, conn_shared))?,
+        );
+    }
+
+    // Teardown. Closing read halves stops connections from admitting new
+    // work; responses for already-admitted jobs still flow out through the
+    // per-connection writer threads, which the reader threads join.
+    for stream in &conn_streams {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+    for t in conn_threads {
+        let _ = t.join();
+    }
+    pool.drain_and_join();
+
+    if let Some(path) = &shared.config.db_path {
+        shared
+            .store
+            .save_db(&mut BufWriter::new(File::create(path)?))?;
+    }
+    if let Some(path) = &shared.config.index_path {
+        shared
+            .store
+            .save_index(&mut BufWriter::new(File::create(path)?))?;
+    }
+    counter!("service.shutdown.drained").incr();
+    Ok(())
+}
+
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Response)>();
+    let writer_thread = thread::spawn(move || write_loop(write_half, reply_rx));
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        let frame = {
+            let _span = pc_telemetry::time!("service.decode");
+            codec::read_frame(&mut reader, shared.config.max_frame_bytes)
+        };
+        let value = match frame {
+            Ok(value) => value,
+            Err(CodecError::Closed) => break,
+            Err(e) => {
+                // Framing is unrecoverable mid-stream: report and hang up.
+                counter!("service.decode.framing_errors").incr();
+                let _ = reply_tx.send((
+                    0,
+                    Response::Error {
+                        message: e.to_string(),
+                    },
+                ));
+                break;
+            }
+        };
+        let (seq, request) = match protocol::decode_request(&value) {
+            Ok(decoded) => decoded,
+            Err(e) => {
+                // The frame boundary held, so the connection survives a
+                // malformed request; seq 0 marks an uncorrelated error.
+                counter!("service.decode.bad_requests").incr();
+                let _ = reply_tx.send((
+                    0,
+                    Response::Error {
+                        message: e.to_string(),
+                    },
+                ));
+                continue;
+            }
+        };
+        count_request(request.op());
+        match request {
+            Request::Ping => {
+                let _ = reply_tx.send((seq, Response::Pong));
+            }
+            Request::Stats => {
+                let _ = reply_tx.send((seq, Response::Stats(shared.stats())));
+            }
+            Request::Shutdown => {
+                let _ = reply_tx.send((seq, Response::ShuttingDown));
+                shared.begin_shutdown();
+                break;
+            }
+            Request::Identify { errors } => submit(
+                &shared,
+                &reply_tx,
+                seq,
+                Job::Identify {
+                    seq,
+                    errors: Arc::new(errors),
+                    reply: reply_tx.clone(),
+                },
+            ),
+            Request::Characterize { label, errors } => submit(
+                &shared,
+                &reply_tx,
+                seq,
+                Job::Characterize {
+                    seq,
+                    label,
+                    errors,
+                    reply: reply_tx.clone(),
+                },
+            ),
+            Request::ClusterIngest { errors } => submit(
+                &shared,
+                &reply_tx,
+                seq,
+                Job::ClusterIngest {
+                    seq,
+                    errors,
+                    reply: reply_tx.clone(),
+                },
+            ),
+        }
+    }
+
+    // Dropping our sender lets the writer exit once any in-flight jobs have
+    // delivered their responses through their own clones.
+    drop(reply_tx);
+    let _ = writer_thread.join();
+    counter!("service.conn.closed").incr();
+}
+
+/// Per-op request counters (the `counter!` macro needs literal names).
+fn count_request(op: &str) {
+    match op {
+        "ping" => counter!("service.requests.ping").incr(),
+        "identify" => counter!("service.requests.identify").incr(),
+        "characterize" => counter!("service.requests.characterize").incr(),
+        "cluster-ingest" => counter!("service.requests.cluster_ingest").incr(),
+        "stats" => counter!("service.requests.stats").incr(),
+        _ => counter!("service.requests.shutdown").incr(),
+    }
+}
+
+/// Admits a job or answers the backpressure/shutdown refusal inline.
+fn submit(shared: &Shared, reply: &mpsc::Sender<(u64, Response)>, seq: u64, job: Job) {
+    match shared.queue.try_submit(job) {
+        Ok(()) => {}
+        Err(SubmitError::Full(_)) => {
+            let _ = reply.send((
+                seq,
+                Response::Busy {
+                    retry_after_ms: shared.config.retry_after_ms,
+                },
+            ));
+        }
+        Err(SubmitError::Closed(_)) => {
+            let _ = reply.send((
+                seq,
+                Response::Error {
+                    message: "server is shutting down".to_string(),
+                },
+            ));
+        }
+    }
+}
+
+fn write_loop(stream: TcpStream, replies: mpsc::Receiver<(u64, Response)>) {
+    let mut w = BufWriter::new(&stream);
+    while let Ok((seq, response)) = replies.recv() {
+        let _span = pc_telemetry::time!("service.respond");
+        let frame = protocol::encode_response(seq, &response);
+        if codec::write_frame(&mut w, &frame).is_err() {
+            // The peer is gone; unblock our reader too and bail.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        counter!("service.responses").incr();
+    }
+    let _ = w.flush();
+}

@@ -1,0 +1,541 @@
+//! The server's sharded fingerprint store.
+//!
+//! Fingerprints live in `num_shards` shards; the entry with global id `g`
+//! sits in shard `g % num_shards` at slot `g / num_shards`, so ids are dense
+//! per shard and the global insertion order (the coordinate system of the
+//! core [`LshIndex`] and of [`probable_cause::persistence`]) is recoverable.
+//!
+//! Reads (identify scoring) take per-shard read locks and run concurrently
+//! across shards; mutations (characterize, cluster-ingest) are already
+//! serialized by the dispatcher thread (see [`crate::pool`]) and take the
+//! narrow write locks they need. The [`LshIndex`] routes every identify to
+//! the candidate ids that share a MinHash band with the query, so only those
+//! pay full modified-Jaccard distance.
+
+use parking_lot::{Mutex, RwLock};
+use pc_telemetry::counter;
+use probable_cause::persistence::{self, DbIoError};
+use probable_cause::{
+    DistanceMetric, ErrorString, Fingerprint, FingerprintDb, LshIndex, PcDistance,
+};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Store geometry and matching parameters.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Number of shards (and shard worker threads).
+    pub shards: usize,
+    /// MinHash bands for the routing index.
+    pub bands: usize,
+    /// Rows per band.
+    pub rows_per_band: usize,
+    /// Seed of the MinHash family.
+    pub index_seed: u64,
+    /// Matching threshold for identify and cluster-ingest.
+    pub threshold: f64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        // 16×4 banding: a same-chip pair at Jaccard similarity 0.9 is missed
+        // with probability ~5e-8; unrelated chips essentially never collide.
+        Self {
+            shards: 4,
+            bands: 16,
+            rows_per_band: 4,
+            index_seed: 0x5eed,
+            threshold: 0.25,
+        }
+    }
+}
+
+/// One shard's slice of the store, slot-addressed (`slot = id / num_shards`).
+#[derive(Debug, Default)]
+struct Shard {
+    entries: Vec<(String, Fingerprint)>,
+}
+
+/// The sharded, index-routed fingerprint store plus the online cluster book.
+#[derive(Debug)]
+pub struct ShardedStore {
+    config: StoreConfig,
+    metric: PcDistance,
+    shards: Vec<RwLock<Shard>>,
+    index: RwLock<LshIndex>,
+    /// label → global id; also the allocator (`len` = next id).
+    labels: Mutex<BTreeMap<String, u32>>,
+    /// Algorithm 4 state for `cluster-ingest`.
+    clusters: Mutex<Vec<Fingerprint>>,
+    distance_evals: AtomicU64,
+}
+
+impl ShardedStore {
+    /// Creates an empty store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.shards` is zero, the banding is zero, or the
+    /// threshold is outside `(0, 1]`.
+    pub fn new(config: StoreConfig) -> Self {
+        assert!(config.shards > 0, "store needs at least one shard");
+        assert!(
+            config.threshold > 0.0 && config.threshold <= 1.0,
+            "threshold must be in (0, 1], got {}",
+            config.threshold
+        );
+        let shards = (0..config.shards)
+            .map(|_| RwLock::new(Shard::default()))
+            .collect();
+        let index = LshIndex::new(config.bands, config.rows_per_band, config.index_seed);
+        Self {
+            config,
+            metric: PcDistance::new(),
+            shards,
+            index: RwLock::new(index),
+            labels: Mutex::new(BTreeMap::new()),
+            clusters: Mutex::new(Vec::new()),
+            distance_evals: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a store pre-loaded from `db` (global id = the database's
+    /// insertion order) with a freshly built routing index.
+    pub fn from_db(config: StoreConfig, db: &FingerprintDb<String, PcDistance>) -> Self {
+        let mut config = config;
+        config.threshold = db.threshold();
+        let store = Self::new(config);
+        for (label, fp) in db.iter() {
+            store.insert_new(label.clone(), fp.clone());
+        }
+        store
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    /// The matching threshold.
+    pub fn threshold(&self) -> f64 {
+        self.config.threshold
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.config.shards
+    }
+
+    /// Fingerprints stored across all shards.
+    pub fn len(&self) -> usize {
+        self.labels.lock().len()
+    }
+
+    /// Whether no fingerprints are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clusters formed by [`ShardedStore::cluster_ingest`] so far.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.lock().len()
+    }
+
+    /// Full distance evaluations paid by scoring since construction.
+    pub fn distance_evals(&self) -> u64 {
+        self.distance_evals.load(Ordering::Relaxed)
+    }
+
+    fn shard_of(&self, id: u32) -> usize {
+        id as usize % self.config.shards
+    }
+
+    fn slot_of(&self, id: u32) -> usize {
+        id as usize / self.config.shards
+    }
+
+    /// Inserts a brand-new labelled fingerprint, allocating its global id.
+    /// The caller must have verified the label is unused.
+    fn insert_new(&self, label: String, fp: Fingerprint) -> u32 {
+        let mut labels = self.labels.lock();
+        debug_assert!(!labels.contains_key(&label));
+        let id = labels.len() as u32;
+        let mut shard = self.shards[self.shard_of(id)].write();
+        debug_assert_eq!(shard.entries.len(), self.slot_of(id));
+        self.index.write().insert(id, fp.errors());
+        shard.entries.push((label.clone(), fp));
+        labels.insert(label, id);
+        id
+    }
+
+    /// The LSH candidate ids for `errors`, grouped by shard:
+    /// `plan[s]` holds the candidate ids living in shard `s` (possibly
+    /// empty). Also returns the total candidate count.
+    pub fn plan_identify(&self, errors: &ErrorString) -> (Vec<Vec<u32>>, usize) {
+        let candidates = self.index.read().candidates(errors);
+        let total = candidates.len();
+        let mut plan = vec![Vec::new(); self.config.shards];
+        for id in candidates {
+            plan[self.shard_of(id)].push(id);
+        }
+        counter!("service.store.candidates").add(total as u64);
+        (plan, total)
+    }
+
+    /// Scores `ids` (all living in `shard`) against `errors`, returning the
+    /// shard-local best as `(label, distance)` — lowest distance, ties by
+    /// label order, matching [`FingerprintDb::identify`]'s determinism.
+    pub fn score_shard(
+        &self,
+        shard: usize,
+        ids: &[u32],
+        errors: &ErrorString,
+    ) -> Option<(String, f64)> {
+        let _span = pc_telemetry::time!("service.store.score");
+        let guard = self.shards[shard].read();
+        let mut best: Option<(&str, f64)> = None;
+        for &id in ids {
+            let (label, fp) = &guard.entries[self.slot_of(id)];
+            let d = self.metric.distance(fp.errors(), errors);
+            let better = match best {
+                None => true,
+                Some((bl, bd)) => d < bd || (d == bd && label.as_str() < bl),
+            };
+            if better {
+                best = Some((label.as_str(), d));
+            }
+        }
+        self.distance_evals
+            .fetch_add(ids.len() as u64, Ordering::Relaxed);
+        counter!("service.store.distance_evals").add(ids.len() as u64);
+        best.map(|(l, d)| (l.to_string(), d))
+    }
+
+    /// Merges per-shard bests into the final verdict: `Ok((label, distance))`
+    /// when the global best clears the threshold, `Err(closest)` otherwise
+    /// (with the closest candidate scored, if any).
+    pub fn merge_verdict(
+        &self,
+        partials: impl IntoIterator<Item = (String, f64)>,
+    ) -> Result<(String, f64), Option<(String, f64)>> {
+        let mut best: Option<(String, f64)> = None;
+        for (label, d) in partials {
+            let better = match &best {
+                None => true,
+                Some((bl, bd)) => d < *bd || (d == *bd && label < *bl),
+            };
+            if better {
+                best = Some((label, d));
+            }
+        }
+        match best {
+            Some((label, d)) if d < self.config.threshold => Ok((label, d)),
+            other => Err(other),
+        }
+    }
+
+    /// Single-threaded identify (planning, scoring, and merging in one call):
+    /// the reference the scatter-gather path must agree with, also used for
+    /// inline scoring in tests.
+    pub fn identify(&self, errors: &ErrorString) -> Result<(String, f64), Option<(String, f64)>> {
+        let (plan, _) = self.plan_identify(errors);
+        let partials = plan
+            .iter()
+            .enumerate()
+            .filter(|(_, ids)| !ids.is_empty())
+            .filter_map(|(s, ids)| self.score_shard(s, ids, errors));
+        self.merge_verdict(partials)
+    }
+
+    /// Incremental Algorithm 1: refines the labelled fingerprint with one
+    /// more observation, creating the label if it is new. Returns
+    /// `(weight, observations, created)` for the post-update fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// A message when the observation's size disagrees with the stored
+    /// fingerprint.
+    pub fn characterize(
+        &self,
+        label: &str,
+        errors: &ErrorString,
+    ) -> Result<(u64, u32, bool), String> {
+        let existing = self.labels.lock().get(label).copied();
+        let Some(id) = existing else {
+            let fp = Fingerprint::from_observation(errors.clone());
+            let (weight, observations) = (fp.weight(), fp.observations());
+            self.insert_new(label.to_string(), fp);
+            counter!("service.store.characterize.created").incr();
+            return Ok((weight, observations, true));
+        };
+        let mut shard = self.shards[self.shard_of(id)].write();
+        let slot = self.slot_of(id);
+        let refined = shard.entries[slot]
+            .1
+            .refine(errors)
+            .map_err(|e| format!("cannot refine {label:?}: {e}"))?;
+        self.index.write().insert(id, refined.errors());
+        let (weight, observations) = (refined.weight(), refined.observations());
+        shard.entries[slot].1 = refined;
+        counter!("service.store.characterize.refined").incr();
+        Ok((weight, observations, false))
+    }
+
+    /// Online Algorithm 4: assigns `errors` to the first cluster within the
+    /// threshold (refining it) or seeds a new one. Returns
+    /// `(cluster_id, seeded, total_clusters)`.
+    ///
+    /// First-match semantics follow the paper's pseudocode; ingests are
+    /// serialized by the dispatcher, so cluster ids are deterministic for a
+    /// given arrival order.
+    ///
+    /// # Errors
+    ///
+    /// A message when the observation's size disagrees with the matched
+    /// cluster's fingerprint.
+    pub fn cluster_ingest(&self, errors: &ErrorString) -> Result<(u64, bool, u64), String> {
+        let _span = pc_telemetry::time!("service.store.cluster_ingest");
+        let mut clusters = self.clusters.lock();
+        for (j, fp) in clusters.iter_mut().enumerate() {
+            self.distance_evals.fetch_add(1, Ordering::Relaxed);
+            if self.metric.distance(fp.errors(), errors) < self.config.threshold {
+                *fp = fp
+                    .refine(errors)
+                    .map_err(|e| format!("cannot refine cluster {j}: {e}"))?;
+                counter!("service.store.cluster.refined").incr();
+                return Ok((j as u64, false, clusters.len() as u64));
+            }
+        }
+        clusters.push(Fingerprint::from_observation(errors.clone()));
+        counter!("service.store.cluster.seeded").incr();
+        Ok((clusters.len() as u64 - 1, true, clusters.len() as u64))
+    }
+
+    /// Reconstructs the flat database in global-id order (the persistence
+    /// format's coordinate system).
+    pub fn to_db(&self) -> FingerprintDb<String, PcDistance> {
+        let labels = self.labels.lock();
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
+        let mut db = FingerprintDb::new(PcDistance::new(), self.config.threshold);
+        for id in 0..labels.len() as u32 {
+            let (label, fp) = &guards[self.shard_of(id)].entries[self.slot_of(id)];
+            db.insert(label.clone(), fp.clone());
+        }
+        db
+    }
+
+    /// Writes the database (global-id order) to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_db<W: Write>(&self, w: W) -> std::io::Result<()> {
+        persistence::save_db(&self.to_db(), w)
+    }
+
+    /// Writes the routing index to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save_index<W: Write>(&self, w: W) -> std::io::Result<()> {
+        persistence::save_index(&self.index.read(), w)
+    }
+
+    /// Builds a store from a persisted database and index pair, validating
+    /// that the index matches the database (same banding is assumed from the
+    /// file; entry counts must agree).
+    ///
+    /// # Errors
+    ///
+    /// Propagates format errors, plus a mismatch error when the index does
+    /// not cover exactly the database's entries.
+    pub fn from_persisted<R1: BufRead, R2: BufRead>(
+        config: StoreConfig,
+        db_reader: R1,
+        index_reader: R2,
+    ) -> Result<Self, DbIoError> {
+        let db = persistence::load_db(db_reader)?;
+        let index = persistence::load_index(index_reader)?;
+        if index.len() != db.len() {
+            return Err(DbIoError::BadFormat {
+                line: 0,
+                message: format!(
+                    "index covers {} entries but database has {}",
+                    index.len(),
+                    db.len()
+                ),
+            });
+        }
+        let mut config = config;
+        config.threshold = db.threshold();
+        config.bands = index.bands();
+        config.rows_per_band = index.rows_per_band();
+        config.index_seed = index.seed();
+        let store = Self::new(config);
+        for (label, fp) in db.iter() {
+            store.insert_new(label.clone(), fp.clone());
+        }
+        // Adopt the persisted bucket layout verbatim so a save round-trips
+        // byte-identically even if insertion order would lay buckets out
+        // differently.
+        *store.index.write() = index;
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn es(bits: &[u64]) -> ErrorString {
+        ErrorString::from_sorted(bits.to_vec(), 4096).unwrap()
+    }
+
+    fn chip_bits(chip: u64) -> Vec<u64> {
+        (0..40).map(|i| chip * 40 + i).collect()
+    }
+
+    fn populated(shards: usize) -> ShardedStore {
+        let store = ShardedStore::new(StoreConfig {
+            shards,
+            threshold: 0.3,
+            ..StoreConfig::default()
+        });
+        for chip in 0..10u64 {
+            store
+                .characterize(&format!("chip-{chip:02}"), &es(&chip_bits(chip)))
+                .unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn identify_matches_flat_db_reference() {
+        let store = populated(3);
+        let db = store.to_db();
+        for chip in 0..10u64 {
+            let mut bits = chip_bits(chip);
+            bits.push(4000 + chip); // one noise bit
+            let probe = es(&bits);
+            let sharded = store.identify(&probe).ok();
+            let flat = db
+                .identify_with_distance(&probe)
+                .map(|(l, d)| (l.clone(), d));
+            assert_eq!(sharded, flat, "chip {chip}");
+        }
+    }
+
+    #[test]
+    fn characterize_refines_and_reroutes() {
+        let store = populated(2);
+        let (w1, o1, created) = store
+            .characterize("chip-00", &es(&chip_bits(0)[..30]))
+            .unwrap();
+        assert!(!created);
+        assert_eq!(o1, 2);
+        assert_eq!(w1, 30);
+        // The refined fingerprint must still be found via the index.
+        let (label, _) = store.identify(&es(&chip_bits(0)[..30])).unwrap();
+        assert_eq!(label, "chip-00");
+    }
+
+    #[test]
+    fn characterize_size_mismatch_is_an_error() {
+        let store = populated(2);
+        let wrong = ErrorString::from_sorted(vec![1, 2], 64).unwrap();
+        assert!(store.characterize("chip-00", &wrong).is_err());
+        // A fresh label with an unusual size is fine: sizes are per-label.
+        assert!(store.characterize("other", &wrong).unwrap().2);
+    }
+
+    #[test]
+    fn cluster_ingest_follows_algorithm_4() {
+        let store = ShardedStore::new(StoreConfig {
+            threshold: 0.3,
+            ..StoreConfig::default()
+        });
+        let a = es(&[1, 2, 3, 4]);
+        let b = es(&[100, 200, 300, 400]);
+        assert_eq!(store.cluster_ingest(&a).unwrap(), (0, true, 1));
+        assert_eq!(store.cluster_ingest(&b).unwrap(), (1, true, 2));
+        assert_eq!(
+            store.cluster_ingest(&es(&[1, 2, 3, 9])).unwrap(),
+            (0, false, 2)
+        );
+        assert_eq!(store.cluster_count(), 2);
+    }
+
+    #[test]
+    fn unknown_probe_reports_closest_or_nothing() {
+        let store = populated(2);
+        // Far from everything and sharing no band: no candidates at all.
+        let stranger = es(&[2000, 2100, 2200, 2300]);
+        match store.identify(&stranger) {
+            Err(closest) => {
+                if let Some((_, d)) = closest {
+                    assert!(d >= store.threshold());
+                }
+            }
+            Ok(hit) => panic!("stranger matched {hit:?}"),
+        }
+    }
+
+    #[test]
+    fn persistence_roundtrip_is_byte_identical() {
+        let store = populated(3);
+        let (mut db1, mut idx1) = (Vec::new(), Vec::new());
+        store.save_db(&mut db1).unwrap();
+        store.save_index(&mut idx1).unwrap();
+
+        let restored =
+            ShardedStore::from_persisted(StoreConfig::default(), db1.as_slice(), idx1.as_slice())
+                .unwrap();
+        assert_eq!(restored.len(), store.len());
+
+        let (mut db2, mut idx2) = (Vec::new(), Vec::new());
+        restored.save_db(&mut db2).unwrap();
+        restored.save_index(&mut idx2).unwrap();
+        assert_eq!(db1, db2, "database save/load/save must be byte-identical");
+        assert_eq!(idx1, idx2, "index save/load/save must be byte-identical");
+
+        // And the restored store still identifies.
+        let (label, _) = restored.identify(&es(&chip_bits(7))).unwrap();
+        assert_eq!(label, "chip-07");
+    }
+
+    #[test]
+    fn from_persisted_rejects_mismatched_pair() {
+        let store = populated(2);
+        let (mut db, mut idx) = (Vec::new(), Vec::new());
+        store.save_db(&mut db).unwrap();
+        store.save_index(&mut idx).unwrap();
+        // Drop one fingerprint line from the database.
+        let trimmed: String = {
+            let text = String::from_utf8(db).unwrap();
+            let mut lines: Vec<&str> = text.lines().collect();
+            lines.pop();
+            lines.join("\n") + "\n"
+        };
+        assert!(ShardedStore::from_persisted(
+            StoreConfig::default(),
+            trimmed.as_bytes(),
+            idx.as_slice()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn distance_evals_counts_scored_candidates() {
+        let store = populated(2);
+        let before = store.distance_evals();
+        let _ = store.identify(&es(&chip_bits(3)));
+        let evals = store.distance_evals() - before;
+        assert!(evals >= 1, "the true chip must be scored");
+        assert!(
+            evals < 10,
+            "LSH routing should prune most of the 10 chips, scored {evals}"
+        );
+    }
+}

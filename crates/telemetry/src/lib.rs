@@ -50,7 +50,7 @@ pub mod span;
 
 pub use counter::{Counter, CounterHandle};
 pub use histogram::{Histogram, HistogramSnapshot};
-pub use json::{JsonObject, JsonValue};
+pub use json::{parse as parse_json, JsonObject, JsonParseError, JsonValue};
 pub use manifest::RunManifest;
 pub use span::{Span, SpanHandle};
 

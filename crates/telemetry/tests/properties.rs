@@ -7,6 +7,7 @@
 //! histograms lose nothing under contention.
 
 use pc_telemetry::histogram::{bucket_index, bucket_upper, Histogram, HistogramSnapshot};
+use pc_telemetry::{JsonObject, JsonValue};
 use proptest::prelude::*;
 
 /// Builds a snapshot holding exactly `values`.
@@ -75,6 +76,49 @@ proptest! {
         prop_assert_eq!(s.sum(), values.iter().sum::<u64>());
         prop_assert_eq!(s.min(), values.iter().min().copied());
         prop_assert_eq!(s.max(), values.iter().max().copied());
+    }
+
+    #[test]
+    fn json_parse_inverts_rendering(
+        ints in proptest::collection::vec(any::<u64>(), 0..8),
+        negs in proptest::collection::vec(any::<u64>(), 0..8),
+        flags in proptest::collection::vec(any::<bool>(), 0..8),
+        text in proptest::collection::vec(proptest::char::range('\u{0}', '\u{2FF}'), 0..40),
+    ) {
+        // An object exercising every writer branch: scalars, a string with
+        // control characters and escapes, nested arrays and objects.
+        let s: String = text.into_iter().collect();
+        let mut inner = JsonObject::new();
+        inner.set("s", s.as_str());
+        inner.set("flags", flags.iter().map(|&b| JsonValue::Bool(b)).collect::<Vec<_>>());
+        let mut obj = JsonObject::new();
+        obj.set("ints", ints.iter().map(|&n| JsonValue::U64(n)).collect::<Vec<_>>());
+        // Strictly negative: non-negative integers canonically parse as U64.
+        obj.set(
+            "negs",
+            negs.iter().map(|&n| JsonValue::I64(-((n >> 1) as i64) - 1)).collect::<Vec<_>>(),
+        );
+        obj.set("inner", inner);
+        obj.set("null", JsonValue::Null);
+
+        let compact = pc_telemetry::parse_json(&obj.to_compact());
+        prop_assert_eq!(compact, Ok(JsonValue::Object(obj.clone())));
+        let pretty = pc_telemetry::parse_json(&obj.to_pretty());
+        prop_assert_eq!(pretty, Ok(JsonValue::Object(obj)));
+    }
+
+    #[test]
+    fn json_string_escaping_roundtrips(
+        text in proptest::collection::vec(proptest::char::range('\u{0}', '\u{FFFF}'), 0..60),
+    ) {
+        let s: String = text.into_iter().collect();
+        let mut obj = JsonObject::new();
+        obj.set("s", s.as_str());
+        let back = pc_telemetry::parse_json(&obj.to_compact()).expect("writer output parses");
+        prop_assert_eq!(
+            back.as_object().and_then(|o| o.get("s")).and_then(JsonValue::as_str),
+            Some(s.as_str())
+        );
     }
 }
 

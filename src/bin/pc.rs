@@ -11,6 +11,20 @@
 //! pc demo
 //!     Simulate two devices end to end and show attribution working.
 //!
+//! pc serve [--addr HOST:PORT] [--db DB] [--index IDX] [--shards N]
+//!          [--queue-capacity N] [--threshold T] [--watch-stdin]
+//!     Run the identification server (pc-service). Prints the bound address,
+//!     then blocks until a `shutdown` request arrives (or stdin closes, with
+//!     --watch-stdin); shutdown drains in-flight requests and persists the
+//!     database and routing index to --db/--index.
+//!
+//! pc query --addr HOST:PORT ping|stats|shutdown
+//! pc query --addr HOST:PORT identify|cluster-ingest (--bits P,P,... --size N | EXACT.pgm APPROX.pgm)
+//! pc query --addr HOST:PORT characterize --label NAME (--bits ... --size N | EXACT.pgm APPROX.pgm)
+//!     One request against a running server. Error bits come either from a
+//!     PGM pair (approx XOR exact) or directly from --bits/--size. `busy`
+//!     responses are retried with the server's suggested back-off.
+//!
 //! pc version
 //!     Report the toolkit version, git revision, and build configuration.
 //! ```
@@ -23,8 +37,11 @@ use probable_cause_repro::core::persistence::{load_db, save_db};
 use probable_cause_repro::core::{characterize, ErrorString, FingerprintDb, PcDistance};
 use probable_cause_repro::image::read_pgm;
 use probable_cause_repro::prelude::*;
+use probable_cause_repro::service::protocol::{Request, Response};
+use probable_cause_repro::service::server::{self, ServerConfig};
+use probable_cause_repro::service::{ServiceClient, StoreConfig};
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -55,6 +72,8 @@ fn dispatch(args: Vec<String>) -> Result<(), String> {
     match args.first().map(String::as_str) {
         Some("characterize") => cmd_characterize(&args[1..]),
         Some("identify") => cmd_identify(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("version" | "--version" | "-V") => cmd_version(),
         Some("--help" | "-h" | "help") | None => {
@@ -86,6 +105,11 @@ fn print_usage() {
          usage:\n\
          \x20 pc characterize --db DB --label NAME EXACT.pgm APPROX.pgm [APPROX.pgm...]\n\
          \x20 pc identify    --db DB EXACT.pgm APPROX.pgm\n\
+         \x20 pc serve       [--addr HOST:PORT] [--db DB] [--index IDX] [--shards N]\n\
+         \x20                [--queue-capacity N] [--threshold T] [--watch-stdin]\n\
+         \x20 pc query       --addr HOST:PORT ping|stats|shutdown\n\
+         \x20 pc query       --addr HOST:PORT identify|characterize|cluster-ingest\n\
+         \x20                [--label NAME] (--bits P,P,... --size N | EXACT.pgm APPROX.pgm)\n\
          \x20 pc demo\n\
          \x20 pc version\n\
          \n\
@@ -126,6 +150,17 @@ fn take_flag(args: &[String], flag: &str) -> Result<(String, Vec<String>), Strin
         (Some(value), rest) => Ok((value, rest)),
         (None, _) => Err(format!("missing required {flag}")),
     }
+}
+
+/// Pulls a valueless `--switch` out of an argument list, returning
+/// (present, rest).
+fn take_switch(args: &[String], flag: &str) -> (bool, Vec<String>) {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return (false, args.to_vec());
+    };
+    let mut rest = args.to_vec();
+    rest.remove(pos);
+    (true, rest)
 }
 
 /// Like [`take_flag`] for a flag that may be absent.
@@ -226,6 +261,166 @@ fn cmd_identify(args: &[String]) -> Result<(), String> {
             );
         }
         None => println!("database is empty"),
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_optional_flag(args, "--addr")?;
+    let (db_path, rest) = take_optional_flag(&rest, "--db")?;
+    let (index_path, rest) = take_optional_flag(&rest, "--index")?;
+    let (shards, rest) = take_optional_flag(&rest, "--shards")?;
+    let (queue_capacity, rest) = take_optional_flag(&rest, "--queue-capacity")?;
+    let (threshold, rest) = take_optional_flag(&rest, "--threshold")?;
+    let (watch_stdin, rest) = take_switch(&rest, "--watch-stdin");
+    if let Some(extra) = rest.first() {
+        return Err(format!("serve does not take {extra:?}"));
+    }
+
+    let mut store = StoreConfig::default();
+    if let Some(n) = shards {
+        store.shards = n.parse().map_err(|_| format!("bad --shards {n:?}"))?;
+    }
+    if let Some(t) = threshold {
+        store.threshold = t.parse().map_err(|_| format!("bad --threshold {t:?}"))?;
+    }
+    let mut config = ServerConfig {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        store,
+        db_path: db_path.map(Into::into),
+        index_path: index_path.map(Into::into),
+        ..ServerConfig::default()
+    };
+    if let Some(n) = queue_capacity {
+        config.queue_capacity = n
+            .parse()
+            .map_err(|_| format!("bad --queue-capacity {n:?}"))?;
+    }
+
+    let handle = server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    println!("pc-service listening on {}", handle.local_addr());
+    println!(
+        "{} fingerprint(s) loaded; send a `shutdown` request to stop",
+        handle.store().len()
+    );
+    std::io::stdout().flush().ok();
+
+    if watch_stdin {
+        // Graceful stop when our input closes (e.g. the launching pipe ends).
+        let trigger = handle.trigger();
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            trigger.shutdown();
+        });
+    }
+    handle
+        .wait()
+        .map_err(|e| format!("server teardown failed: {e}"))?;
+    println!("pc-service drained and stopped");
+    Ok(())
+}
+
+/// Assembles the error string for a query from `--bits`/`--size` or from an
+/// exact/approximate PGM pair.
+fn query_errors(rest: &[String]) -> Result<(ErrorString, Vec<String>), String> {
+    let (bits, rest) = take_optional_flag(rest, "--bits")?;
+    let (size, rest) = take_optional_flag(&rest, "--size")?;
+    match (bits, size) {
+        (Some(bits), Some(size)) => {
+            let positions: Vec<u64> = bits
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(|s| s.trim().parse().map_err(|_| format!("bad bit {s:?}")))
+                .collect::<Result<_, _>>()?;
+            let size: u64 = size.parse().map_err(|_| format!("bad --size {size:?}"))?;
+            let errors = ErrorString::from_unsorted(positions, size)
+                .map_err(|e| format!("bad --bits: {e}"))?;
+            Ok((errors, rest))
+        }
+        (None, None) => {
+            let [exact_path, approx_path, tail @ ..] = rest.as_slice() else {
+                return Err("need --bits/--size or EXACT.pgm APPROX.pgm".into());
+            };
+            let exact = read_image(exact_path)?;
+            Ok((errors_between(&exact, approx_path)?, tail.to_vec()))
+        }
+        _ => Err("--bits and --size must be given together".into()),
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_flag(args, "--addr")?;
+    let (op, rest) = rest.split_first().ok_or(
+        "query needs an operation (ping|stats|shutdown|identify|characterize|cluster-ingest)",
+    )?;
+
+    let (request, rest) = match op.as_str() {
+        "ping" => (Request::Ping, rest.to_vec()),
+        "stats" => (Request::Stats, rest.to_vec()),
+        "shutdown" => (Request::Shutdown, rest.to_vec()),
+        "identify" => {
+            let (errors, rest) = query_errors(rest)?;
+            (Request::Identify { errors }, rest)
+        }
+        "cluster-ingest" => {
+            let (errors, rest) = query_errors(rest)?;
+            (Request::ClusterIngest { errors }, rest)
+        }
+        "characterize" => {
+            let (label, rest) = take_flag(rest, "--label")?;
+            let (errors, rest) = query_errors(&rest)?;
+            (Request::Characterize { label, errors }, rest)
+        }
+        other => return Err(format!("unknown query operation {other:?}")),
+    };
+    if let Some(extra) = rest.first() {
+        return Err(format!("query does not take {extra:?}"));
+    }
+
+    let mut client =
+        ServiceClient::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client
+        .call_retrying(&request, 50)
+        .map_err(|e| format!("query failed: {e}"))?;
+    match response {
+        Response::Pong => println!("pong"),
+        Response::Match { label, distance } => println!("MATCH: {label} (distance {distance:.4})"),
+        Response::NoMatch {
+            closest: Some((label, d)),
+        } => {
+            println!("no match (closest: {label} at distance {d:.4})");
+        }
+        Response::NoMatch { closest: None } => println!("no match (no candidates)"),
+        Response::Characterized {
+            label,
+            weight,
+            observations,
+            created,
+        } => println!(
+            "{} {label:?}: {weight} stable error bits from {observations} observation(s)",
+            if created { "created" } else { "refined" }
+        ),
+        Response::Clustered {
+            cluster,
+            seeded,
+            clusters,
+        } => println!(
+            "{} cluster {cluster} ({clusters} cluster(s) total)",
+            if seeded { "seeded" } else { "joined" }
+        ),
+        Response::Stats(s) => {
+            println!("fingerprints:   {}", s.fingerprints);
+            println!("clusters:       {}", s.clusters);
+            println!("shards:         {}", s.shards);
+            println!("admitted:       {}", s.admitted);
+            println!("rejected:       {}", s.rejected);
+            println!("distance evals: {}", s.distance_evals);
+        }
+        Response::ShuttingDown => println!("server shutting down"),
+        Response::Busy { .. } => return Err("server busy after all retries".into()),
+        Response::Error { message } => return Err(format!("server error: {message}")),
     }
     Ok(())
 }

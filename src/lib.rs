@@ -13,6 +13,8 @@
 //! - [`image`] — the image-processing substrate (CImg stand-in).
 //! - [`model`] — the Section 7.1 mathematical model and quantile emulator.
 //! - [`stats`] — deterministic randomness and numerics.
+//! - [`service`] *(crate `pc-service`)* — the TCP identification server and
+//!   its client (`pc serve` / `pc query`).
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@ pub use pc_dram as dram;
 pub use pc_image as image;
 pub use pc_model as model;
 pub use pc_os as os;
+pub use pc_service as service;
 pub use pc_stats as stats;
 pub use probable_cause as core;
 

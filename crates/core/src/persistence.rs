@@ -3,35 +3,56 @@
 //! against it in another — the paper's supply-chain scenario spans months
 //! between interception and deanonymization.
 //!
-//! Format (line-oriented, UTF-8):
+//! Format (line-oriented, UTF-8; version 2 adds the checksum trailer):
 //!
 //! ```text
-//! probable-cause-db 1
+//! probable-cause-db 2
 //! threshold 0.25
 //! fp <label> <size_bits> <observations> <pos,pos,pos,...>
+//! crc32 <8-hex checksum of every byte above>
 //! ```
 //!
 //! Labels are percent-encoded (`%20` for space etc.) so arbitrary strings
-//! survive; positions are ascending decimal integers.
+//! survive; positions are ascending decimal integers. Version-1 files (no
+//! trailer) still load; writers always emit version 2, whose trailer turns
+//! every truncation or bit flip into a load error instead of a silently
+//! partial database.
 //!
 //! The companion index format ([`save_index`] / [`load_index`]) persists an
 //! [`LshIndex`]'s bucket layout so `pc-service` restarts recover their shard
 //! routing without re-signing every fingerprint:
 //!
 //! ```text
-//! probable-cause-index 1
+//! probable-cause-index 2
 //! minhash <bands> <rows_per_band> <seed>
 //! entries <count>
 //! bucket <band_key> <id,id,id,...>
+//! crc32 <8-hex>
 //! ```
 //!
 //! Bucket lines are emitted in ascending band-key order and bucket members
 //! keep their stored order, so save → load → save is byte-identical.
+//!
+//! # Crash safety
+//!
+//! The path-based entry points ([`save_db_to_path`] / [`load_db_from_path`]
+//! and the index twins) add the durability the streaming functions cannot:
+//! a save writes `<file>.tmp`, fsyncs, then atomically renames over the
+//! target, so a crash mid-save leaves the previous database intact (at worst
+//! a torn `.tmp` that the next save overwrites); each successful save also
+//! refreshes a `<file>.bak` copy, and the resilient loaders fall back to it
+//! when the primary file is torn or bit-flipped. The `persist.write`,
+//! `persist.fsync`, `persist.rename`, and `persist.load` fault sites
+//! (see `pc_faults`) let chaos tests exercise every one of those paths
+//! deterministically.
 
 use crate::{ErrorString, Fingerprint, FingerprintDb, LshIndex, PcDistance};
 use std::collections::BTreeMap;
+use std::ffi::OsString;
 use std::fmt;
+use std::fs::{self, File};
 use std::io::{self, BufRead, Write};
+use std::path::{Path, PathBuf};
 
 /// Error loading a fingerprint database.
 #[derive(Debug)]
@@ -73,6 +94,109 @@ impl From<io::Error> for DbIoError {
     }
 }
 
+const DB_HEADER_V1: &str = "probable-cause-db 1";
+const DB_HEADER_V2: &str = "probable-cause-db 2";
+const INDEX_HEADER_V1: &str = "probable-cause-index 1";
+const INDEX_HEADER_V2: &str = "probable-cause-index 2";
+
+/// CRC-32 (IEEE, reflected — the zip/png polynomial), computed bitwise:
+/// database files are small and this keeps the crate dependency-free.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn append_trailer(buf: &mut Vec<u8>) {
+    let crc = crc32(buf);
+    buf.extend_from_slice(format!("crc32 {crc:08x}\n").as_bytes());
+}
+
+/// Splits `text` into `(1-based line number, starting byte offset, content)`
+/// triples with the `\n` (and any preceding `\r`) stripped from `content`.
+fn split_lines(text: &str) -> Vec<(usize, usize, &str)> {
+    let mut lines = Vec::new();
+    let mut offset = 0;
+    for (idx, segment) in text.split_inclusive('\n').enumerate() {
+        let content = segment.strip_suffix('\n').unwrap_or(segment);
+        let content = content.strip_suffix('\r').unwrap_or(content);
+        lines.push((idx + 1, offset, content));
+        offset += segment.len();
+    }
+    lines
+}
+
+/// Validates the header and, for version-2 files, the `crc32` trailer;
+/// returns the body as `(line number, content)` pairs — every line after the
+/// header, minus the trailer.
+fn open_envelope<'a>(
+    text: &'a str,
+    header_v1: &str,
+    header_v2: &str,
+    bad_header: &str,
+) -> Result<Vec<(usize, &'a str)>, DbIoError> {
+    let bad = |line: usize, message: String| DbIoError::BadFormat { line, message };
+    let lines = split_lines(text);
+    let Some(&(_, _, header)) = lines.first() else {
+        return Err(bad(1, "empty file".to_string()));
+    };
+    let checksummed = if header.trim() == header_v2 {
+        true
+    } else if header.trim() == header_v1 {
+        false
+    } else {
+        return Err(bad(1, bad_header.to_string()));
+    };
+    let mut body = lines[1..].to_vec();
+    if checksummed {
+        if !text.ends_with('\n') {
+            return Err(bad(
+                lines.len(),
+                "final line is not newline-terminated (file truncated?)".to_string(),
+            ));
+        }
+        // The trailer must be the last non-blank line; anything truncated
+        // away or appended after it fails here.
+        let Some(pos) = body.iter().rposition(|(_, _, l)| !l.trim().is_empty()) else {
+            return Err(bad(
+                lines.len(),
+                "missing crc32 trailer (file truncated?)".to_string(),
+            ));
+        };
+        let (line_no, offset, trailer) = body[pos];
+        let Some(hex) = trailer.trim().strip_prefix("crc32 ") else {
+            return Err(bad(
+                line_no,
+                "missing crc32 trailer (file truncated?)".to_string(),
+            ));
+        };
+        let hex = hex.trim();
+        // Strictly 8 lowercase hex digits — the canonical rendering — so a
+        // bit flip inside the trailer itself can never alias its own value.
+        let canonical =
+            hex.len() == 8 && hex.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f'));
+        let stated = canonical
+            .then(|| u32::from_str_radix(hex, 16).ok())
+            .flatten()
+            .ok_or_else(|| bad(line_no, format!("unparsable crc32 trailer {hex:?}")))?;
+        let actual = crc32(&text.as_bytes()[..offset]);
+        if stated != actual {
+            return Err(bad(
+                line_no,
+                format!("crc32 mismatch: trailer says {stated:08x}, contents hash to {actual:08x}"),
+            ));
+        }
+        body.truncate(pos);
+    }
+    Ok(body.into_iter().map(|(n, _, l)| (n, l)).collect())
+}
+
 fn escape_label(label: &str) -> String {
     let mut out = String::with_capacity(label.len());
     for ch in label.chars() {
@@ -104,7 +228,8 @@ fn unescape_label(s: &str) -> Option<String> {
     Some(out)
 }
 
-/// Writes a string-labelled database to `w`.
+/// Writes a string-labelled database to `w` in the checksummed version-2
+/// format.
 ///
 /// A `&mut` reference may be passed as the writer.
 ///
@@ -112,11 +237,12 @@ fn unescape_label(s: &str) -> Option<String> {
 ///
 /// Propagates I/O errors.
 pub fn save_db<W: Write>(db: &FingerprintDb<String, PcDistance>, mut w: W) -> io::Result<()> {
-    writeln!(w, "probable-cause-db 1")?;
-    writeln!(w, "threshold {}", db.threshold())?;
+    let mut buf = Vec::new();
+    writeln!(buf, "{DB_HEADER_V2}")?;
+    writeln!(buf, "threshold {}", db.threshold())?;
     for (label, fp) in db.iter() {
         write!(
-            w,
+            buf,
             "fp {} {} {} ",
             escape_label(label),
             fp.errors().size(),
@@ -127,51 +253,54 @@ pub fn save_db<W: Write>(db: &FingerprintDb<String, PcDistance>, mut w: W) -> io
             if first {
                 first = false;
             } else {
-                w.write_all(b",")?;
+                buf.write_all(b",")?;
             }
-            write!(w, "{b}")?;
+            write!(buf, "{b}")?;
         }
-        writeln!(w)?;
+        writeln!(buf)?;
     }
-    Ok(())
+    append_trailer(&mut buf);
+    w.write_all(&buf)
 }
 
 /// Reads a string-labelled database from `r` (paper metric, stored
-/// threshold).
+/// threshold). Accepts version 2 (trailer verified) and version 1 (no
+/// trailer) files.
 ///
 /// A `&mut` reference may be passed as the reader.
 ///
 /// # Errors
 ///
-/// [`DbIoError::BadFormat`] on any malformed line, [`DbIoError::Io`] on read
-/// failure.
-pub fn load_db<R: BufRead>(r: R) -> Result<FingerprintDb<String, PcDistance>, DbIoError> {
+/// [`DbIoError::BadFormat`] on any malformed line, truncation, or checksum
+/// mismatch; [`DbIoError::Io`] on read failure.
+pub fn load_db<R: BufRead>(mut r: R) -> Result<FingerprintDb<String, PcDistance>, DbIoError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
     let bad = |line: usize, message: &str| DbIoError::BadFormat {
         line,
         message: message.to_string(),
     };
-    let mut lines = r.lines().enumerate();
+    let body = open_envelope(
+        &text,
+        DB_HEADER_V1,
+        DB_HEADER_V2,
+        "missing or unsupported header",
+    )?;
+    let mut lines = body.into_iter();
 
-    let (_, header) = lines.next().ok_or_else(|| bad(1, "empty file"))?;
-    if header?.trim() != "probable-cause-db 1" {
-        return Err(bad(1, "missing or unsupported header"));
-    }
-    let (_, threshold_line) = lines.next().ok_or_else(|| bad(2, "missing threshold"))?;
-    let threshold_line = threshold_line?;
+    let (threshold_no, threshold_line) = lines.next().ok_or_else(|| bad(2, "missing threshold"))?;
     let threshold: f64 = threshold_line
         .strip_prefix("threshold ")
-        .ok_or_else(|| bad(2, "expected `threshold <value>`"))?
+        .ok_or_else(|| bad(threshold_no, "expected `threshold <value>`"))?
         .trim()
         .parse()
-        .map_err(|_| bad(2, "unparsable threshold"))?;
+        .map_err(|_| bad(threshold_no, "unparsable threshold"))?;
     if !(threshold > 0.0 && threshold <= 1.0) {
-        return Err(bad(2, "threshold out of (0, 1]"));
+        return Err(bad(threshold_no, "threshold out of (0, 1]"));
     }
 
     let mut db = FingerprintDb::new(PcDistance::new(), threshold);
-    for (idx, line) in lines {
-        let n = idx + 1;
-        let line = line?;
+    for (n, line) in lines {
         if line.trim().is_empty() {
             continue;
         }
@@ -206,7 +335,8 @@ pub fn load_db<R: BufRead>(r: R) -> Result<FingerprintDb<String, PcDistance>, Db
     Ok(db)
 }
 
-/// Writes an [`LshIndex`]'s layout to `w` in the canonical index format.
+/// Writes an [`LshIndex`]'s layout to `w` in the checksummed version-2 index
+/// format.
 ///
 /// A `&mut` reference may be passed as the writer.
 ///
@@ -214,79 +344,85 @@ pub fn load_db<R: BufRead>(r: R) -> Result<FingerprintDb<String, PcDistance>, Db
 ///
 /// Propagates I/O errors.
 pub fn save_index<W: Write>(index: &LshIndex, mut w: W) -> io::Result<()> {
-    writeln!(w, "probable-cause-index 1")?;
+    let mut buf = Vec::new();
+    writeln!(buf, "{INDEX_HEADER_V2}")?;
     writeln!(
-        w,
+        buf,
         "minhash {} {} {}",
         index.bands(),
         index.rows_per_band(),
         index.seed()
     )?;
-    writeln!(w, "entries {}", index.len())?;
+    writeln!(buf, "entries {}", index.len())?;
     for (key, ids) in index.buckets() {
-        write!(w, "bucket {key} ")?;
+        write!(buf, "bucket {key} ")?;
         let mut first = true;
         for &id in ids {
             if first {
                 first = false;
             } else {
-                w.write_all(b",")?;
+                buf.write_all(b",")?;
             }
-            write!(w, "{id}")?;
+            write!(buf, "{id}")?;
         }
-        writeln!(w)?;
+        writeln!(buf)?;
     }
-    Ok(())
+    append_trailer(&mut buf);
+    w.write_all(&buf)
 }
 
-/// Reads an [`LshIndex`] layout from `r`.
+/// Reads an [`LshIndex`] layout from `r`. Accepts version 2 (trailer
+/// verified) and version 1 (no trailer) files.
 ///
 /// A `&mut` reference may be passed as the reader.
 ///
 /// # Errors
 ///
 /// [`DbIoError::BadFormat`] on any malformed line (including an entry count
-/// that disagrees with the bucket contents), [`DbIoError::Io`] on read
-/// failure.
-pub fn load_index<R: BufRead>(r: R) -> Result<LshIndex, DbIoError> {
+/// that disagrees with the bucket contents), truncation, or checksum
+/// mismatch; [`DbIoError::Io`] on read failure.
+pub fn load_index<R: BufRead>(mut r: R) -> Result<LshIndex, DbIoError> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
     let bad = |line: usize, message: &str| DbIoError::BadFormat {
         line,
         message: message.to_string(),
     };
-    let mut lines = r.lines().enumerate();
+    let body = open_envelope(
+        &text,
+        INDEX_HEADER_V1,
+        INDEX_HEADER_V2,
+        "missing or unsupported index header",
+    )?;
+    let mut lines = body.into_iter();
 
-    let (_, header) = lines.next().ok_or_else(|| bad(1, "empty file"))?;
-    if header?.trim() != "probable-cause-index 1" {
-        return Err(bad(1, "missing or unsupported index header"));
-    }
-    let (_, minhash_line) = lines.next().ok_or_else(|| bad(2, "missing minhash line"))?;
-    let minhash_line = minhash_line?;
+    let (minhash_no, minhash_line) = lines.next().ok_or_else(|| bad(2, "missing minhash line"))?;
     let fields: Vec<&str> = minhash_line
         .strip_prefix("minhash ")
-        .ok_or_else(|| bad(2, "expected `minhash <bands> <rows> <seed>`"))?
+        .ok_or_else(|| bad(minhash_no, "expected `minhash <bands> <rows> <seed>`"))?
         .split_whitespace()
         .collect();
     let [bands, rows, seed] = fields.as_slice() else {
-        return Err(bad(2, "expected three minhash fields"));
+        return Err(bad(minhash_no, "expected three minhash fields"));
     };
-    let bands: usize = bands.parse().map_err(|_| bad(2, "bad band count"))?;
-    let rows: usize = rows.parse().map_err(|_| bad(2, "bad row count"))?;
-    let seed: u64 = seed.parse().map_err(|_| bad(2, "bad seed"))?;
+    let bands: usize = bands
+        .parse()
+        .map_err(|_| bad(minhash_no, "bad band count"))?;
+    let rows: usize = rows.parse().map_err(|_| bad(minhash_no, "bad row count"))?;
+    let seed: u64 = seed.parse().map_err(|_| bad(minhash_no, "bad seed"))?;
     if bands == 0 || rows == 0 {
-        return Err(bad(2, "bands and rows must be positive"));
+        return Err(bad(minhash_no, "bands and rows must be positive"));
     }
 
-    let (_, entries_line) = lines.next().ok_or_else(|| bad(3, "missing entries line"))?;
-    let entries: usize = entries_line?
+    let (entries_no, entries_line) = lines.next().ok_or_else(|| bad(3, "missing entries line"))?;
+    let entries: usize = entries_line
         .strip_prefix("entries ")
         .and_then(|s| s.trim().parse().ok())
-        .ok_or_else(|| bad(3, "expected `entries <count>`"))?;
+        .ok_or_else(|| bad(entries_no, "expected `entries <count>`"))?;
 
     let mut buckets: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
     let mut last_key: Option<u64> = None;
-    for (idx, line) in lines {
-        let n = idx + 1;
-        let line = line?;
+    for (n, line) in lines {
         if line.trim().is_empty() {
             continue;
         }
@@ -317,7 +453,7 @@ pub fn load_index<R: BufRead>(r: R) -> Result<LshIndex, DbIoError> {
     let index = LshIndex::from_parts(bands, rows, seed, buckets);
     if index.len() != entries {
         return Err(bad(
-            3,
+            entries_no,
             &format!(
                 "entry count {entries} disagrees with bucket contents ({})",
                 index.len()
@@ -327,10 +463,183 @@ pub fn load_index<R: BufRead>(r: R) -> Result<LshIndex, DbIoError> {
     Ok(index)
 }
 
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(OsString::new, |n| n.to_os_string());
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// `<file>.tmp` — the in-flight image [`atomic_write`] renames into place.
+pub fn tmp_path(path: &Path) -> PathBuf {
+    sibling(path, ".tmp")
+}
+
+/// `<file>.bak` — the last successfully saved image, refreshed after every
+/// [`atomic_write`]; the fallback [`load_db_from_path`] /
+/// [`load_index_from_path`] reach for when the primary is damaged.
+pub fn bak_path(path: &Path) -> PathBuf {
+    sibling(path, ".bak")
+}
+
+/// Durably replaces `path` with `bytes`: writes `<path>.tmp`, fsyncs,
+/// renames over `path`, then refreshes `<path>.bak`. A crash at any point
+/// leaves either the old or the new file fully intact — never a torn one
+/// (the worst leftover is a torn `.tmp`, overwritten by the next save).
+///
+/// Fault sites: `persist.write` (`fail` tears the tmp file after half the
+/// bytes; `stall` fsyncs the half-written tmp then holds the save open —
+/// the window kill tests aim a SIGKILL at), `persist.fsync`,
+/// `persist.rename`.
+///
+/// # Errors
+///
+/// Propagates I/O errors; injected faults carry the
+/// `injected fault at <site>` message marker.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    let mut file = File::create(&tmp)?;
+    match pc_faults::active().and_then(|injector| injector.check("persist.write")) {
+        Some(pc_faults::Action::Fail) => {
+            // A torn write: half the image reaches the tmp file, then the
+            // "process dies". The primary and backup stay untouched.
+            file.write_all(&bytes[..bytes.len() / 2])?;
+            let _ = file.sync_all();
+            return Err(pc_faults::injected_io("persist.write"));
+        }
+        Some(pc_faults::Action::Stall(ms)) => {
+            file.write_all(&bytes[..bytes.len() / 2])?;
+            file.sync_all()?;
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            file.write_all(&bytes[bytes.len() / 2..])?;
+        }
+        None => file.write_all(bytes)?,
+    }
+    if pc_faults::fail_point("persist.fsync") {
+        return Err(pc_faults::injected_io("persist.fsync"));
+    }
+    file.sync_all()?;
+    drop(file);
+    if pc_faults::fail_point("persist.rename") {
+        return Err(pc_faults::injected_io("persist.rename"));
+    }
+    fs::rename(&tmp, path)?;
+    // Refresh the backup only after the rename lands, so `.bak` always
+    // holds a complete image: the new one, or — if we die before the copy
+    // finishes — the previous save, still a valid fallback.
+    let _ = fs::copy(path, bak_path(path));
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(dir) = File::open(dir) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Saves `db` to `path` crash-safely via [`atomic_write`].
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_db_to_path(db: &FingerprintDb<String, PcDistance>, path: &Path) -> io::Result<()> {
+    let mut buf = Vec::new();
+    save_db(db, &mut buf)?;
+    atomic_write(path, &buf)
+}
+
+/// Saves `index` to `path` crash-safely via [`atomic_write`].
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_index_to_path(index: &LshIndex, path: &Path) -> io::Result<()> {
+    let mut buf = Vec::new();
+    save_index(index, &mut buf)?;
+    atomic_write(path, &buf)
+}
+
+/// Which file a resilient load ended up reading.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadSource {
+    /// The primary file was intact.
+    Primary,
+    /// The primary was missing, torn, or corrupt; the `.bak` copy loaded.
+    Backup,
+}
+
+/// A value recovered by a resilient load, plus where it came from.
+#[derive(Debug)]
+pub struct Recovered<T> {
+    /// The loaded value.
+    pub value: T,
+    /// Which file produced it.
+    pub source: LoadSource,
+    /// The primary file's error when `source` is [`LoadSource::Backup`].
+    pub primary_error: Option<DbIoError>,
+}
+
+fn load_with_fallback<T>(
+    path: &Path,
+    parse: impl Fn(&[u8]) -> Result<T, DbIoError>,
+) -> Result<Recovered<T>, DbIoError> {
+    let read = |p: &Path| -> Result<T, DbIoError> {
+        if pc_faults::fail_point("persist.load") {
+            return Err(DbIoError::Io(pc_faults::injected_io("persist.load")));
+        }
+        parse(&fs::read(p)?)
+    };
+    match read(path) {
+        Ok(value) => Ok(Recovered {
+            value,
+            source: LoadSource::Primary,
+            primary_error: None,
+        }),
+        Err(primary_error) => {
+            let bak = bak_path(path);
+            if !bak.exists() {
+                return Err(primary_error);
+            }
+            match read(&bak) {
+                Ok(value) => Ok(Recovered {
+                    value,
+                    source: LoadSource::Backup,
+                    primary_error: Some(primary_error),
+                }),
+                // The primary's error is the more useful diagnosis.
+                Err(_) => Err(primary_error),
+            }
+        }
+    }
+}
+
+/// Loads a database from `path`, falling back to `<path>.bak` when the
+/// primary is damaged. Fault site: `persist.load`.
+///
+/// # Errors
+///
+/// The primary file's error when neither the primary nor the backup loads.
+pub fn load_db_from_path(
+    path: &Path,
+) -> Result<Recovered<FingerprintDb<String, PcDistance>>, DbIoError> {
+    load_with_fallback(path, |bytes| load_db(bytes))
+}
+
+/// Loads an index from `path`, falling back to `<path>.bak` when the
+/// primary is damaged. Fault site: `persist.load`.
+///
+/// # Errors
+///
+/// The primary file's error when neither the primary nor the backup loads.
+pub fn load_index_from_path(path: &Path) -> Result<Recovered<LshIndex>, DbIoError> {
+    load_with_fallback(path, |bytes| load_index(bytes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::io::Cursor;
+    use std::sync::Mutex;
 
     fn sample_db() -> FingerprintDb<String, PcDistance> {
         let mut db = FingerprintDb::new(PcDistance::new(), 0.3);
@@ -381,6 +690,62 @@ mod tests {
                 .map(|(l, d)| (l.clone(), d)),
             Some(("100%-weird\nlabel".to_string(), 0.0))
         );
+    }
+
+    #[test]
+    fn saved_db_has_v2_envelope() {
+        let mut buf = Vec::new();
+        save_db(&sample_db(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("probable-cause-db 2\n"));
+        let trailer = text.lines().last().unwrap();
+        assert!(
+            trailer.starts_with("crc32 ") && trailer.len() == "crc32 ".len() + 8,
+            "bad trailer: {trailer:?}"
+        );
+    }
+
+    #[test]
+    fn v1_files_still_load() {
+        let mut buf = Vec::new();
+        save_db(&sample_db(), &mut buf).unwrap();
+        let v2 = String::from_utf8(buf).unwrap();
+        // Strip the trailer and downgrade the header: a pre-checksum file.
+        let body = v2.rsplit_once("crc32 ").unwrap().0;
+        let v1 = body.replacen("probable-cause-db 2", "probable-cause-db 1", 1);
+        let loaded = load_db(v1.as_bytes()).unwrap();
+        assert_eq!(loaded.len(), sample_db().len());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let mut buf = Vec::new();
+        save_db(&sample_db(), &mut buf).unwrap();
+        for len in 0..buf.len() {
+            let err = load_db(&buf[..len]).unwrap_err();
+            if len > 0 {
+                assert!(
+                    matches!(err, DbIoError::BadFormat { .. }),
+                    "prefix of {len} bytes: expected BadFormat, got {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_rejected() {
+        let mut buf = Vec::new();
+        save_db(&sample_db(), &mut buf).unwrap();
+        for i in 0..buf.len() {
+            for bit in 0..8 {
+                let mut flipped = buf.clone();
+                flipped[i] ^= 1 << bit;
+                assert!(
+                    load_db(&flipped[..]).is_err(),
+                    "flip of bit {bit} at byte {i} was not detected"
+                );
+            }
+        }
     }
 
     #[test]
@@ -457,6 +822,23 @@ mod tests {
     }
 
     #[test]
+    fn index_truncations_and_flips_are_rejected() {
+        let mut buf = Vec::new();
+        save_index(&sample_index(), &mut buf).unwrap();
+        for len in 1..buf.len() {
+            assert!(
+                load_index(&buf[..len]).is_err(),
+                "prefix of {len} bytes loaded"
+            );
+        }
+        for i in (0..buf.len()).step_by(7) {
+            let mut flipped = buf.clone();
+            flipped[i] ^= 0x10;
+            assert!(load_index(&flipped[..]).is_err(), "flip at byte {i} loaded");
+        }
+    }
+
+    #[test]
     fn index_load_rejects_malformed_input() {
         let cases: &[(&[u8], usize)] = &[
             (b"nope\n", 1),
@@ -499,5 +881,84 @@ mod tests {
             assert!(!esc.contains(' ') && !esc.contains('\n'));
             assert_eq!(unescape_label(&esc).as_deref(), Some(label));
         }
+    }
+
+    /// Path-based tests share one scratch-dir guard: the torn-write test
+    /// installs a process-wide fault plan whose `persist.write` probes must
+    /// not be consumed by a concurrently running path save.
+    static FS_LOCK: Mutex<()> = Mutex::new(());
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pc-persist-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn path_save_load_and_backup_fallback() {
+        let _guard = FS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = scratch_dir("roundtrip");
+        let path = dir.join("db.txt");
+        let db = sample_db();
+        save_db_to_path(&db, &path).unwrap();
+        assert!(bak_path(&path).exists(), "save must refresh the backup");
+
+        let recovered = load_db_from_path(&path).unwrap();
+        assert_eq!(recovered.source, LoadSource::Primary);
+        assert_eq!(recovered.value.len(), db.len());
+
+        // Tear the primary: the loader falls back to the backup and reports
+        // the primary's error.
+        let intact = fs::read(&path).unwrap();
+        fs::write(&path, &intact[..intact.len() / 2]).unwrap();
+        let recovered = load_db_from_path(&path).unwrap();
+        assert_eq!(recovered.source, LoadSource::Backup);
+        assert!(recovered.primary_error.is_some());
+        assert_eq!(recovered.value.len(), db.len());
+
+        // With the backup gone too, the primary's error surfaces.
+        fs::remove_file(bak_path(&path)).unwrap();
+        assert!(load_db_from_path(&path).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn index_path_roundtrip() {
+        let _guard = FS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = scratch_dir("index");
+        let path = dir.join("index.txt");
+        let index = sample_index();
+        save_index_to_path(&index, &path).unwrap();
+        let recovered = load_index_from_path(&path).unwrap();
+        assert_eq!(recovered.source, LoadSource::Primary);
+        assert_eq!(recovered.value.len(), index.len());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_write_leaves_previous_file_intact() {
+        let _guard = FS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = scratch_dir("torn");
+        let path = dir.join("db.txt");
+        let db = sample_db();
+        save_db_to_path(&db, &path).unwrap();
+        let before = fs::read(&path).unwrap();
+
+        let injector =
+            pc_faults::install(pc_faults::FaultPlan::parse("seed=1;persist.write=n1").unwrap());
+        let err = save_db_to_path(&db, &path).unwrap_err();
+        pc_faults::uninstall();
+        assert!(pc_faults::is_injected_message(&err.to_string()));
+        assert_eq!(injector.total_fired(), 1);
+
+        // The torn image landed in the tmp file; the primary is untouched
+        // and a fresh save recovers byte-identically.
+        assert_eq!(fs::read(&path).unwrap(), before, "primary was damaged");
+        let tmp = fs::read(tmp_path(&path)).unwrap();
+        assert_eq!(tmp.len(), before.len() / 2, "tmp should hold a torn half");
+        save_db_to_path(&db, &path).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), before);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

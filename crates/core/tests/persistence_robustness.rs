@@ -1,0 +1,196 @@
+//! Property tests for the crash-safe persistence layer: any database or
+//! index file this crate writes must reject *every* truncation and *every*
+//! single-bit flip with a line-precise error (never load silently wrong),
+//! and a torn write must leave the previous on-disk image loadable and
+//! byte-identical through a save round-trip.
+
+use probable_cause::persistence::{
+    load_db, load_db_from_path, load_index, save_db, save_db_to_path, save_index, DbIoError,
+    LoadSource,
+};
+use probable_cause::{ErrorString, Fingerprint, FingerprintDb, LshIndex, PcDistance};
+use proptest::collection::btree_set;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::io::Cursor;
+
+const SIZE: u64 = 8_192;
+
+fn bits() -> impl Strategy<Value = BTreeSet<u64>> {
+    btree_set(0..SIZE, 0..60)
+}
+
+fn es(set: &BTreeSet<u64>) -> ErrorString {
+    ErrorString::from_sorted(set.iter().copied().collect(), SIZE).expect("sorted in-range")
+}
+
+/// ASCII-only labels: multi-byte characters would make "flip one bit"
+/// produce invalid UTF-8, which is rejected for a different (still correct,
+/// but less interesting) reason than the checksum.
+fn label() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range('a', 'z'),
+            Just(' '),
+            Just('%'),
+            Just('-'),
+        ],
+        1..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn db_from(entries: &[(String, BTreeSet<u64>, u32)], threshold: f64) -> Vec<u8> {
+    let mut db = FingerprintDb::new(PcDistance::new(), threshold);
+    for (l, b, o) in entries {
+        db.insert(l.clone(), Fingerprint::from_parts(es(b), *o));
+    }
+    let mut buf = Vec::new();
+    save_db(&db, &mut buf).expect("in-memory write");
+    buf
+}
+
+/// Checks that a rejected load failed with a line number that actually
+/// exists in (or is adjacent to) the damaged file — the error must point a
+/// human at the right place, not just refuse.
+fn assert_line_precise(err: &DbIoError, bytes: &[u8]) {
+    if let DbIoError::BadFormat { line, .. } = err {
+        let lines = bytes.split(|b| *b == b'\n').count();
+        assert!(
+            *line <= lines + 1,
+            "error line {line} beyond file's {lines} lines"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every proper prefix of a database file is rejected — the trailing
+    /// checksum (plus the final-newline rule) makes truncation at any byte
+    /// boundary detectable.
+    #[test]
+    fn any_truncated_db_prefix_is_rejected(
+        entries in proptest::collection::vec((label(), bits(), 1u32..9), 1..5),
+        threshold in 0.01f64..1.0,
+    ) {
+        let full = db_from(&entries, threshold);
+        prop_assert!(load_db(Cursor::new(full.clone())).is_ok());
+        for cut in 0..full.len() {
+            let err = load_db(Cursor::new(full[..cut].to_vec()));
+            prop_assert!(err.is_err(), "prefix of {cut}/{} bytes loaded", full.len());
+            assert_line_precise(&err.unwrap_err(), &full[..cut]);
+        }
+    }
+
+    /// Every single-bit flip anywhere in a database file is rejected.
+    #[test]
+    fn any_bit_flip_in_db_is_rejected(
+        entries in proptest::collection::vec((label(), bits(), 1u32..9), 1..4),
+        threshold in 0.01f64..1.0,
+    ) {
+        let full = db_from(&entries, threshold);
+        for byte in 0..full.len() {
+            for bit in 0..8 {
+                let mut damaged = full.clone();
+                damaged[byte] ^= 1 << bit;
+                let result = load_db(Cursor::new(damaged.clone()));
+                prop_assert!(
+                    result.is_err(),
+                    "flip of bit {bit} at byte {byte} loaded silently"
+                );
+                assert_line_precise(&result.unwrap_err(), &damaged);
+            }
+        }
+    }
+
+    /// The index format carries the same guarantees.
+    #[test]
+    fn any_truncated_or_flipped_index_is_rejected(
+        bands in 2usize..6,
+        rows in 1usize..4,
+        seed in any::<u64>(),
+        sets in proptest::collection::vec(bits(), 1..5),
+    ) {
+        let mut index = LshIndex::new(bands, rows, seed);
+        for (id, set) in sets.iter().enumerate() {
+            prop_assume!(!set.is_empty());
+            index.insert(id as u32, &es(set));
+        }
+        let mut full = Vec::new();
+        save_index(&index, &mut full).expect("in-memory write");
+        prop_assert!(load_index(Cursor::new(full.clone())).is_ok());
+        for cut in 0..full.len() {
+            prop_assert!(
+                load_index(Cursor::new(full[..cut].to_vec())).is_err(),
+                "index prefix of {cut} bytes loaded"
+            );
+        }
+        for byte in 0..full.len() {
+            let mut damaged = full.clone();
+            damaged[byte] ^= 1; // bit 0 of every byte; full 8-bit sweep above
+            prop_assert!(
+                load_index(Cursor::new(damaged)).is_err(),
+                "index flip at byte {byte} loaded silently"
+            );
+        }
+    }
+}
+
+/// A torn write must be invisible: the previous image keeps loading from the
+/// primary path, and re-saving the recovered database reproduces the
+/// original file byte for byte. Uses the process-wide fault registry, so it
+/// stays a single (non-parallel-cased) test and disarms on every exit path.
+#[test]
+fn torn_write_recovers_to_byte_identical_save() {
+    struct Armed;
+    impl Drop for Armed {
+        fn drop(&mut self) {
+            pc_faults::uninstall();
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("pc-robust-torn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("db.txt");
+
+    let mut first = FingerprintDb::new(PcDistance::new(), 0.25);
+    first.insert(
+        "alpha".to_string(),
+        Fingerprint::from_parts(es(&(0..40).collect()), 3),
+    );
+    save_db_to_path(&first, &path).expect("clean save");
+    let good = std::fs::read(&path).expect("read good image");
+
+    let mut second = FingerprintDb::new(PcDistance::new(), 0.25);
+    second.insert(
+        "alpha".to_string(),
+        Fingerprint::from_parts(es(&(0..40).collect()), 3),
+    );
+    second.insert(
+        "beta".to_string(),
+        Fingerprint::from_parts(es(&(100..160).collect()), 2),
+    );
+    {
+        let plan = pc_faults::FaultPlan::parse("seed=9;persist.write=n1").expect("valid plan");
+        pc_faults::install(plan);
+        let _armed = Armed;
+        save_db_to_path(&second, &path).expect_err("torn write must fail");
+    }
+    assert_eq!(
+        std::fs::read(&path).expect("primary still present"),
+        good,
+        "torn write mutated the primary file"
+    );
+
+    let recovered = load_db_from_path(&path).expect("recovery load");
+    assert!(matches!(recovered.source, LoadSource::Primary));
+    let resaved = dir.join("db.resaved.txt");
+    save_db_to_path(&recovered.value, &resaved).expect("re-save");
+    assert_eq!(
+        std::fs::read(&resaved).expect("read re-saved"),
+        good,
+        "recover → save round-trip is not byte-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

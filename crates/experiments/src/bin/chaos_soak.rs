@@ -1,0 +1,6 @@
+//! Regenerates the `chaos_soak` artifact under the telemetry harness.
+//! Artifacts and `manifest.json` land in `./results/chaos_soak`; set
+//! `PC_TELEMETRY=PATH` for a JSON-lines event stream.
+fn main() {
+    pc_experiments::harness::exec_named("chaos_soak");
+}

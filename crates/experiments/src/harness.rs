@@ -240,6 +240,16 @@ pub const CATALOG: &[Entry] = &[
         },
         run: crate::serve_soak::run,
     },
+    Entry {
+        name: "chaos_soak",
+        configure: |m| {
+            m.set_seed(42);
+            m.knob("chips", 32u64)
+                .knob("clients", 4u64)
+                .knob("requests_per_client", 60u64);
+        },
+        run: crate::chaos_soak::run,
+    },
 ];
 
 /// Records the Fig. 13 scale into a manifest (shared by the catalog row and

@@ -29,6 +29,7 @@
 //! | [`mask_study`] | extension — mask-correlated variation vs uniqueness |
 //! | [`attribution`] | extension — attribution TPR/FPR vs collected samples |
 //! | [`serve_soak`] | extension — `pc-service` concurrent-serving soak |
+//! | [`chaos_soak`] | extension — fault-injection soak of the serving stack |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +39,7 @@ pub mod platform;
 pub mod report;
 
 pub mod attribution;
+pub mod chaos_soak;
 pub mod ddr2;
 pub mod defenses;
 pub mod fig05;
@@ -59,3 +61,12 @@ pub mod table1;
 pub mod table2;
 
 pub use platform::{Platform, ACCURACIES, TEMPERATURES};
+
+/// Serializes experiments that arm the process-wide `pc_faults` registry
+/// against the other service soaks, whose accounting an injected fault
+/// would corrupt. Test-support surface, not part of the public API.
+#[doc(hidden)]
+pub fn soak_serial() -> &'static std::sync::Mutex<()> {
+    static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+    LOCK.get_or_init(|| std::sync::Mutex::new(()))
+}

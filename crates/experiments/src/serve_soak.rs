@@ -225,6 +225,11 @@ mod tests {
 
     #[test]
     fn soak_runs_clean() {
+        // Hold the registry lock so a concurrently-running chaos_soak test
+        // cannot inject faults into this soak's strict accounting.
+        let _serial = crate::soak_serial()
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
         let dir = std::env::temp_dir().join(format!("pc-serve-soak-{}", std::process::id()));
         let report = run(&dir).expect("soak succeeds");
         assert!(report.contains("drain answered every request"));

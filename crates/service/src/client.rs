@@ -1,12 +1,18 @@
 //! A blocking client for the wire protocol, used by `pc query` and the
 //! integration tests.
+//!
+//! Resilience: [`ServiceClient::connect_with`] bounds the TCP handshake and
+//! every read/write with timeouts, and [`ServiceClient::call_with_policy`]
+//! retries `busy` answers under a [`RetryPolicy`] — capped exponential
+//! back-off with deterministic jitter, bounded by a total deadline — so a
+//! saturated or stalled server costs a client a known, finite wait.
 
 use crate::codec::{self, CodecError, MAX_FRAME_BYTES};
 use crate::protocol::{self, ProtocolError, Request, Response};
 use std::fmt;
 use std::io::{self, BufReader};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -22,10 +28,26 @@ pub enum ClientError {
         /// Sequence number received.
         received: u64,
     },
+    /// The server reported a connection-level failure (sequence 0) — a
+    /// framing violation or an injected wire fault — and will hang up.
+    ConnectionError {
+        /// The server's error message.
+        message: String,
+    },
     /// The server kept answering `busy` through every allowed attempt.
     ExhaustedRetries {
         /// Attempts made.
         attempts: u32,
+        /// Total time spent waiting across all attempts, in milliseconds.
+        waited_ms: u64,
+    },
+    /// The retry policy's total deadline expired before the server stopped
+    /// answering `busy`.
+    DeadlineExceeded {
+        /// Attempts made before the deadline cut the retry loop.
+        attempts: u32,
+        /// Total time spent waiting, in milliseconds.
+        waited_ms: u64,
     },
 }
 
@@ -40,8 +62,26 @@ impl fmt::Display for ClientError {
                     "response seq {received} does not match request seq {sent}"
                 )
             }
-            ClientError::ExhaustedRetries { attempts } => {
-                write!(f, "server still busy after {attempts} attempts")
+            ClientError::ConnectionError { message } => {
+                write!(f, "server closed the connection: {message}")
+            }
+            ClientError::ExhaustedRetries {
+                attempts,
+                waited_ms,
+            } => {
+                write!(
+                    f,
+                    "server still busy after {attempts} attempts ({waited_ms} ms waited)"
+                )
+            }
+            ClientError::DeadlineExceeded {
+                attempts,
+                waited_ms,
+            } => {
+                write!(
+                    f,
+                    "retry deadline expired after {attempts} attempts ({waited_ms} ms waited)"
+                )
             }
         }
     }
@@ -58,6 +98,84 @@ impl From<CodecError> for ClientError {
 impl From<ProtocolError> for ClientError {
     fn from(e: ProtocolError) -> Self {
         ClientError::Protocol(e)
+    }
+}
+
+/// How [`ServiceClient::call_with_policy`] paces its retries.
+///
+/// The nominal back-off doubles from `base_backoff_ms` per attempt up to
+/// `max_backoff_ms` (never dropping below the server's `retry_after_ms`
+/// hint), then deterministic jitter subtracts up to half of it so a fleet of
+/// clients bounced by the same `busy` burst does not re-arrive in lockstep.
+/// `deadline` bounds the *total* time across all attempts.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up with
+    /// [`ClientError::ExhaustedRetries`].
+    pub max_attempts: u32,
+    /// First back-off, in milliseconds.
+    pub base_backoff_ms: u64,
+    /// Cap on a single back-off, in milliseconds.
+    pub max_backoff_ms: u64,
+    /// Bound on the total wait across attempts; `None` means unbounded.
+    pub deadline: Option<Duration>,
+    /// Seed for the deterministic jitter (vary per client to decorrelate).
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 50,
+            base_backoff_ms: 10,
+            max_backoff_ms: 500,
+            deadline: Some(Duration::from_secs(30)),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The pause before the next attempt, after `attempt` completed attempts
+    /// with the server's latest `retry_after_ms` hint.
+    pub fn backoff(&self, attempt: u32, hint_ms: u64) -> Duration {
+        let doubled = self
+            .base_backoff_ms
+            .saturating_mul(1u64 << attempt.min(16))
+            .min(self.max_backoff_ms);
+        let nominal = doubled.max(hint_ms);
+        let span = nominal / 2;
+        let jitter = if span == 0 {
+            0
+        } else {
+            pc_stats::mix64(self.jitter_seed ^ u64::from(attempt)) % (span + 1)
+        };
+        Duration::from_millis(nominal - jitter)
+    }
+}
+
+/// Socket timeouts for [`ServiceClient::connect_with`].
+///
+/// The default enforces nothing, matching [`ServiceClient::connect`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConnectOptions {
+    /// Bound on the TCP handshake itself.
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout: a response frame that stops making progress for
+    /// this long fails the call with a transport error.
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout for request frames.
+    pub write_timeout: Option<Duration>,
+}
+
+impl ConnectOptions {
+    /// All three timeouts set to the same bound — the common CLI case.
+    pub fn uniform(timeout: Duration) -> Self {
+        Self {
+            connect_timeout: Some(timeout),
+            read_timeout: Some(timeout),
+            write_timeout: Some(timeout),
+        }
     }
 }
 
@@ -80,7 +198,41 @@ impl ServiceClient {
     ///
     /// Propagates connect failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ConnectOptions::default())
+    }
+
+    /// Connects to a server with socket timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures, including handshakes that outlive
+    /// `opts.connect_timeout`.
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, opts: ConnectOptions) -> io::Result<Self> {
+        let writer = match opts.connect_timeout {
+            Some(timeout) => {
+                // connect_timeout wants a concrete address; try each
+                // resolution and keep the last failure for the error report.
+                let mut last_err = None;
+                let mut connected = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(stream) => {
+                            connected = Some(stream);
+                            break;
+                        }
+                        Err(e) => last_err = Some(e),
+                    }
+                }
+                connected.ok_or_else(|| {
+                    last_err.unwrap_or_else(|| {
+                        io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+                    })
+                })?
+            }
+            None => TcpStream::connect(addr)?,
+        };
+        writer.set_read_timeout(opts.read_timeout)?;
+        writer.set_write_timeout(opts.write_timeout)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Self {
             writer,
@@ -125,33 +277,120 @@ impl ServiceClient {
         let sent = self.send(request)?;
         let (received, response) = self.recv()?;
         if received != sent {
+            // Sequence 0 is the server's channel for uncorrelated
+            // connection-level errors (framing violations, wire faults);
+            // it tears the connection down right after sending one.
+            if received == 0 {
+                if let Response::Error { message } = response {
+                    return Err(ClientError::ConnectionError { message });
+                }
+            }
             return Err(ClientError::SequenceMismatch { sent, received });
         }
         Ok(response)
     }
 
     /// [`ServiceClient::call`], resubmitting on `busy` after the server's
-    /// suggested back-off, up to `max_attempts` total attempts.
+    /// suggested back-off, up to `max_attempts` total attempts under the
+    /// default [`RetryPolicy`] pacing.
     ///
     /// # Errors
     ///
-    /// [`ClientError::ExhaustedRetries`] when every attempt answered `busy`;
-    /// otherwise as [`ServiceClient::call`].
+    /// As [`ServiceClient::call_with_policy`].
     pub fn call_retrying(
         &mut self,
         request: &Request,
         max_attempts: u32,
     ) -> Result<Response, ClientError> {
+        let policy = RetryPolicy {
+            max_attempts,
+            ..RetryPolicy::default()
+        };
+        self.call_with_policy(request, &policy)
+    }
+
+    /// [`ServiceClient::call`], resubmitting on `busy` under `policy`.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ExhaustedRetries`] when every allowed attempt answered
+    /// `busy`; [`ClientError::DeadlineExceeded`] when the policy's total
+    /// deadline expired first; otherwise as [`ServiceClient::call`].
+    pub fn call_with_policy(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> Result<Response, ClientError> {
+        let started = Instant::now();
         let mut attempts = 0;
-        while attempts < max_attempts.max(1) {
+        while attempts < policy.max_attempts.max(1) {
             attempts += 1;
             match self.call(request)? {
                 Response::Busy { retry_after_ms } => {
-                    std::thread::sleep(Duration::from_millis(retry_after_ms));
+                    let pause = policy.backoff(attempts - 1, retry_after_ms);
+                    if let Some(deadline) = policy.deadline {
+                        if started.elapsed() + pause >= deadline {
+                            return Err(ClientError::DeadlineExceeded {
+                                attempts,
+                                waited_ms: started.elapsed().as_millis() as u64,
+                            });
+                        }
+                    }
+                    std::thread::sleep(pause);
                 }
                 other => return Ok(other),
             }
         }
-        Err(ClientError::ExhaustedRetries { attempts })
+        Err(ClientError::ExhaustedRetries {
+            attempts,
+            waited_ms: started.elapsed().as_millis() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        let policy = RetryPolicy::default();
+        for attempt in 0..20 {
+            let a = policy.backoff(attempt, 0);
+            let b = policy.backoff(attempt, 0);
+            assert_eq!(a, b, "same attempt must pause identically");
+            assert!(a <= Duration::from_millis(policy.max_backoff_ms));
+        }
+    }
+
+    #[test]
+    fn backoff_never_undercuts_half_the_server_hint() {
+        // Jitter subtracts at most half the nominal pause, and the nominal
+        // pause never drops below the server's hint.
+        let policy = RetryPolicy::default();
+        for attempt in 0..10 {
+            let pause = policy.backoff(attempt, 200);
+            assert!(pause >= Duration::from_millis(100), "got {pause:?}");
+        }
+    }
+
+    #[test]
+    fn backoff_grows_before_jitter() {
+        let policy = RetryPolicy {
+            jitter_seed: 0, // mix64(0 ^ n) still jitters; compare nominals
+            ..RetryPolicy::default()
+        };
+        // The un-jittered nominal doubles: attempt 3 with base 10 is 80ms,
+        // so even maximal jitter keeps it above attempt 0's nominal.
+        assert!(policy.backoff(3, 0) >= Duration::from_millis(40));
+        assert!(policy.backoff(0, 0) <= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn uniform_connect_options_set_all_three() {
+        let opts = ConnectOptions::uniform(Duration::from_millis(250));
+        assert_eq!(opts.connect_timeout, Some(Duration::from_millis(250)));
+        assert_eq!(opts.read_timeout, Some(Duration::from_millis(250)));
+        assert_eq!(opts.write_timeout, Some(Duration::from_millis(250)));
     }
 }

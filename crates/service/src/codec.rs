@@ -9,6 +9,7 @@
 use pc_telemetry::{counter, JsonObject, JsonParseError, JsonValue};
 use std::fmt;
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Default cap on a frame's payload, in bytes (8 MiB).
 ///
@@ -38,6 +39,14 @@ pub enum CodecError {
     BadUtf8,
     /// The payload was not valid JSON.
     BadJson(JsonParseError),
+    /// No frame started within the guard's idle window (quiet connection).
+    Idle,
+    /// A started frame did not complete within the guard's frame window —
+    /// the slow-loris defense: dripping bytes cannot hold a connection open.
+    Stalled {
+        /// Milliseconds the frame had been in flight.
+        elapsed_ms: u64,
+    },
     /// The underlying transport failed.
     Io(io::Error),
 }
@@ -54,6 +63,10 @@ impl fmt::Display for CodecError {
             }
             CodecError::BadUtf8 => write!(f, "frame payload is not UTF-8"),
             CodecError::BadJson(e) => write!(f, "frame payload is not JSON: {e}"),
+            CodecError::Idle => write!(f, "connection idle past its deadline"),
+            CodecError::Stalled { elapsed_ms } => {
+                write!(f, "frame stalled mid-flight after {elapsed_ms} ms")
+            }
             CodecError::Io(e) => write!(f, "transport error: {e}"),
         }
     }
@@ -93,8 +106,59 @@ pub fn write_frame<W: Write>(w: &mut W, obj: &JsonObject) -> io::Result<()> {
 /// [`CodecError::Truncated`] if the stream ends anywhere else; the remaining
 /// variants for cap, encoding, and transport failures.
 pub fn read_frame<R: Read>(r: &mut R, max_bytes: u32) -> Result<JsonValue, CodecError> {
+    read_frame_guarded(r, max_bytes, ReadGuard::default())
+}
+
+/// Read deadlines for [`read_frame_guarded`].
+///
+/// Both limits need the underlying stream to deliver periodic timeout errors
+/// (`WouldBlock`/`TimedOut`) as a polling tick — for a `TcpStream`, set its
+/// read timeout to [`ReadGuard::tick`]. A `None` field disables that limit;
+/// the default guard enforces nothing and behaves exactly like a plain read.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReadGuard {
+    /// Maximum quiet time at a frame boundary before [`CodecError::Idle`].
+    pub idle_timeout: Option<Duration>,
+    /// Maximum time from a frame's first byte to its completion before
+    /// [`CodecError::Stalled`] — the slow-loris byte-progress limit: a peer
+    /// dripping one byte per tick still cannot hold the frame open past
+    /// this window.
+    pub frame_timeout: Option<Duration>,
+}
+
+impl ReadGuard {
+    /// Whether any limit is active.
+    pub fn is_active(&self) -> bool {
+        self.idle_timeout.is_some() || self.frame_timeout.is_some()
+    }
+
+    /// A polling tick for the stream's read timeout: a quarter of the
+    /// tightest limit, clamped to 10–250 ms.
+    pub fn tick(&self) -> Duration {
+        let tightest = [self.idle_timeout, self.frame_timeout]
+            .into_iter()
+            .flatten()
+            .min()
+            .unwrap_or(Duration::from_secs(1));
+        (tightest / 4).clamp(Duration::from_millis(10), Duration::from_millis(250))
+    }
+}
+
+/// [`read_frame`] with read deadlines.
+///
+/// # Errors
+///
+/// Everything [`read_frame`] can raise, plus [`CodecError::Idle`] /
+/// [`CodecError::Stalled`] when a guard limit expires.
+pub fn read_frame_guarded<R: Read>(
+    r: &mut R,
+    max_bytes: u32,
+    guard: ReadGuard,
+) -> Result<JsonValue, CodecError> {
+    let wait_start = Instant::now();
+    let mut frame_start: Option<Instant> = None;
     let mut prefix = [0u8; 4];
-    read_exact_or_eof(r, &mut prefix, true)?;
+    read_exact_guarded(r, &mut prefix, true, guard, wait_start, &mut frame_start)?;
     let announced = u32::from_be_bytes(prefix);
     if announced > max_bytes {
         counter!("service.codec.rejected_oversize").incr();
@@ -104,7 +168,7 @@ pub fn read_frame<R: Read>(r: &mut R, max_bytes: u32) -> Result<JsonValue, Codec
         });
     }
     let mut payload = vec![0u8; announced as usize];
-    read_exact_or_eof(r, &mut payload, false)?;
+    read_exact_guarded(r, &mut payload, false, guard, wait_start, &mut frame_start)?;
     let text = std::str::from_utf8(&payload).map_err(|_| CodecError::BadUtf8)?;
     let value = pc_telemetry::parse_json(text).map_err(CodecError::BadJson)?;
     counter!("service.codec.frames_in").incr();
@@ -113,12 +177,16 @@ pub fn read_frame<R: Read>(r: &mut R, max_bytes: u32) -> Result<JsonValue, Codec
 }
 
 /// Like `read_exact`, but reports a clean close before the first byte as
-/// [`CodecError::Closed`] (only when `at_boundary`) and any later shortfall
-/// as [`CodecError::Truncated`].
-fn read_exact_or_eof<R: Read>(
+/// [`CodecError::Closed`] (only when `at_boundary`), any later shortfall as
+/// [`CodecError::Truncated`], and treats the stream's timeout errors as a
+/// polling tick against the guard's deadlines instead of a failure.
+fn read_exact_guarded<R: Read>(
     r: &mut R,
     buf: &mut [u8],
     at_boundary: bool,
+    guard: ReadGuard,
+    wait_start: Instant,
+    frame_start: &mut Option<Instant>,
 ) -> Result<(), CodecError> {
     let mut filled = 0;
     while filled < buf.len() {
@@ -132,8 +200,50 @@ fn read_exact_or_eof<R: Read>(
                     })
                 };
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                // The frame clock starts at its first byte, not at the call:
+                // a connection may sit quietly at a boundary for as long as
+                // the idle window allows without penalizing the next frame.
+                frame_start.get_or_insert_with(Instant::now);
+            }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // With no guard at all there is nothing to poll for —
+                // surface the stream's timeout as the transport error it is
+                // (plain `read_frame` behavior). An active guard instead
+                // treats the timeout as a tick: a `None` field means that
+                // phase is unlimited, so the wait simply continues.
+                if !guard.is_active() {
+                    return Err(CodecError::Io(e));
+                }
+                match *frame_start {
+                    None => {
+                        if let Some(limit) = guard.idle_timeout {
+                            if wait_start.elapsed() >= limit {
+                                counter!("service.codec.idle_timeouts").incr();
+                                return Err(CodecError::Idle);
+                            }
+                        }
+                    }
+                    Some(started) => {
+                        if let Some(limit) = guard.frame_timeout {
+                            let elapsed = started.elapsed();
+                            if elapsed >= limit {
+                                counter!("service.codec.stalled_frames").incr();
+                                return Err(CodecError::Stalled {
+                                    elapsed_ms: elapsed.as_millis() as u64,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
             Err(e) => return Err(CodecError::Io(e)),
         }
     }
@@ -198,6 +308,98 @@ mod tests {
                 max: 1024
             })
         ));
+    }
+
+    /// Serves scripted chunks, yielding a timeout error between them (and
+    /// forever after they run out) — a stand-in for a socket with a read
+    /// timeout whose peer sends bytes at its own pace.
+    struct DrippingReader {
+        chunks: std::collections::VecDeque<Vec<u8>>,
+        tick: bool,
+    }
+
+    impl DrippingReader {
+        fn new(chunks: Vec<Vec<u8>>) -> Self {
+            DrippingReader {
+                chunks: chunks.into(),
+                tick: false,
+            }
+        }
+    }
+
+    impl Read for DrippingReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.tick || self.chunks.is_empty() {
+                self.tick = false;
+                std::thread::sleep(Duration::from_millis(2));
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "tick"));
+            }
+            let mut chunk = self.chunks.pop_front().unwrap();
+            let n = chunk.len().min(buf.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            if n < chunk.len() {
+                chunk.drain(..n);
+                self.chunks.push_front(chunk);
+            } else {
+                self.tick = true;
+            }
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn quiet_connection_times_out_as_idle() {
+        let mut r = DrippingReader::new(Vec::new());
+        let guard = ReadGuard {
+            idle_timeout: Some(Duration::from_millis(25)),
+            frame_timeout: None,
+        };
+        assert!(matches!(
+            read_frame_guarded(&mut r, MAX_FRAME_BYTES, guard),
+            Err(CodecError::Idle)
+        ));
+    }
+
+    #[test]
+    fn dripped_frame_times_out_as_stalled() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &sample()).unwrap();
+        // One byte arrives, then the peer goes quiet mid-frame: the frame
+        // clock is running, so this must surface as Stalled, not Idle.
+        let mut r = DrippingReader::new(vec![wire[..1].to_vec()]);
+        let guard = ReadGuard {
+            idle_timeout: Some(Duration::from_secs(60)),
+            frame_timeout: Some(Duration::from_millis(25)),
+        };
+        assert!(matches!(
+            read_frame_guarded(&mut r, MAX_FRAME_BYTES, guard),
+            Err(CodecError::Stalled { .. })
+        ));
+    }
+
+    #[test]
+    fn guarded_read_survives_ticks_when_bytes_keep_flowing() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &sample()).unwrap();
+        let chunks = wire.chunks(3).map(|c| c.to_vec()).collect();
+        let mut r = DrippingReader::new(chunks);
+        let guard = ReadGuard {
+            idle_timeout: Some(Duration::from_secs(60)),
+            frame_timeout: Some(Duration::from_secs(60)),
+        };
+        let value = read_frame_guarded(&mut r, MAX_FRAME_BYTES, guard).unwrap();
+        assert_eq!(value, JsonValue::Object(sample()));
+    }
+
+    #[test]
+    fn guard_tick_tracks_tightest_limit() {
+        let guard = ReadGuard {
+            idle_timeout: Some(Duration::from_millis(400)),
+            frame_timeout: Some(Duration::from_millis(100)),
+        };
+        assert!(guard.is_active());
+        assert_eq!(guard.tick(), Duration::from_millis(25));
+        assert!(!ReadGuard::default().is_active());
     }
 
     #[test]

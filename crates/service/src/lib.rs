@@ -47,8 +47,11 @@ pub mod protocol;
 pub mod server;
 pub mod store;
 
-pub use client::{ClientError, ServiceClient};
-pub use codec::{read_frame, write_frame, CodecError, MAX_FRAME_BYTES};
+pub use client::{ClientError, ConnectOptions, RetryPolicy, ServiceClient};
+pub use codec::{
+    read_frame, read_frame_guarded, write_frame, CodecError, ReadGuard, MAX_FRAME_BYTES,
+};
+pub use pool::PoolMetrics;
 pub use protocol::{
     decode_request, decode_response, encode_request, encode_response, ProtocolError, Request,
     Response, StatsBody,

@@ -15,13 +15,24 @@
 //! drain: the dispatcher keeps popping until the queue is empty, then the
 //! shard channels close and every worker exits — that is the graceful-drain
 //! half of server shutdown.
+//!
+//! # Panic containment
+//!
+//! A panic while scoring (organic, or injected via the `store.score` /
+//! `pool.worker` fault sites) fails only its own request: the panicking
+//! task marks its scatter-gather as failed so the caller gets an `Error`
+//! response instead of a hung connection, and the worker loop is restarted
+//! under `catch_unwind` — the respawn shows up in [`PoolMetrics`], which
+//! `stats` reports as `worker_panics` / `worker_respawns`.
 
 use crate::protocol::Response;
 use crate::store::ShardedStore;
+use parking_lot::Mutex as PlMutex;
 use pc_telemetry::counter;
 use probable_cause::ErrorString;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -166,12 +177,36 @@ impl SubmissionQueue {
     }
 }
 
+/// Panic-and-respawn accounting for the worker set, shared with the server
+/// so `stats` can report it.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    panics: AtomicU64,
+    respawns: AtomicU64,
+}
+
+impl PoolMetrics {
+    /// Worker/task panics absorbed (injected or organic) since start.
+    pub fn worker_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Worker loops restarted after a panic since start.
+    pub fn worker_respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
+    }
+}
+
 /// One identify's scatter-gather state, shared by the shard workers scoring
 /// it. The last worker to report merges the partials and replies.
+///
+/// `partials` is a parking-lot mutex: a worker panicking elsewhere must not
+/// poison the gather for its sibling shards.
 struct Gather {
     seq: u64,
     remaining: AtomicUsize,
-    partials: Mutex<Vec<(String, f64)>>,
+    partials: PlMutex<Vec<(String, f64)>>,
+    failed: AtomicBool,
     reply: Reply,
 }
 
@@ -184,6 +219,7 @@ struct ShardTask {
 /// The dispatcher + shard-worker thread set over a store and a queue.
 pub struct Pool {
     queue: Arc<SubmissionQueue>,
+    metrics: Arc<PoolMetrics>,
     dispatcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -192,29 +228,46 @@ impl Pool {
     /// Spawns the dispatcher and one worker per store shard, with `batch_size`
     /// as the dispatcher's maximum drain per wakeup.
     pub fn spawn(store: Arc<ShardedStore>, queue: Arc<SubmissionQueue>, batch_size: usize) -> Self {
+        let metrics = Arc::new(PoolMetrics::default());
         let mut senders = Vec::with_capacity(store.num_shards());
         let mut workers = Vec::with_capacity(store.num_shards());
         for shard in 0..store.num_shards() {
             let (tx, rx) = mpsc::channel::<ShardTask>();
             senders.push(tx);
             let store = Arc::clone(&store);
+            let metrics = Arc::clone(&metrics);
             workers.push(
                 thread::Builder::new()
                     .name(format!("pc-shard-{shard}"))
-                    .spawn(move || shard_worker(shard, store, rx))
+                    .spawn(move || shard_worker(shard, store, rx, metrics))
                     .expect("spawn shard worker"),
             );
         }
         let dispatcher_queue = Arc::clone(&queue);
+        let dispatcher_metrics = Arc::clone(&metrics);
         let dispatcher = thread::Builder::new()
             .name("pc-dispatcher".to_string())
-            .spawn(move || dispatch_loop(store, dispatcher_queue, senders, batch_size))
+            .spawn(move || {
+                dispatch_loop(
+                    store,
+                    dispatcher_queue,
+                    senders,
+                    batch_size,
+                    dispatcher_metrics,
+                )
+            })
             .expect("spawn dispatcher");
         Self {
             queue,
+            metrics,
             dispatcher: Some(dispatcher),
             workers,
         }
+    }
+
+    /// The pool's panic/respawn accounting, shared with the caller.
+    pub fn metrics(&self) -> Arc<PoolMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Closes the queue and blocks until every admitted job has been
@@ -235,6 +288,7 @@ fn dispatch_loop(
     queue: Arc<SubmissionQueue>,
     senders: Vec<mpsc::Sender<ShardTask>>,
     batch_size: usize,
+    metrics: Arc<PoolMetrics>,
 ) {
     while let Some(batch) = queue.pop_batch(batch_size) {
         counter!("service.dispatch.batches").incr();
@@ -257,7 +311,8 @@ fn dispatch_loop(
                     let gather = Arc::new(Gather {
                         seq,
                         remaining: AtomicUsize::new(busy.len()),
-                        partials: Mutex::new(Vec::with_capacity(busy.len())),
+                        partials: PlMutex::new(Vec::with_capacity(busy.len())),
+                        failed: AtomicBool::new(false),
                         reply,
                     });
                     for (shard, ids) in busy {
@@ -266,8 +321,9 @@ fn dispatch_loop(
                             errors: Arc::clone(&errors),
                             gather: Arc::clone(&gather),
                         };
-                        // A worker can only be gone if the pool is tearing
-                        // down, which cannot race the dispatcher's own loop.
+                        // Workers survive panics (their loops respawn), so
+                        // the channel only closes at pool teardown, which
+                        // cannot race the dispatcher's own loop.
                         senders[shard].send(task).expect("shard worker alive");
                     }
                 }
@@ -277,25 +333,45 @@ fn dispatch_loop(
                     errors,
                     reply,
                 } => {
-                    let response = match store.characterize(&label, &errors) {
-                        Ok((weight, observations, created)) => Response::Characterized {
+                    // The mutation runs under catch_unwind so a poisoned
+                    // observation cannot take down the dispatcher — the one
+                    // thread the whole pool depends on.
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| store.characterize(&label, &errors)));
+                    let response = match outcome {
+                        Ok(Ok((weight, observations, created))) => Response::Characterized {
                             label,
                             weight,
                             observations,
                             created,
                         },
-                        Err(message) => Response::Error { message },
+                        Ok(Err(message)) => Response::Error { message },
+                        Err(_) => {
+                            metrics.panics.fetch_add(1, Ordering::Relaxed);
+                            counter!("service.pool.panics").incr();
+                            Response::Error {
+                                message: "characterize panicked; request dropped".to_string(),
+                            }
+                        }
                     };
                     let _ = reply.send((seq, response));
                 }
                 Job::ClusterIngest { seq, errors, reply } => {
-                    let response = match store.cluster_ingest(&errors) {
-                        Ok((cluster, seeded, clusters)) => Response::Clustered {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| store.cluster_ingest(&errors)));
+                    let response = match outcome {
+                        Ok(Ok((cluster, seeded, clusters))) => Response::Clustered {
                             cluster,
                             seeded,
                             clusters,
                         },
-                        Err(message) => Response::Error { message },
+                        Ok(Err(message)) => Response::Error { message },
+                        Err(_) => {
+                            metrics.panics.fetch_add(1, Ordering::Relaxed);
+                            counter!("service.pool.panics").incr();
+                            Response::Error {
+                                message: "cluster-ingest panicked; request dropped".to_string(),
+                            }
+                        }
                     };
                     let _ = reply.send((seq, response));
                 }
@@ -306,25 +382,85 @@ fn dispatch_loop(
     // channels, letting workers finish their backlog and exit.
 }
 
-fn shard_worker(shard: usize, store: Arc<ShardedStore>, rx: mpsc::Receiver<ShardTask>) {
-    while let Ok(task) = rx.recv() {
-        let best = store.score_shard(shard, &task.ids, &task.errors);
-        let gather = task.gather;
-        if let Some(partial) = best {
-            gather
-                .partials
-                .lock()
-                .expect("gather mutex poisoned")
-                .push(partial);
-        }
-        if gather.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let partials =
-                std::mem::take(&mut *gather.partials.lock().expect("gather mutex poisoned"));
-            let response = match store.merge_verdict(partials) {
+/// Reports one shard's result into the gather; the last shard to report
+/// merges and replies (an `Error` if any sibling failed).
+fn finish_shard(
+    store: &ShardedStore,
+    gather: &Gather,
+    partial: Option<(String, f64)>,
+    failed: bool,
+) {
+    if failed {
+        gather.failed.store(true, Ordering::Release);
+    }
+    if let Some(p) = partial {
+        gather.partials.lock().push(p);
+    }
+    if gather.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let response = if gather.failed.load(Ordering::Acquire) {
+            Response::Error {
+                message: "shard scoring failed (worker panicked)".to_string(),
+            }
+        } else {
+            let partials = std::mem::take(&mut *gather.partials.lock());
+            match store.merge_verdict(partials) {
                 Ok((label, distance)) => Response::Match { label, distance },
                 Err(closest) => Response::NoMatch { closest },
-            };
-            let _ = gather.reply.send((gather.seq, response));
+            }
+        };
+        let _ = gather.reply.send((gather.seq, response));
+    }
+}
+
+/// Handles one scatter task. May panic (`pool.worker` fault site, or an
+/// organic scoring panic escaping the inner guard) — but only after the
+/// task's own gather has been failed, so the caller always gets an answer.
+fn handle_shard_task(shard: usize, store: &ShardedStore, task: ShardTask, metrics: &PoolMetrics) {
+    if pc_faults::fail_point("pool.worker") {
+        // Fail the caller first, then die like a real worker panic: the
+        // loop in `shard_worker` respawns us and the request answers
+        // `Error` instead of hanging its connection.
+        metrics.panics.fetch_add(1, Ordering::Relaxed);
+        counter!("service.pool.panics").incr();
+        finish_shard(store, &task.gather, None, true);
+        panic!("injected fault at pool.worker");
+    }
+    let scored = catch_unwind(AssertUnwindSafe(|| {
+        if pc_faults::fail_point("store.score") {
+            panic!("injected fault at store.score");
+        }
+        store.score_shard(shard, &task.ids, &task.errors)
+    }));
+    match scored {
+        Ok(best) => finish_shard(store, &task.gather, best, false),
+        Err(_) => {
+            metrics.panics.fetch_add(1, Ordering::Relaxed);
+            counter!("service.pool.panics").incr();
+            finish_shard(store, &task.gather, None, true);
+        }
+    }
+}
+
+fn shard_worker(
+    shard: usize,
+    store: Arc<ShardedStore>,
+    rx: mpsc::Receiver<ShardTask>,
+    metrics: Arc<PoolMetrics>,
+) {
+    loop {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            while let Ok(task) = rx.recv() {
+                handle_shard_task(shard, &store, task, &metrics);
+            }
+        }));
+        match run {
+            // Channel closed: pool teardown, exit cleanly.
+            Ok(()) => break,
+            // A task panicked through: restart the receive loop.
+            Err(_) => {
+                metrics.respawns.fetch_add(1, Ordering::Relaxed);
+                counter!("service.pool.respawns").incr();
+            }
         }
     }
 }

@@ -51,6 +51,10 @@ pub enum Request {
     },
     /// Server statistics snapshot.
     Stats,
+    /// Durability checkpoint: persist the database and index now. The
+    /// acknowledgement promises every previously-acknowledged mutation has
+    /// reached disk.
+    Save,
     /// Graceful shutdown: drain in-flight requests, persist, exit.
     Shutdown,
 }
@@ -64,6 +68,7 @@ impl Request {
             Request::Characterize { .. } => "characterize",
             Request::ClusterIngest { .. } => "cluster-ingest",
             Request::Stats => "stats",
+            Request::Save => "save",
             Request::Shutdown => "shutdown",
         }
     }
@@ -84,6 +89,13 @@ pub struct StatsBody {
     pub rejected: u64,
     /// Full distance evaluations paid by shard workers since start.
     pub distance_evals: u64,
+    /// Shard-worker panics absorbed (injected or organic) since start.
+    pub worker_panics: u64,
+    /// Shard-worker loops respawned after a panic since start.
+    pub worker_respawns: u64,
+    /// Whether the store is serving in degraded (linear-scan) mode while
+    /// its routing index rebuilds.
+    pub degraded: bool,
 }
 
 /// A decoded server response.
@@ -125,6 +137,12 @@ pub enum Response {
     },
     /// Statistics snapshot.
     Stats(StatsBody),
+    /// Acknowledgement of [`Request::Save`]: the database and index are on
+    /// disk.
+    Saved {
+        /// Fingerprints in the persisted database.
+        fingerprints: u64,
+    },
     /// Acknowledgement of [`Request::Shutdown`]; the server drains and
     /// exits after sending it.
     ShuttingDown,
@@ -212,7 +230,7 @@ pub fn encode_request(seq: u64, request: &Request) -> JsonObject {
     obj.set("seq", seq);
     obj.set("op", request.op());
     match request {
-        Request::Ping | Request::Stats | Request::Shutdown => {}
+        Request::Ping | Request::Stats | Request::Save | Request::Shutdown => {}
         Request::Identify { errors } | Request::ClusterIngest { errors } => {
             set_errors(&mut obj, errors);
         }
@@ -247,6 +265,7 @@ pub fn decode_request(frame: &JsonValue) -> Result<(u64, Request), ProtocolError
             errors: get_errors(obj)?,
         },
         "stats" => Request::Stats,
+        "save" => Request::Save,
         "shutdown" => Request::Shutdown,
         other => return Err(err(format!("unknown op {other:?}"))),
     };
@@ -304,6 +323,13 @@ pub fn encode_response(seq: u64, response: &Response) -> JsonObject {
             obj.set("admitted", s.admitted);
             obj.set("rejected", s.rejected);
             obj.set("distance_evals", s.distance_evals);
+            obj.set("worker_panics", s.worker_panics);
+            obj.set("worker_respawns", s.worker_respawns);
+            obj.set("degraded", s.degraded);
+        }
+        Response::Saved { fingerprints } => {
+            obj.set("kind", "saved");
+            obj.set("fingerprints", *fingerprints);
         }
         Response::ShuttingDown => {
             obj.set("kind", "shutting-down");
@@ -379,7 +405,18 @@ pub fn decode_response(frame: &JsonValue) -> Result<(u64, Response), ProtocolErr
             admitted: get_u64(obj, "admitted")?,
             rejected: get_u64(obj, "rejected")?,
             distance_evals: get_u64(obj, "distance_evals")?,
+            // Resilience fields arrived with the fault-injection work; older
+            // servers simply do not report them.
+            worker_panics: get_u64(obj, "worker_panics").unwrap_or(0),
+            worker_respawns: get_u64(obj, "worker_respawns").unwrap_or(0),
+            degraded: obj
+                .get("degraded")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
         }),
+        "saved" => Response::Saved {
+            fingerprints: get_u64(obj, "fingerprints")?,
+        },
         "shutting-down" => Response::ShuttingDown,
         "busy" => Response::Busy {
             retry_after_ms: get_u64(obj, "retry_after_ms")?,
@@ -415,6 +452,7 @@ mod tests {
                 errors: es(&[0, 4095]),
             },
             Request::Stats,
+            Request::Save,
             Request::Shutdown,
         ];
         for (seq, req) in requests.into_iter().enumerate() {
@@ -454,7 +492,11 @@ mod tests {
                 admitted: 4,
                 rejected: 5,
                 distance_evals: 6,
+                worker_panics: 7,
+                worker_respawns: 8,
+                degraded: true,
             }),
+            Response::Saved { fingerprints: 42 },
             Response::ShuttingDown,
             Response::Busy { retry_after_ms: 12 },
             Response::Error {

@@ -18,21 +18,27 @@
 //! connection's read half is closed so no *new* requests arrive, the queue
 //! drains every already-admitted job (their responses still flow out through
 //! the per-connection writers), shard workers and dispatcher join, and the
-//! database + routing index are persisted if paths were configured.
+//! database + routing index are persisted (atomically, see
+//! [`probable_cause::persistence`]) if paths were configured.
+//!
+//! Resilience: connections carry idle and per-frame read deadlines (the
+//! slow-loris defense) plus a write timeout; startup recovers from torn or
+//! corrupt files via `.bak` fallback and degraded-mode index rebuilds; the
+//! `save` request checkpoints durably while the server runs.
 
-use crate::codec::{self, CodecError};
-use crate::pool::{Job, Pool, SubmissionQueue, SubmitError};
+use crate::codec::{self, CodecError, ReadGuard};
+use crate::pool::{Job, Pool, PoolMetrics, SubmissionQueue, SubmitError};
 use crate::protocol::{self, Request, Response, StatsBody};
 use crate::store::{ShardedStore, StoreConfig};
 use pc_telemetry::counter;
 use probable_cause::persistence;
-use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Duration;
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -54,6 +60,15 @@ pub struct ServerConfig {
     pub db_path: Option<PathBuf>,
     /// Routing-index file: loaded with the database, written at shutdown.
     pub index_path: Option<PathBuf>,
+    /// Per-connection idle deadline: a connection with no frame in flight
+    /// for this long is closed. `None` keeps idle connections open forever.
+    pub idle_timeout_ms: Option<u64>,
+    /// Per-frame completion deadline measured from a frame's first byte —
+    /// the slow-loris limit: a peer dripping bytes cannot hold a frame open
+    /// past this window. `None` disables the limit.
+    pub frame_timeout_ms: Option<u64>,
+    /// Socket write timeout for response frames.
+    pub write_timeout_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +82,18 @@ impl Default for ServerConfig {
             retry_after_ms: 10,
             db_path: None,
             index_path: None,
+            idle_timeout_ms: None,
+            frame_timeout_ms: Some(30_000),
+            write_timeout_ms: Some(30_000),
+        }
+    }
+}
+
+impl ServerConfig {
+    fn read_guard(&self) -> ReadGuard {
+        ReadGuard {
+            idle_timeout: self.idle_timeout_ms.map(Duration::from_millis),
+            frame_timeout: self.frame_timeout_ms.map(Duration::from_millis),
         }
     }
 }
@@ -78,6 +105,10 @@ struct Shared {
     config: ServerConfig,
     local_addr: SocketAddr,
     shutting_down: AtomicBool,
+    pool_metrics: Arc<PoolMetrics>,
+    /// Serializes checkpoint saves: two connections issuing `save` at once
+    /// must not interleave writes to the same temp file.
+    save_lock: Mutex<()>,
 }
 
 impl Shared {
@@ -99,7 +130,19 @@ impl Shared {
             admitted: self.queue.admitted(),
             rejected: self.queue.rejected(),
             distance_evals: self.store.distance_evals(),
+            worker_panics: self.pool_metrics.worker_panics(),
+            worker_respawns: self.pool_metrics.worker_respawns(),
+            degraded: self.store.degraded(),
         }
+    }
+
+    /// Checkpoints the store to the configured paths under the save lock.
+    fn save(&self) -> io::Result<u64> {
+        let _guard = self.save_lock.lock().unwrap_or_else(|p| p.into_inner());
+        self.store.save_to_paths(
+            self.config.db_path.as_deref(),
+            self.config.index_path.as_deref(),
+        )
     }
 }
 
@@ -186,11 +229,25 @@ impl ShutdownTrigger {
 
 /// Starts a server, loading any persisted state named by `config`.
 ///
+/// Recovery at startup is best-effort but never lossy: a damaged database
+/// file falls back to its `.bak` sibling; a damaged (or missing) index next
+/// to an intact database puts the store into degraded linear-scan mode and
+/// kicks off a background index rebuild, so the server answers correctly —
+/// just slower — while it heals.
+///
 /// # Errors
 ///
-/// Bind failures and malformed persisted state.
+/// Bind failures, or persisted state whose database *and* backup are both
+/// unreadable.
 pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let store = Arc::new(load_store(&config)?);
+    if store.degraded() {
+        // Heal in the background; serving stays correct via linear scans.
+        let rebuild_store = Arc::clone(&store);
+        thread::Builder::new()
+            .name("pc-rebuild".to_string())
+            .spawn(move || rebuild_store.rebuild_index())?;
+    }
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let queue = Arc::new(SubmissionQueue::new(config.queue_capacity));
@@ -201,6 +258,8 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         config,
         local_addr,
         shutting_down: AtomicBool::new(false),
+        pool_metrics: pool.metrics(),
+        save_lock: Mutex::new(()),
     });
 
     let accept_shared = Arc::clone(&shared);
@@ -219,19 +278,42 @@ fn load_store(config: &ServerConfig) -> io::Result<ShardedStore> {
         persistence::DbIoError::Io(e) => e,
         other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
     };
-    match (&config.db_path, &config.index_path) {
-        (Some(db), Some(idx)) if db.exists() && idx.exists() => ShardedStore::from_persisted(
-            config.store.clone(),
-            BufReader::new(File::open(db)?),
-            BufReader::new(File::open(idx)?),
-        )
-        .map_err(to_io),
-        (Some(db), _) if db.exists() => {
-            let flat = persistence::load_db(BufReader::new(File::open(db)?)).map_err(to_io)?;
-            Ok(ShardedStore::from_db(config.store.clone(), &flat))
-        }
-        _ => Ok(ShardedStore::new(config.store.clone())),
+    let Some(db_path) = &config.db_path else {
+        return Ok(ShardedStore::new(config.store.clone()));
+    };
+    if !db_path.exists() && !persistence::bak_path(db_path).exists() {
+        return Ok(ShardedStore::new(config.store.clone()));
     }
+    // The database is the source of truth; it must load (possibly from its
+    // backup). The index is merely an accelerator: any damage there means
+    // degraded mode + rebuild, never a refused startup.
+    let db = persistence::load_db_from_path(db_path).map_err(to_io)?;
+    if matches!(db.source, persistence::LoadSource::Backup) {
+        counter!("service.recovery.db_from_backup").incr();
+    }
+    let index_recovered = config.index_path.as_deref().and_then(|idx_path| {
+        if !idx_path.exists() && !persistence::bak_path(idx_path).exists() {
+            return None;
+        }
+        match persistence::load_index_from_path(idx_path) {
+            Ok(rec) => Some(rec.value),
+            Err(_) => {
+                counter!("service.recovery.index_unreadable").incr();
+                None
+            }
+        }
+    });
+    if let Some(index) = index_recovered {
+        match ShardedStore::from_db_with_index(config.store.clone(), &db.value, index) {
+            Ok(store) => return Ok(store),
+            Err(_) => counter!("service.recovery.index_mismatch").incr(),
+        }
+    }
+    counter!("service.recovery.degraded_start").incr();
+    Ok(ShardedStore::from_db_degraded(
+        config.store.clone(),
+        &db.value,
+    ))
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Pool) -> io::Result<()> {
@@ -270,21 +352,27 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Pool) -> io::Re
     }
     pool.drain_and_join();
 
-    if let Some(path) = &shared.config.db_path {
-        shared
-            .store
-            .save_db(&mut BufWriter::new(File::create(path)?))?;
+    // If a background rebuild never finished, finish it now: the index file
+    // written below must cover every entry.
+    if shared.store.degraded() && shared.config.index_path.is_some() {
+        shared.store.rebuild_index();
     }
-    if let Some(path) = &shared.config.index_path {
-        shared
-            .store
-            .save_index(&mut BufWriter::new(File::create(path)?))?;
-    }
+    shared.save()?;
     counter!("service.shutdown.drained").incr();
     Ok(())
 }
 
 fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+    let guard = shared.config.read_guard();
+    if guard.is_active() {
+        // The socket's read timeout is the guard's polling tick, not the
+        // deadline itself: each timeout wakes the guarded read to check its
+        // idle/frame clocks.
+        let _ = stream.set_read_timeout(Some(guard.tick()));
+    }
+    if let Some(ms) = shared.config.write_timeout_ms {
+        let _ = stream.set_write_timeout(Some(Duration::from_millis(ms)));
+    }
     let write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -296,11 +384,20 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
     loop {
         let frame = {
             let _span = pc_telemetry::time!("service.decode");
-            codec::read_frame(&mut reader, shared.config.max_frame_bytes)
+            if pc_faults::fail_point("wire.read") {
+                Err(CodecError::Io(pc_faults::injected_io("wire.read")))
+            } else {
+                codec::read_frame_guarded(&mut reader, shared.config.max_frame_bytes, guard)
+            }
         };
         let value = match frame {
             Ok(value) => value,
             Err(CodecError::Closed) => break,
+            Err(CodecError::Idle) => {
+                // A quiet connection is not an error; just hang up.
+                counter!("service.conn.idle_closed").incr();
+                break;
+            }
             Err(e) => {
                 // Framing is unrecoverable mid-stream: report and hang up.
                 counter!("service.decode.framing_errors").incr();
@@ -335,6 +432,21 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             }
             Request::Stats => {
                 let _ = reply_tx.send((seq, Response::Stats(shared.stats())));
+            }
+            Request::Save => {
+                // Handled inline on the connection thread: a save is a
+                // durability checkpoint, and the acknowledgement must mean
+                // "the rename landed", not "the job was queued".
+                let response = match shared.save() {
+                    Ok(fingerprints) => Response::Saved { fingerprints },
+                    Err(e) => {
+                        counter!("service.save.failed").incr();
+                        Response::Error {
+                            message: format!("save failed: {e}"),
+                        }
+                    }
+                };
+                let _ = reply_tx.send((seq, response));
             }
             Request::Shutdown => {
                 let _ = reply_tx.send((seq, Response::ShuttingDown));
@@ -390,6 +502,7 @@ fn count_request(op: &str) {
         "characterize" => counter!("service.requests.characterize").incr(),
         "cluster-ingest" => counter!("service.requests.cluster_ingest").incr(),
         "stats" => counter!("service.requests.stats").incr(),
+        "save" => counter!("service.requests.save").incr(),
         _ => counter!("service.requests.shutdown").incr(),
     }
 }
@@ -422,7 +535,11 @@ fn write_loop(stream: TcpStream, replies: mpsc::Receiver<(u64, Response)>) {
     while let Ok((seq, response)) = replies.recv() {
         let _span = pc_telemetry::time!("service.respond");
         let frame = protocol::encode_response(seq, &response);
-        if codec::write_frame(&mut w, &frame).is_err() {
+        // An injected wire.write fault drops the connection exactly as a
+        // failed send would: the peer never sees this acknowledgement.
+        let failed =
+            pc_faults::fail_point("wire.write") || codec::write_frame(&mut w, &frame).is_err();
+        if failed {
             // The peer is gone; unblock our reader too and bail.
             let _ = stream.shutdown(Shutdown::Both);
             return;

@@ -20,7 +20,8 @@ use probable_cause::{
 };
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// Store geometry and matching parameters.
 #[derive(Debug, Clone)]
@@ -69,6 +70,12 @@ pub struct ShardedStore {
     /// Algorithm 4 state for `cluster-ingest`.
     clusters: Mutex<Vec<Fingerprint>>,
     distance_evals: AtomicU64,
+    /// Entry count mirrored outside the `labels` lock, so degraded-mode
+    /// identify planning never blocks behind a rebuild holding that lock.
+    entry_count: AtomicU64,
+    /// Degraded mode: the routing index is absent or rebuilding; identifies
+    /// fall back to a full linear scan and index writes are skipped.
+    degraded: AtomicBool,
 }
 
 impl ShardedStore {
@@ -97,6 +104,8 @@ impl ShardedStore {
             labels: Mutex::new(BTreeMap::new()),
             clusters: Mutex::new(Vec::new()),
             distance_evals: AtomicU64::new(0),
+            entry_count: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
         }
     }
 
@@ -106,6 +115,22 @@ impl ShardedStore {
         let mut config = config;
         config.threshold = db.threshold();
         let store = Self::new(config);
+        for (label, fp) in db.iter() {
+            store.insert_new(label.clone(), fp.clone());
+        }
+        store
+    }
+
+    /// Creates a store from `db` in degraded mode: entries load without
+    /// index signing, identifies answer by linear scan, and a later
+    /// [`ShardedStore::rebuild_index`] (typically on a background thread)
+    /// restores routed serving. This is the recovery path when the index
+    /// file is damaged but the database survived.
+    pub fn from_db_degraded(config: StoreConfig, db: &FingerprintDb<String, PcDistance>) -> Self {
+        let mut config = config;
+        config.threshold = db.threshold();
+        let store = Self::new(config);
+        store.degraded.store(true, Ordering::Release);
         for (label, fp) in db.iter() {
             store.insert_new(label.clone(), fp.clone());
         }
@@ -127,9 +152,16 @@ impl ShardedStore {
         self.config.shards
     }
 
-    /// Fingerprints stored across all shards.
+    /// Fingerprints stored across all shards. Lock-free, so stats stay
+    /// responsive while an index rebuild holds the label book.
     pub fn len(&self) -> usize {
-        self.labels.lock().len()
+        self.entry_count.load(Ordering::Acquire) as usize
+    }
+
+    /// Whether identifies are serving by linear scan while the routing
+    /// index is absent or rebuilding.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
     }
 
     /// Whether no fingerprints are stored.
@@ -159,13 +191,30 @@ impl ShardedStore {
     /// The caller must have verified the label is unused.
     fn insert_new(&self, label: String, fp: Fingerprint) -> u32 {
         let mut labels = self.labels.lock();
+        self.insert_locked(&mut labels, label, fp)
+    }
+
+    /// [`ShardedStore::insert_new`] with the label book already held (the
+    /// `characterize` create path holds it across its whole mutation).
+    fn insert_locked(
+        &self,
+        labels: &mut BTreeMap<String, u32>,
+        label: String,
+        fp: Fingerprint,
+    ) -> u32 {
         debug_assert!(!labels.contains_key(&label));
         let id = labels.len() as u32;
         let mut shard = self.shards[self.shard_of(id)].write();
         debug_assert_eq!(shard.entries.len(), self.slot_of(id));
-        self.index.write().insert(id, fp.errors());
+        if !self.degraded.load(Ordering::Acquire) {
+            self.index.write().insert(id, fp.errors());
+        }
         shard.entries.push((label.clone(), fp));
         labels.insert(label, id);
+        // Published only after the shard slot exists, so a degraded linear
+        // scan never plans an id whose entry is not yet in place.
+        self.entry_count
+            .store(labels.len() as u64, Ordering::Release);
         id
     }
 
@@ -173,7 +222,14 @@ impl ShardedStore {
     /// `plan[s]` holds the candidate ids living in shard `s` (possibly
     /// empty). Also returns the total candidate count.
     pub fn plan_identify(&self, errors: &ErrorString) -> (Vec<Vec<u32>>, usize) {
-        let candidates = self.index.read().candidates(errors);
+        let candidates = if self.degraded.load(Ordering::Acquire) {
+            // Degraded mode: the index is absent or rebuilding, so score
+            // everything — slower, never wrong (LSH only ever prunes).
+            counter!("service.store.degraded_scans").incr();
+            (0..self.entry_count.load(Ordering::Acquire) as u32).collect()
+        } else {
+            self.index.read().candidates(errors)
+        };
         let total = candidates.len();
         let mut plan = vec![Vec::new(); self.config.shards];
         for id in candidates {
@@ -261,11 +317,15 @@ impl ShardedStore {
         label: &str,
         errors: &ErrorString,
     ) -> Result<(u64, u32, bool), String> {
-        let existing = self.labels.lock().get(label).copied();
-        let Some(id) = existing else {
+        // The label book is held across the whole mutation so no refine can
+        // interleave with an index rebuild (which also holds it): every
+        // mutation lands either fully before or fully after the rebuild's
+        // snapshot.
+        let mut labels = self.labels.lock();
+        let Some(id) = labels.get(label).copied() else {
             let fp = Fingerprint::from_observation(errors.clone());
             let (weight, observations) = (fp.weight(), fp.observations());
-            self.insert_new(label.to_string(), fp);
+            self.insert_locked(&mut labels, label.to_string(), fp);
             counter!("service.store.characterize.created").incr();
             return Ok((weight, observations, true));
         };
@@ -275,11 +335,34 @@ impl ShardedStore {
             .1
             .refine(errors)
             .map_err(|e| format!("cannot refine {label:?}: {e}"))?;
-        self.index.write().insert(id, refined.errors());
+        if !self.degraded.load(Ordering::Acquire) {
+            self.index.write().insert(id, refined.errors());
+        }
         let (weight, observations) = (refined.weight(), refined.observations());
         shard.entries[slot].1 = refined;
         counter!("service.store.characterize.refined").incr();
         Ok((weight, observations, false))
+    }
+
+    /// Rebuilds the routing index from the shard contents, then leaves
+    /// degraded mode. Holds the label book for the duration, so mutations
+    /// queue behind the rebuild while identifies keep serving linear scans.
+    pub fn rebuild_index(&self) {
+        let _span = pc_telemetry::time!("service.store.rebuild_index");
+        let labels = self.labels.lock();
+        let mut index = LshIndex::new(
+            self.config.bands,
+            self.config.rows_per_band,
+            self.config.index_seed,
+        );
+        for id in 0..labels.len() as u32 {
+            let guard = self.shards[self.shard_of(id)].read();
+            index.insert(id, guard.entries[self.slot_of(id)].1.errors());
+        }
+        *self.index.write() = index;
+        self.degraded.store(false, Ordering::Release);
+        counter!("service.store.index_rebuilt").incr();
+        drop(labels);
     }
 
     /// Online Algorithm 4: assigns `errors` to the first cluster within the
@@ -343,6 +426,31 @@ impl ShardedStore {
         persistence::save_index(&self.index.read(), w)
     }
 
+    /// Persists the database (and, unless degraded, the index) crash-safely
+    /// via [`persistence::atomic_write`]. Returns the number of
+    /// fingerprints written. While degraded the index file is skipped — it
+    /// would be incomplete; the next startup rebuilds it from the database.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (including injected `persist.*` faults).
+    pub fn save_to_paths(
+        &self,
+        db_path: Option<&Path>,
+        index_path: Option<&Path>,
+    ) -> std::io::Result<u64> {
+        let db = self.to_db();
+        if let Some(path) = db_path {
+            persistence::save_db_to_path(&db, path)?;
+        }
+        if let Some(path) = index_path {
+            if !self.degraded() {
+                persistence::save_index_to_path(&self.index.read(), path)?;
+            }
+        }
+        Ok(db.len() as u64)
+    }
+
     /// Builds a store from a persisted database and index pair, validating
     /// that the index matches the database (same banding is assumed from the
     /// file; entry counts must agree).
@@ -358,6 +466,21 @@ impl ShardedStore {
     ) -> Result<Self, DbIoError> {
         let db = persistence::load_db(db_reader)?;
         let index = persistence::load_index(index_reader)?;
+        Self::from_db_with_index(config, &db, index)
+    }
+
+    /// Builds a store from an already-loaded database and routing index,
+    /// validating that they agree on the entry count.
+    ///
+    /// # Errors
+    ///
+    /// A mismatch error when the index does not cover exactly the database's
+    /// entries.
+    pub fn from_db_with_index(
+        config: StoreConfig,
+        db: &FingerprintDb<String, PcDistance>,
+        index: LshIndex,
+    ) -> Result<Self, DbIoError> {
         if index.len() != db.len() {
             return Err(DbIoError::BadFormat {
                 line: 0,
@@ -524,6 +647,46 @@ mod tests {
             idx.as_slice()
         )
         .is_err());
+    }
+
+    #[test]
+    fn degraded_store_scans_linearly_and_rebuild_restores_routing() {
+        let db = populated(3).to_db();
+        let store = ShardedStore::from_db_degraded(
+            StoreConfig {
+                shards: 3,
+                ..StoreConfig::default()
+            },
+            &db,
+        );
+        assert!(store.degraded());
+        assert_eq!(store.len(), 10);
+
+        // Degraded identifies scan every entry and still answer correctly.
+        let before = store.distance_evals();
+        let (label, _) = store.identify(&es(&chip_bits(4))).unwrap();
+        assert_eq!(label, "chip-04");
+        assert_eq!(
+            store.distance_evals() - before,
+            10,
+            "degraded identify must score the whole store"
+        );
+
+        // Mutations while degraded land in the shards (index writes skipped).
+        store.characterize("chip-10", &es(&chip_bits(10))).unwrap();
+
+        // The rebuild restores routed serving, covering the new entry too.
+        store.rebuild_index();
+        assert!(!store.degraded());
+        for chip in [4u64, 10] {
+            let before = store.distance_evals();
+            let (label, _) = store.identify(&es(&chip_bits(chip))).unwrap();
+            assert_eq!(label, format!("chip-{chip:02}"));
+            assert!(
+                store.distance_evals() - before < 11,
+                "rebuilt index should prune"
+            );
+        }
     }
 
     #[test]

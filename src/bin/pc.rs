@@ -12,18 +12,24 @@
 //!     Simulate two devices end to end and show attribution working.
 //!
 //! pc serve [--addr HOST:PORT] [--db DB] [--index IDX] [--shards N]
-//!          [--queue-capacity N] [--threshold T] [--watch-stdin]
+//!          [--queue-capacity N] [--threshold T] [--timeout-ms MS]
+//!          [--faults SPEC] [--watch-stdin]
 //!     Run the identification server (pc-service). Prints the bound address,
 //!     then blocks until a `shutdown` request arrives (or stdin closes, with
 //!     --watch-stdin); shutdown drains in-flight requests and persists the
-//!     database and routing index to --db/--index.
+//!     database and routing index to --db/--index atomically. --timeout-ms
+//!     bounds each connection's frame reads and response writes; --faults
+//!     arms deterministic fault injection (see `pc_faults`) for chaos tests.
 //!
-//! pc query --addr HOST:PORT ping|stats|shutdown
+//! pc query [--timeout-ms MS] --addr HOST:PORT ping|stats|save|shutdown
 //! pc query --addr HOST:PORT identify|cluster-ingest (--bits P,P,... --size N | EXACT.pgm APPROX.pgm)
 //! pc query --addr HOST:PORT characterize --label NAME (--bits ... --size N | EXACT.pgm APPROX.pgm)
 //!     One request against a running server. Error bits come either from a
 //!     PGM pair (approx XOR exact) or directly from --bits/--size. `busy`
-//!     responses are retried with the server's suggested back-off.
+//!     responses are retried with capped exponential back-off and jitter,
+//!     bounded by --timeout-ms (which also caps connect/read/write); on
+//!     exhaustion the error reports how long the client waited. `save`
+//!     checkpoints the server's database to disk without stopping it.
 //!
 //! pc version
 //!     Report the toolkit version, git revision, and build configuration.
@@ -39,11 +45,12 @@ use probable_cause_repro::image::read_pgm;
 use probable_cause_repro::prelude::*;
 use probable_cause_repro::service::protocol::{Request, Response};
 use probable_cause_repro::service::server::{self, ServerConfig};
-use probable_cause_repro::service::{ServiceClient, StoreConfig};
+use probable_cause_repro::service::{ConnectOptions, RetryPolicy, ServiceClient, StoreConfig};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,8 +113,9 @@ fn print_usage() {
          \x20 pc characterize --db DB --label NAME EXACT.pgm APPROX.pgm [APPROX.pgm...]\n\
          \x20 pc identify    --db DB EXACT.pgm APPROX.pgm\n\
          \x20 pc serve       [--addr HOST:PORT] [--db DB] [--index IDX] [--shards N]\n\
-         \x20                [--queue-capacity N] [--threshold T] [--watch-stdin]\n\
-         \x20 pc query       --addr HOST:PORT ping|stats|shutdown\n\
+         \x20                [--queue-capacity N] [--threshold T] [--timeout-ms MS]\n\
+         \x20                [--faults SPEC] [--watch-stdin]\n\
+         \x20 pc query       [--timeout-ms MS] --addr HOST:PORT ping|stats|save|shutdown\n\
          \x20 pc query       --addr HOST:PORT identify|characterize|cluster-ingest\n\
          \x20                [--label NAME] (--bits P,P,... --size N | EXACT.pgm APPROX.pgm)\n\
          \x20 pc demo\n\
@@ -272,9 +280,18 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (shards, rest) = take_optional_flag(&rest, "--shards")?;
     let (queue_capacity, rest) = take_optional_flag(&rest, "--queue-capacity")?;
     let (threshold, rest) = take_optional_flag(&rest, "--threshold")?;
+    let (timeout_ms, rest) = take_optional_flag(&rest, "--timeout-ms")?;
+    let (faults, rest) = take_optional_flag(&rest, "--faults")?;
     let (watch_stdin, rest) = take_switch(&rest, "--watch-stdin");
     if let Some(extra) = rest.first() {
         return Err(format!("serve does not take {extra:?}"));
+    }
+
+    if let Some(spec) = faults {
+        let plan = probable_cause_repro::faults::FaultPlan::parse(&spec)
+            .map_err(|e| format!("bad --faults {spec:?}: {e}"))?;
+        probable_cause_repro::faults::install(plan);
+        println!("fault injection armed: {spec}");
     }
 
     let mut store = StoreConfig::default();
@@ -295,6 +312,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.queue_capacity = n
             .parse()
             .map_err(|_| format!("bad --queue-capacity {n:?}"))?;
+    }
+    if let Some(ms) = timeout_ms {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --timeout-ms {ms:?}"))?;
+        config.frame_timeout_ms = Some(ms);
+        config.write_timeout_ms = Some(ms);
     }
 
     let handle = server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
@@ -352,13 +374,15 @@ fn query_errors(rest: &[String]) -> Result<(ErrorString, Vec<String>), String> {
 
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (addr, rest) = take_flag(args, "--addr")?;
+    let (timeout_ms, rest) = take_optional_flag(&rest, "--timeout-ms")?;
     let (op, rest) = rest.split_first().ok_or(
-        "query needs an operation (ping|stats|shutdown|identify|characterize|cluster-ingest)",
+        "query needs an operation (ping|stats|save|shutdown|identify|characterize|cluster-ingest)",
     )?;
 
     let (request, rest) = match op.as_str() {
         "ping" => (Request::Ping, rest.to_vec()),
         "stats" => (Request::Stats, rest.to_vec()),
+        "save" => (Request::Save, rest.to_vec()),
         "shutdown" => (Request::Shutdown, rest.to_vec()),
         "identify" => {
             let (errors, rest) = query_errors(rest)?;
@@ -379,10 +403,22 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         return Err(format!("query does not take {extra:?}"));
     }
 
-    let mut client =
-        ServiceClient::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let timeout = timeout_ms
+        .map(|ms| {
+            ms.parse::<u64>()
+                .map(Duration::from_millis)
+                .map_err(|_| format!("bad --timeout-ms {ms:?}"))
+        })
+        .transpose()?;
+    let opts = timeout.map(ConnectOptions::uniform).unwrap_or_default();
+    let policy = RetryPolicy {
+        deadline: timeout.or(RetryPolicy::default().deadline),
+        ..RetryPolicy::default()
+    };
+    let mut client = ServiceClient::connect_with(&addr, opts)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let response = client
-        .call_retrying(&request, 50)
+        .call_with_policy(&request, &policy)
         .map_err(|e| format!("query failed: {e}"))?;
     match response {
         Response::Pong => println!("pong"),
@@ -417,6 +453,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             println!("admitted:       {}", s.admitted);
             println!("rejected:       {}", s.rejected);
             println!("distance evals: {}", s.distance_evals);
+            println!("worker panics:  {}", s.worker_panics);
+            println!("worker respawns:{}", s.worker_respawns);
+            println!("degraded:       {}", s.degraded);
+        }
+        Response::Saved { fingerprints } => {
+            println!("saved {fingerprints} fingerprint(s) to disk");
         }
         Response::ShuttingDown => println!("server shutting down"),
         Response::Busy { .. } => return Err("server busy after all retries".into()),

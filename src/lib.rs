@@ -15,6 +15,8 @@
 //! - [`stats`] — deterministic randomness and numerics.
 //! - [`service`] *(crate `pc-service`)* — the TCP identification server and
 //!   its client (`pc serve` / `pc query`).
+//! - [`faults`] *(crate `pc-faults`)* — seeded, deterministic fault
+//!   injection for chaos testing the persistence and serving stack.
 //!
 //! # Example
 //!
@@ -37,6 +39,7 @@
 
 pub use pc_approx as approx;
 pub use pc_dram as dram;
+pub use pc_faults as faults;
 pub use pc_image as image;
 pub use pc_model as model;
 pub use pc_os as os;

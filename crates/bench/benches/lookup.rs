@@ -2,11 +2,22 @@
 //! LSH-routed lookup (`identify_indexed`) at 100 / 1k / 10k stored chips —
 //! the serving-path speedup `pc-service` is built on. Index construction is
 //! benchmarked separately so the lookup numbers measure only the query path.
+//!
+//! The `kernels` group compares batch scoring representations at the same
+//! scales: per-pair scalar merges over the sparse `Vec<u64>` strings versus
+//! the packed popcount kernels of `pc-kernels`, single-threaded and with the
+//! deterministic pool. The same comparison also runs outside Criterion and
+//! lands in `BENCH_kernels.json` (see [`emit_kernels_json`]) so CI can gate
+//! on the packed path never regressing below scalar; `PC_BENCH_QUICK=1`
+//! shortens it for smoke runs, `PC_BENCH_REPS` / `PC_BENCH_OUT` override the
+//! repetition count and output path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pc_bench::{perturbed, synthetic_errors};
-use probable_cause::{Fingerprint, FingerprintDb, PcDistance};
+use pc_kernels::{PackedErrors, Parallelism};
+use probable_cause::{DistanceMetric, ErrorString, Fingerprint, FingerprintDb, PcDistance};
 use std::hint::black_box;
+use std::time::Instant;
 
 const SIZE: u64 = 32_768;
 const WEIGHT: usize = 328; // ~1% of a page, the paper's fingerprint density
@@ -56,5 +67,179 @@ fn bench_index_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lookup, bench_index_build);
+/// One batch workload at a given fleet size: the stored strings (sparse and
+/// packed) plus the probe to score against all of them.
+struct KernelWorkload {
+    entries: Vec<ErrorString>,
+    packed: Vec<PackedErrors>,
+    probe: ErrorString,
+    probe_packed: PackedErrors,
+}
+
+impl KernelWorkload {
+    fn new(chips: u64) -> Self {
+        let entries: Vec<ErrorString> = (0..chips)
+            .map(|c| synthetic_errors(c + 1, WEIGHT, SIZE))
+            .collect();
+        let packed: Vec<PackedErrors> = entries.iter().map(ErrorString::to_packed).collect();
+        let probe = perturbed(&synthetic_errors(chips / 2 + 1, WEIGHT, SIZE), 6, 6, 7);
+        let probe_packed = probe.to_packed();
+        Self {
+            entries,
+            packed,
+            probe,
+            probe_packed,
+        }
+    }
+
+    /// The scalar-sparse baseline: one two-pointer merge per stored string.
+    fn scalar(&self, metric: &PcDistance) -> Vec<f64> {
+        self.entries
+            .iter()
+            .map(|e| metric.distance(e, &self.probe))
+            .collect()
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let metric = PcDistance::new();
+    let kind = metric.kind().expect("PcDistance has a packed form");
+    let mut group = c.benchmark_group("kernels");
+    for chips in [100u64, 1_000, 10_000] {
+        let w = KernelWorkload::new(chips);
+        // All three paths must agree bit-for-bit before timing any of them.
+        let reference = w.scalar(&metric);
+        for par in [Parallelism::single(), Parallelism::auto()] {
+            assert_eq!(
+                pc_kernels::score_batch(&w.packed, &w.probe_packed, kind, par),
+                reference,
+                "packed scoring diverged from scalar at {chips} chips"
+            );
+        }
+
+        group.bench_with_input(BenchmarkId::new("scalar_sparse", chips), &chips, |b, _| {
+            b.iter(|| black_box(w.scalar(&metric)))
+        });
+        group.bench_with_input(BenchmarkId::new("packed", chips), &chips, |b, _| {
+            b.iter(|| {
+                black_box(pc_kernels::score_batch(
+                    &w.packed,
+                    &w.probe_packed,
+                    kind,
+                    Parallelism::single(),
+                ))
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("packed_parallel", chips),
+            &chips,
+            |b, _| {
+                b.iter(|| {
+                    black_box(pc_kernels::score_batch(
+                        &w.packed,
+                        &w.probe_packed,
+                        kind,
+                        Parallelism::auto(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Median wall-clock nanoseconds of `f` over `reps` runs (one warmup).
+fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Times scalar vs packed vs packed+parallel batch scoring and writes
+/// `BENCH_kernels.json` — the machine-readable record CI gates on.
+fn emit_kernels_json(_c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--test")
+        || std::env::var("PC_BENCH_QUICK").is_ok_and(|v| v != "0");
+    let reps = std::env::var("PC_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 3 } else { 15 });
+    let out_path =
+        std::env::var("PC_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+
+    let metric = PcDistance::new();
+    let kind = metric.kind().expect("PcDistance has a packed form");
+    let threads = Parallelism::auto().threads();
+    let mut rows = Vec::new();
+    let mut speedup_10k = 0.0;
+    let mut not_slower_at_1k = false;
+    for chips in [100u64, 1_000, 10_000] {
+        let w = KernelWorkload::new(chips);
+        let reference = w.scalar(&metric);
+        assert_eq!(
+            pc_kernels::score_batch(&w.packed, &w.probe_packed, kind, Parallelism::auto()),
+            reference,
+            "packed scoring diverged from scalar at {chips} chips"
+        );
+
+        let scalar_ns = median_ns(reps, || {
+            black_box(w.scalar(&metric));
+        });
+        let packed_ns = median_ns(reps, || {
+            black_box(pc_kernels::score_batch(
+                &w.packed,
+                &w.probe_packed,
+                kind,
+                Parallelism::single(),
+            ));
+        });
+        let parallel_ns = median_ns(reps, || {
+            black_box(pc_kernels::score_batch(
+                &w.packed,
+                &w.probe_packed,
+                kind,
+                Parallelism::auto(),
+            ));
+        });
+
+        let speedup_packed = scalar_ns / packed_ns;
+        let speedup_parallel = scalar_ns / parallel_ns;
+        if chips == 10_000 {
+            speedup_10k = speedup_parallel;
+        }
+        if chips == 1_000 {
+            not_slower_at_1k = parallel_ns <= scalar_ns;
+        }
+        rows.push(format!(
+            "    {{ \"chips\": {chips}, \"scalar_ns\": {scalar_ns:.0}, \"packed_ns\": {packed_ns:.0}, \
+             \"packed_parallel_ns\": {parallel_ns:.0}, \"speedup_packed\": {speedup_packed:.2}, \
+             \"speedup_packed_parallel\": {speedup_parallel:.2} }}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"kernels\",\n  \"size_bits\": {SIZE},\n  \"weight\": {WEIGHT},\n  \
+         \"reps\": {reps},\n  \"threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \
+         \"speedup_10k\": {speedup_10k:.2},\n  \"packed_parallel_not_slower_at_1k\": {not_slower_at_1k}\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write kernels bench record");
+    println!("kernels bench record -> {out_path}");
+    print!("{json}");
+}
+
+criterion_group!(
+    benches,
+    bench_lookup,
+    bench_index_build,
+    bench_kernels,
+    emit_kernels_json
+);
 criterion_main!(benches);

@@ -1,7 +1,9 @@
 //! Algorithms 1 and 4: characterization and clustering.
 //! (Algorithm 2, identification, lives on [`crate::FingerprintDb`].)
 
+use crate::batch::add_comparisons;
 use crate::{DistanceMetric, ErrorString, Fingerprint};
+use pc_kernels::{distance_packed, MetricKind, PackedErrors};
 use std::fmt;
 
 /// Error from [`characterize`].
@@ -130,6 +132,64 @@ pub fn cluster<M: DistanceMetric + ?Sized>(
     threshold: f64,
 ) -> Clustering {
     let _span = pc_telemetry::time!("core.cluster");
+    match metric.kind() {
+        Some(kind) => cluster_packed(observations, kind, threshold),
+        None => cluster_scalar(observations, metric, threshold),
+    }
+}
+
+/// Algorithm 4 over packed error strings: each observation is packed once,
+/// cluster fingerprints keep a packed mirror that is rebuilt only on refine,
+/// and metric telemetry is batched to one update per observation. Distances
+/// are bit-for-bit those of [`cluster_scalar`], so the first-match walk
+/// takes identical branches.
+fn cluster_packed(observations: &[ErrorString], kind: MetricKind, threshold: f64) -> Clustering {
+    let mut clusters: Vec<Fingerprint> = Vec::new();
+    let mut packed: Vec<PackedErrors> = Vec::new();
+    let mut assignments = Vec::with_capacity(observations.len());
+    for obs in observations {
+        let obs_packed = obs.to_packed();
+        let mut assigned = None;
+        let mut compared = 0u64;
+        for (j, fp) in packed.iter().enumerate() {
+            compared += 1;
+            if distance_packed(fp, &obs_packed, kind) < threshold {
+                assigned = Some(j);
+                break;
+            }
+        }
+        add_comparisons(kind, compared);
+        let id = match assigned {
+            Some(j) => {
+                clusters[j] = clusters[j]
+                    .refine(obs)
+                    .expect("clustered observations must share a size");
+                packed[j] = clusters[j].errors().to_packed();
+                pc_telemetry::counter!("core.cluster.refined").incr();
+                j
+            }
+            None => {
+                clusters.push(Fingerprint::from_observation(obs.clone()));
+                packed.push(obs_packed);
+                pc_telemetry::counter!("core.cluster.seeded").incr();
+                clusters.len() - 1
+            }
+        };
+        assignments.push(id);
+    }
+    Clustering {
+        clusters,
+        assignments,
+    }
+}
+
+/// Algorithm 4 via per-pair [`DistanceMetric::distance`] calls — the path
+/// for custom metrics with no packed form.
+fn cluster_scalar<M: DistanceMetric + ?Sized>(
+    observations: &[ErrorString],
+    metric: &M,
+    threshold: f64,
+) -> Clustering {
     let mut clusters: Vec<Fingerprint> = Vec::new();
     let mut assignments = Vec::with_capacity(observations.len());
     for obs in observations {

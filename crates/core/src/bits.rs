@@ -93,7 +93,22 @@ impl ErrorString {
     pub fn from_unsorted(mut bits: Vec<u64>, size: u64) -> Result<Self, BitStringError> {
         bits.sort_unstable();
         bits.dedup();
-        Self::from_sorted(bits, size)
+        // Sorting and deduping just established strict ascent; only the
+        // range bound still needs checking.
+        if let Some(&last) = bits.last() {
+            if last >= size {
+                return Err(BitStringError::OutOfRange { bit: last, size });
+            }
+        }
+        Ok(Self::from_sorted_unchecked(bits, size))
+    }
+
+    /// Constructs without validation. Callers must guarantee `bits` is
+    /// strictly ascending with every position `< size`.
+    fn from_sorted_unchecked(bits: Vec<u64>, size: u64) -> Self {
+        debug_assert!(bits.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(bits.last().is_none_or(|&b| b < size));
+        Self { bits, size }
     }
 
     /// Computes `approx XOR exact` — the paper's `MarkError` step — from two
@@ -104,7 +119,14 @@ impl ErrorString {
     /// Panics if the buffers have different lengths.
     pub fn from_xor(approx: &[u8], exact: &[u8]) -> Self {
         assert_eq!(approx.len(), exact.len(), "buffers must have equal length");
-        let mut bits = Vec::new();
+        // A popcount pass sizes the vector exactly, so the fill loop never
+        // reallocates (outputs are megabytes; doubling-growth was measurable).
+        let weight: usize = approx
+            .iter()
+            .zip(exact)
+            .map(|(&a, &e)| (a ^ e).count_ones() as usize)
+            .sum();
+        let mut bits = Vec::with_capacity(weight);
         for (i, (&a, &e)) in approx.iter().zip(exact).enumerate() {
             let mut diff = a ^ e;
             while diff != 0 {
@@ -235,6 +257,34 @@ impl ErrorString {
     /// Size of the intersection without materializing it.
     pub fn intersection_count(&self, other: &ErrorString) -> u64 {
         self.weight() - self.difference_count(other)
+    }
+
+    /// Size of the symmetric difference `|self Δ other|` in a single merge
+    /// pass (the Hamming-distance numerator; two directed
+    /// [`ErrorString::difference_count`] passes walk both strings twice for
+    /// the same number).
+    pub fn symmetric_difference_count(&self, other: &ErrorString) -> u64 {
+        let (a, b) = (&self.bits, &other.bits);
+        let (mut i, mut j) = (0, 0);
+        let mut shared = 0u64;
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    shared += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        self.weight() + other.weight() - 2 * shared
+    }
+
+    /// Packs this string into the hybrid sparse/dense block representation
+    /// the [`pc_kernels`] scoring kernels operate on.
+    pub fn to_packed(&self) -> pc_kernels::PackedErrors {
+        pc_kernels::PackedErrors::from_positions(&self.bits, self.size)
     }
 
     /// Returns a copy restricted to positions in `[lo, hi)`, rebased to start

@@ -1,7 +1,9 @@
 //! The fingerprint database and Algorithm 2 (identification).
 
+use crate::batch::{add_comparisons, Parallelism};
 use crate::{DistanceMetric, ErrorString, Fingerprint, LshIndex};
 use parking_lot::RwLock;
+use pc_kernels::PackedErrors;
 use std::sync::Arc;
 
 /// A database of labelled device fingerprints with threshold identification —
@@ -26,6 +28,9 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub struct FingerprintDb<L, M = crate::PcDistance> {
     entries: Vec<(L, Fingerprint)>,
+    /// Packed mirror of `entries` (same order), built on insert so every
+    /// lookup can take the popcount kernels without re-packing.
+    packed: Vec<PackedErrors>,
     metric: M,
     threshold: f64,
 }
@@ -44,6 +49,7 @@ impl<L, M: DistanceMetric> FingerprintDb<L, M> {
         );
         Self {
             entries: Vec::new(),
+            packed: Vec::new(),
             metric,
             threshold,
         }
@@ -71,6 +77,7 @@ impl<L, M: DistanceMetric> FingerprintDb<L, M> {
 
     /// Adds a labelled fingerprint.
     pub fn insert(&mut self, label: L, fingerprint: Fingerprint) {
+        self.packed.push(fingerprint.errors().to_packed());
         self.entries.push((label, fingerprint));
     }
 
@@ -96,12 +103,50 @@ impl<L, M: DistanceMetric> FingerprintDb<L, M> {
     }
 
     /// Distances from `error_string` to every stored fingerprint, in
-    /// insertion order (for histogram figures).
+    /// insertion order (for histogram figures). Takes the packed popcount
+    /// path when the metric reduces to a [`crate::MetricKind`] (bit-for-bit
+    /// equal to scalar scoring), falling back to per-pair scalar distances
+    /// for custom metrics.
     pub fn distances(&self, error_string: &ErrorString) -> Vec<f64> {
-        self.entries
-            .iter()
-            .map(|(_, fp)| self.metric.distance(fp.errors(), error_string))
-            .collect()
+        match self.metric.kind() {
+            Some(kind) => {
+                add_comparisons(kind, self.packed.len() as u64);
+                pc_kernels::score_batch(
+                    &self.packed,
+                    &error_string.to_packed(),
+                    kind,
+                    Parallelism::auto(),
+                )
+            }
+            None => self
+                .entries
+                .iter()
+                .map(|(_, fp)| self.metric.distance(fp.errors(), error_string))
+                .collect(),
+        }
+    }
+
+    /// Distances for the entry ids in `ids` (same order) — the candidate-set
+    /// shape of indexed identification.
+    fn distances_of(
+        &self,
+        ids: &[usize],
+        error_string: &ErrorString,
+        par: Parallelism,
+    ) -> Vec<f64> {
+        match self.metric.kind() {
+            Some(kind) => {
+                add_comparisons(kind, ids.len() as u64);
+                pc_kernels::score_subset(&self.packed, ids, &error_string.to_packed(), kind, par)
+            }
+            None => ids
+                .iter()
+                .map(|&id| {
+                    self.metric
+                        .distance(self.entries[id].1.errors(), error_string)
+                })
+                .collect(),
+        }
     }
 }
 
@@ -171,16 +216,69 @@ impl<L: Ord, M: DistanceMetric> FingerprintDb<L, M> {
         self.best_of(0..self.entries.len(), error_string)
     }
 
+    /// Identifies every probe: `out[i]` is what
+    /// [`identify_with_distance`](FingerprintDb::identify_with_distance)
+    /// returns for `probes[i]`, with probes scored across worker threads in
+    /// deterministic chunks — the result is identical for every thread
+    /// count. This is the bulk shape of fleet-scale matching (many captured
+    /// outputs against one database).
+    pub fn identify_batch(&self, probes: &[ErrorString]) -> Vec<Option<(&L, f64)>>
+    where
+        L: Sync,
+        M: Sync,
+    {
+        self.identify_batch_with(probes, Parallelism::auto())
+    }
+
+    /// [`identify_batch`](FingerprintDb::identify_batch) with an explicit
+    /// thread budget (for benchmarks and determinism tests).
+    pub fn identify_batch_with(
+        &self,
+        probes: &[ErrorString],
+        par: Parallelism,
+    ) -> Vec<Option<(&L, f64)>>
+    where
+        L: Sync,
+        M: Sync,
+    {
+        let _span = pc_telemetry::time!("core.db.identify_batch");
+        let all: Vec<usize> = (0..self.entries.len()).collect();
+        let results = pc_kernels::map_chunked(probes.len(), 16, par, |i| {
+            // Each worker scores its probe single-threaded; parallelism
+            // lives in the probe dimension.
+            self.best_of_ids(&all, &probes[i], Parallelism::single())
+                .filter(|&(_, d)| d < self.threshold)
+        });
+        pc_telemetry::counter!("core.db.identify.comparisons")
+            .add((self.entries.len() * probes.len()) as u64);
+        let hits = results.iter().filter(|r| r.is_some()).count() as u64;
+        pc_telemetry::counter!("core.db.identify.hits").add(hits);
+        pc_telemetry::counter!("core.db.identify.misses").add(probes.len() as u64 - hits);
+        results
+    }
+
     /// The lowest-distance entry among `ids`, ties broken by label order.
     fn best_of(
         &self,
         ids: impl Iterator<Item = usize>,
         error_string: &ErrorString,
     ) -> Option<(&L, f64)> {
+        let ids: Vec<usize> = ids.collect();
+        self.best_of_ids(&ids, error_string, Parallelism::single())
+    }
+
+    fn best_of_ids(
+        &self,
+        ids: &[usize],
+        error_string: &ErrorString,
+        par: Parallelism,
+    ) -> Option<(&L, f64)> {
+        let distances = self.distances_of(ids, error_string, par);
+        // Argmin runs sequentially over the scored vector so the label
+        // tie-break is exact regardless of how scoring was chunked.
         let mut best: Option<(&L, f64)> = None;
-        for id in ids {
-            let (label, fp) = &self.entries[id];
-            let d = self.metric.distance(fp.errors(), error_string);
+        for (&id, &d) in ids.iter().zip(&distances) {
+            let label = &self.entries[id].0;
             let better = match best {
                 None => true,
                 Some((best_label, best_d)) => d < best_d || (d == best_d && label < best_label),

@@ -1,6 +1,7 @@
 //! Distance metrics between fingerprints and error strings.
 
 use crate::ErrorString;
+use pc_kernels::MetricKind;
 use serde::{Deserialize, Serialize};
 
 /// A distance in `[0, 1]` between a fingerprint's error string and an
@@ -14,6 +15,16 @@ pub trait DistanceMetric {
 
     /// Human-readable metric name (for experiment output).
     fn name(&self) -> &'static str;
+
+    /// The packed-kernel formula this metric reduces to, if any. Metrics
+    /// that return `Some` promise [`MetricKind::eval`] over exact set counts
+    /// is bit-for-bit equal to [`DistanceMetric::distance`]; batch scoring
+    /// ([`crate::batch`], [`crate::FingerprintDb`]) then takes the packed
+    /// popcount path instead of per-pair scalar merges. The default is
+    /// `None`: custom metrics keep the scalar path.
+    fn kind(&self) -> Option<MetricKind> {
+        None
+    }
 }
 
 /// The paper's metric (Algorithm 3): the fraction of fingerprint error bits
@@ -75,6 +86,10 @@ impl DistanceMetric for PcDistance {
     fn name(&self) -> &'static str {
         "pc-jaccard"
     }
+
+    fn kind(&self) -> Option<MetricKind> {
+        Some(MetricKind::PcJaccard)
+    }
 }
 
 /// Normalized Hamming distance — the baseline the paper argues *against*
@@ -98,8 +113,7 @@ impl HammingDistance {
 impl DistanceMetric for HammingDistance {
     fn distance(&self, fingerprint: &ErrorString, error_string: &ErrorString) -> f64 {
         pc_telemetry::counter!("core.distance.hamming").incr();
-        let sym =
-            fingerprint.difference_count(error_string) + error_string.difference_count(fingerprint);
+        let sym = fingerprint.symmetric_difference_count(error_string);
         // Normalize by the maximum possible symmetric difference between the
         // two strings so the result stays in [0, 1].
         let max = (fingerprint.weight() + error_string.weight()).max(1);
@@ -108,6 +122,10 @@ impl DistanceMetric for HammingDistance {
 
     fn name(&self) -> &'static str {
         "hamming"
+    }
+
+    fn kind(&self) -> Option<MetricKind> {
+        Some(MetricKind::Hamming)
     }
 }
 
@@ -140,6 +158,10 @@ impl DistanceMetric for JaccardDistance {
 
     fn name(&self) -> &'static str {
         "jaccard"
+    }
+
+    fn kind(&self) -> Option<MetricKind> {
+        Some(MetricKind::Jaccard)
     }
 }
 

@@ -22,6 +22,9 @@
 //! - [`LshIndex`]: MinHash/LSH pruning of identification — route a query to
 //!   the few fingerprints it could plausibly match before paying full
 //!   distance computation (the serving path of `pc-service`).
+//! - [`batch`]: packed-bitset batch scoring (`pc-kernels`) — the popcount
+//!   fast path under [`FingerprintDb`], clustering, stitching, and the
+//!   experiment pipelines, bit-for-bit equal to the scalar metrics.
 //! - [`Stitcher`] (Section 4 / Fig. 4): align and merge page-level
 //!   fingerprints of overlapping outputs into whole-memory fingerprints,
 //!   backed by a MinHash/LSH page index so matching scales.
@@ -64,6 +67,7 @@
 #![forbid(unsafe_code)]
 
 mod algorithms;
+pub mod batch;
 mod bits;
 mod db;
 pub mod defense;
@@ -80,6 +84,7 @@ pub mod attacker;
 
 pub use algorithms::{characterize, cluster, CharacterizeError, Clustering};
 pub use attacker::{Eavesdropper, SupplyChainAttacker};
+pub use batch::{MetricKind, Parallelism};
 pub use bits::{BitStringError, ErrorString};
 pub use db::{FingerprintDb, SharedFingerprintDb};
 pub use distance::{DistanceMetric, HammingDistance, JaccardDistance, PcDistance};

@@ -1,7 +1,7 @@
 //! The stitching engine.
 
 use crate::stitch::MinHasher;
-use crate::{DistanceMetric, ErrorString, Fingerprint, PcDistance};
+use crate::{ErrorString, Fingerprint, PcDistance};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 
@@ -249,20 +249,20 @@ impl Stitcher {
             let cluster = self.clusters[cid]
                 .as_ref()
                 .expect("candidate cluster is live");
-            let mut checked = 0usize;
-            let mut matched = 0usize;
+            let mut pairs: Vec<(&ErrorString, &ErrorString)> = Vec::with_capacity(usable.len());
             for &i in &usable {
                 if let Some(fp) = cluster.pages.get(&(delta + i as i64)) {
                     if fp.errors().weight() < self.config.min_page_weight {
                         continue;
                     }
-                    checked += 1;
-                    if self.metric.distance(fp.errors(), &pages[i]) < self.config.distance_threshold
-                    {
-                        matched += 1;
-                    }
+                    pairs.push((fp.errors(), &pages[i]));
                 }
             }
+            let checked = pairs.len();
+            let matched = crate::batch::distance_pairs(&pairs, &self.metric)
+                .into_iter()
+                .filter(|&d| d < self.config.distance_threshold)
+                .count();
             if checked > 0
                 && matched >= self.config.min_overlap_pages
                 && matched as f64 >= self.config.min_agreement * checked as f64

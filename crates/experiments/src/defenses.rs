@@ -35,6 +35,7 @@ pub fn noise_sweep(platform: &Platform, rates: &[f64]) -> Vec<NoiseSweepRow> {
     let fingerprints: Vec<_> = (0..n)
         .map(|c| platform.fingerprint(c, 70_000 + 10 * c as u64))
         .collect();
+    let fp_errors: Vec<_> = fingerprints.iter().map(|f| f.errors().clone()).collect();
     rates
         .iter()
         .map(|&rate| {
@@ -45,13 +46,13 @@ pub fn noise_sweep(platform: &Platform, rates: &[f64]) -> Vec<NoiseSweepRow> {
                 for t in 0..3u64 {
                     let clean = platform.output(c, 40.0, 99.0, 80_000 + 10 * c as u64 + t);
                     let noisy = defense::apply_random_flips(&clean, rate, 1234 + t);
-                    let best = fingerprints
+                    let distances = probable_cause::batch::score_batch(&fp_errors, &noisy, &metric);
+                    let best = distances
                         .iter()
                         .enumerate()
-                        .map(|(f, fp)| (f, metric.distance(fp.errors(), &noisy)))
-                        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
+                        .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
                         .expect("non-empty fleet");
-                    within += metric.distance(fingerprints[c].errors(), &noisy);
+                    within += distances[c];
                     total += 1;
                     if best.0 == c {
                         correct += 1;

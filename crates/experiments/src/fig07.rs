@@ -6,7 +6,7 @@
 use crate::platform::Platform;
 use crate::report::{artifact_dir, write_csv_series, Report};
 use pc_stats::Histogram;
-use probable_cause::{DistanceMetric, ErrorString, Fingerprint, PcDistance, SeparationReport};
+use probable_cause::{ErrorString, Fingerprint, PcDistance, SeparationReport};
 use std::io;
 use std::path::Path;
 
@@ -48,10 +48,13 @@ pub fn collect(platform: &Platform) -> DistanceSamples {
             .map(|o| o.expect("filled by worker"))
             .collect()
     };
+    // Score each output against every fingerprint in one batched call (the
+    // packed kernels in `probable_cause::batch`), not a per-pair loop.
+    let fp_errors: Vec<ErrorString> = fingerprints.iter().map(|f| f.errors().clone()).collect();
     for (c, outs) in outputs.iter().enumerate() {
         for (t, a, es) in outs {
-            for (f, fp) in fingerprints.iter().enumerate() {
-                let d = metric.distance(fp.errors(), es);
+            let distances = probable_cause::batch::score_batch(&fp_errors, es, &metric);
+            for (f, d) in distances.into_iter().enumerate() {
                 if f == c {
                     within.push((*t, *a, d));
                 } else {

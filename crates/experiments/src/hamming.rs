@@ -34,14 +34,15 @@ pub fn collect(platform: &Platform) -> Vec<(&'static str, SeparationReport)> {
         }
     }
 
+    let fp_errors: Vec<_> = fingerprints.iter().map(|f| f.errors().clone()).collect();
     metrics
         .iter()
         .map(|m| {
             let mut within = Vec::new();
             let mut between = Vec::new();
             for (c, es) in &probes {
-                for (f, fp) in fingerprints.iter().enumerate() {
-                    let d = m.distance(fp.errors(), es);
+                let distances = probable_cause::batch::score_batch(&fp_errors, es, m.as_ref());
+                for (f, d) in distances.into_iter().enumerate() {
                     if f == *c {
                         within.push(d);
                     } else {

@@ -37,10 +37,13 @@ pub fn collect(platform: &Platform, threshold: f64) -> SuccessRates {
         }
     }
 
-    let correct = outputs
-        .iter()
+    // All 90 outputs identify in one parallel batch (Algorithm 2 per probe,
+    // deterministic for every thread count).
+    let correct = db
+        .identify_batch(&outputs)
+        .into_iter()
         .zip(&labels)
-        .filter(|(es, &truth)| db.identify(es) == Some(&truth))
+        .filter(|(hit, &truth)| hit.map(|(&l, _)| l) == Some(truth))
         .count();
 
     let clustering = cluster(&outputs, &PcDistance::new(), threshold);

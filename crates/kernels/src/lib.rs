@@ -1,0 +1,38 @@
+//! Packed-bitset compute kernels for error-string scoring.
+//!
+//! Every identification in the reproduction reduces to one question: how many
+//! error positions do two bit strings share? The sparse sorted-`Vec<u64>`
+//! representation in `probable-cause` answers it with a scalar two-pointer
+//! merge — fine for a handful of comparisons, a bottleneck when a query is
+//! scored against thousands of stored fingerprints (the fleet-scale workload
+//! of FP-Rowhammer/Centauri-style matchers).
+//!
+//! This crate is the compute layer under that hot path:
+//!
+//! - [`PackedErrors`]: a hybrid container over 4 KiB-page blocks (32768 bits).
+//!   Each block stores its positions either as sorted 16-bit offsets (sparse)
+//!   or as a 512-word bitmap (dense), chosen Roaring-style by population so
+//!   the paper's 1–10% error densities get whichever form is smaller.
+//! - Popcount kernels: [`PackedErrors::intersect_count`],
+//!   [`PackedErrors::difference_count`], [`PackedErrors::union_count`] — and
+//!   [`DenseView`], a bitmap expansion of one probe that turns
+//!   sparse-versus-probe scoring into branchless bit tests.
+//! - [`MetricKind`] + [`score_batch`]: one probe against many stored strings,
+//!   bit-for-bit equal to the scalar metrics in `probable-cause`.
+//! - [`pool`]: a deterministic chunked thread pool in the spirit of the
+//!   `crates/compat` shims (std-only, no work stealing); results are
+//!   independent of the thread count by construction.
+//!
+//! The crate depends on nothing above `std`, so every layer of the workspace
+//! (core, service, experiments, benches) can sit on top of it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod packed;
+pub mod pool;
+mod score;
+
+pub use packed::{DenseView, PackedErrors, BLOCK_BITS, DENSE_THRESHOLD};
+pub use pool::{map_chunked, run_chunked, Parallelism};
+pub use score::{distance_packed, score_batch, score_subset, MetricKind};

@@ -1,0 +1,171 @@
+//! A deterministic chunked thread pool, in the spirit of the offline
+//! `crates/compat` shims: std-only scoped threads, no work stealing, no
+//! unsafe.
+//!
+//! Work over `0..n` is split into fixed chunks; workers claim chunk indices
+//! from an atomic counter and each chunk's result is filed under its index,
+//! so the assembled output is **independent of the thread count and of
+//! scheduling** — only wall-clock changes. One thread (or one chunk) runs
+//! inline with zero pool overhead.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Default items per chunk for batch scoring: big enough to amortize the
+/// claim, small enough to balance tail latency across workers.
+pub const DEFAULT_CHUNK: usize = 256;
+
+/// How many worker threads a chunked run may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+}
+
+impl Parallelism {
+    /// Exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Single-threaded: chunks run inline on the caller.
+    pub fn single() -> Self {
+        Self::new(1)
+    }
+
+    /// The machine's available parallelism, overridable with the
+    /// `PC_KERNEL_THREADS` environment variable (useful for benchmarks and
+    /// determinism tests).
+    pub fn auto() -> Self {
+        let threads = std::env::var("PC_KERNEL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::new(threads)
+    }
+
+    /// Worker thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::auto()
+    }
+}
+
+/// Runs `work` over `0..n` in chunks of `chunk_size`, returning the per-chunk
+/// results ordered by chunk index. The output is identical for every thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is zero, or propagates the first worker panic.
+pub fn run_chunked<R, F>(n: usize, chunk_size: usize, par: Parallelism, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let chunks = n.div_ceil(chunk_size);
+    let range = |c: usize| c * chunk_size..((c + 1) * chunk_size).min(n);
+    let threads = par.threads().min(chunks);
+    if threads <= 1 {
+        return (0..chunks).map(|c| work(range(c))).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let filed: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(chunks));
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let c = next.fetch_add(1, Ordering::Relaxed);
+                if c >= chunks {
+                    return;
+                }
+                let r = work(range(c));
+                filed.lock().expect("no poisoned chunk lock").push((c, r));
+            });
+        }
+    });
+    let mut filed = filed.into_inner().expect("no poisoned chunk lock");
+    filed.sort_unstable_by_key(|&(c, _)| c);
+    filed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// [`run_chunked`] flattened: maps `f` over `0..n` with chunked workers,
+/// returning one value per index, in index order, for every thread count.
+pub fn map_chunked<R, F>(n: usize, chunk_size: usize, par: Parallelism, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    run_chunked(n, chunk_size, par, |range| {
+        range.map(&f).collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_ordered_and_complete() {
+        for threads in 1..=4 {
+            let out = map_chunked(1000, 7, Parallelism::new(threads), |i| i * 2);
+            assert_eq!(out.len(), 1000, "threads={threads}");
+            assert!(out.iter().enumerate().all(|(i, &v)| v == i * 2));
+        }
+    }
+
+    #[test]
+    fn result_independent_of_thread_count() {
+        let reference = map_chunked(537, DEFAULT_CHUNK, Parallelism::single(), |i| i * i % 97);
+        for threads in 2..=5 {
+            let out = map_chunked(537, DEFAULT_CHUNK, Parallelism::new(threads), |i| {
+                i * i % 97
+            });
+            assert_eq!(out, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out = map_chunked(0, 16, Parallelism::new(4), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunk_results_keep_chunk_order() {
+        let chunks = run_chunked(10, 3, Parallelism::new(3), |r| (r.start, r.end));
+        assert_eq!(chunks, vec![(0, 3), (3, 6), (6, 9), (9, 10)]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            run_chunked(8, 1, Parallelism::new(2), |r| {
+                assert!(r.start != 5, "boom");
+                r.start
+            })
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn parallelism_clamps_to_one() {
+        assert_eq!(Parallelism::new(0).threads(), 1);
+        assert!(Parallelism::auto().threads() >= 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Batch distance scoring over packed error strings.
+
+use crate::packed::{DenseView, PackedErrors};
+use crate::pool::{self, Parallelism};
+
+/// The distance formulas of `probable_cause`'s three metrics, expressed over
+/// exact set counts so packed scoring is bit-for-bit equal to the scalar
+/// implementations (same integers, same floating-point operations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// The paper's modified Jaccard metric (Algorithm 3): fraction of the
+    /// lower-weight operand's bits absent from the other.
+    PcJaccard,
+    /// Normalized Hamming distance: symmetric difference over total weight.
+    Hamming,
+    /// Plain Jaccard distance: `1 − |A∩B| / |A∪B|`.
+    Jaccard,
+}
+
+impl MetricKind {
+    /// Distance from exact counts: the fingerprint-side weight, the
+    /// probe-side weight, and their intersection size.
+    #[inline]
+    pub fn eval(self, fingerprint_weight: u64, probe_weight: u64, intersection: u64) -> f64 {
+        match self {
+            // Footnote 2: the lower-weight operand plays the fingerprint
+            // role. At equal weights both choices yield the same counts.
+            MetricKind::PcJaccard => {
+                let small = fingerprint_weight.min(probe_weight);
+                if small == 0 {
+                    0.0
+                } else {
+                    (small - intersection) as f64 / small as f64
+                }
+            }
+            MetricKind::Hamming => {
+                let sym = fingerprint_weight + probe_weight - 2 * intersection;
+                sym as f64 / (fingerprint_weight + probe_weight).max(1) as f64
+            }
+            MetricKind::Jaccard => {
+                let union = fingerprint_weight + probe_weight - intersection;
+                if union == 0 {
+                    0.0
+                } else {
+                    1.0 - intersection as f64 / union as f64
+                }
+            }
+        }
+    }
+
+    /// Metric name, matching `DistanceMetric::name` in `probable_cause`.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::PcJaccard => "pc-jaccard",
+            MetricKind::Hamming => "hamming",
+            MetricKind::Jaccard => "jaccard",
+        }
+    }
+}
+
+/// Distance between one fingerprint and one probe via the pairwise merge
+/// kernels (no dense expansion) — the right call for one-off comparisons
+/// like online clustering's first-match loop.
+pub fn distance_packed(fingerprint: &PackedErrors, probe: &PackedErrors, kind: MetricKind) -> f64 {
+    kind.eval(
+        fingerprint.weight(),
+        probe.weight(),
+        fingerprint.intersect_count(probe),
+    )
+}
+
+/// Scores every entry against `probe`: `out[i]` is the distance from
+/// `entries[i]`. The probe is expanded to a dense view once, then entries are
+/// scored with branchless kernels in deterministic parallel chunks — the
+/// output is identical for every thread count.
+pub fn score_batch(
+    entries: &[PackedErrors],
+    probe: &PackedErrors,
+    kind: MetricKind,
+    par: Parallelism,
+) -> Vec<f64> {
+    let view = DenseView::new(probe);
+    pool::map_chunked(entries.len(), pool::DEFAULT_CHUNK, par, |i| {
+        kind.eval(
+            entries[i].weight(),
+            view.weight(),
+            entries[i].intersect_count_view(&view),
+        )
+    })
+}
+
+/// [`score_batch`] over a candidate subset: `out[k]` is the distance from
+/// `entries[ids[k]]` (the shape LSH-pruned identification produces).
+pub fn score_subset(
+    entries: &[PackedErrors],
+    ids: &[usize],
+    probe: &PackedErrors,
+    kind: MetricKind,
+    par: Parallelism,
+) -> Vec<f64> {
+    let view = DenseView::new(probe);
+    pool::map_chunked(ids.len(), pool::DEFAULT_CHUNK, par, |k| {
+        let e = &entries[ids[k]];
+        kind.eval(e.weight(), view.weight(), e.intersect_count_view(&view))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packed(bits: &[u64]) -> PackedErrors {
+        PackedErrors::from_positions(bits, 1 << 16)
+    }
+
+    #[test]
+    fn formulas_match_hand_counts() {
+        let fp = packed(&[1, 3, 5, 7]);
+        let probe = packed(&[3, 7, 9]);
+        // inter = 2, weights 4 and 3: small side is the probe.
+        let d = distance_packed(&fp, &probe, MetricKind::PcJaccard);
+        assert!((d - 1.0 / 3.0).abs() < 1e-15);
+        let h = distance_packed(&fp, &probe, MetricKind::Hamming);
+        assert!((h - 3.0 / 7.0).abs() < 1e-15);
+        let j = distance_packed(&fp, &probe, MetricKind::Jaccard);
+        assert!((j - (1.0 - 2.0 / 5.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_edges_match_scalar_conventions() {
+        let e = packed(&[]);
+        let a = packed(&[1]);
+        assert_eq!(distance_packed(&e, &e, MetricKind::PcJaccard), 0.0);
+        assert_eq!(distance_packed(&e, &a, MetricKind::PcJaccard), 0.0);
+        assert_eq!(distance_packed(&e, &e, MetricKind::Jaccard), 0.0);
+        assert_eq!(distance_packed(&e, &a, MetricKind::Hamming), 1.0);
+        assert_eq!(distance_packed(&e, &e, MetricKind::Hamming), 0.0);
+    }
+
+    #[test]
+    fn batch_matches_pairwise_for_all_metrics_and_thread_counts() {
+        let entries: Vec<PackedErrors> = (0..40)
+            .map(|c| packed(&[c, c + 10, c * 3 + 100, 2000 + c]))
+            .collect();
+        let probe = packed(&[5, 15, 115, 2005, 9000]);
+        for kind in [
+            MetricKind::PcJaccard,
+            MetricKind::Hamming,
+            MetricKind::Jaccard,
+        ] {
+            let reference: Vec<f64> = entries
+                .iter()
+                .map(|e| distance_packed(e, &probe, kind))
+                .collect();
+            for threads in 1..=4 {
+                let got = score_batch(&entries, &probe, kind, Parallelism::new(threads));
+                assert_eq!(got, reference, "{kind:?} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_scoring_indexes_by_candidate() {
+        let entries: Vec<PackedErrors> = (0..10).map(|c| packed(&[c * 7, c * 7 + 1])).collect();
+        let probe = packed(&[14, 15]);
+        let ids = [2usize, 9, 0];
+        let got = score_subset(
+            &entries,
+            &ids,
+            &probe,
+            MetricKind::PcJaccard,
+            Parallelism::single(),
+        );
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], 0.0); // entry 2 is exactly the probe
+        assert_eq!(got[1], 1.0);
+        assert_eq!(got[2], 1.0);
+    }
+}

@@ -104,9 +104,10 @@ impl From<ProtocolError> for ClientError {
 /// How [`ServiceClient::call_with_policy`] paces its retries.
 ///
 /// The nominal back-off doubles from `base_backoff_ms` per attempt up to
-/// `max_backoff_ms` (never dropping below the server's `retry_after_ms`
-/// hint), then deterministic jitter subtracts up to half of it so a fleet of
-/// clients bounced by the same `busy` burst does not re-arrive in lockstep.
+/// `max_backoff_ms`, then deterministic jitter subtracts up to half of it so
+/// a fleet of clients bounced by the same `busy` burst does not re-arrive in
+/// lockstep. The jittered pause is clamped to the server's `retry_after_ms`
+/// hint — a client never re-arrives before the server asked it to.
 /// `deadline` bounds the *total* time across all attempts.
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
@@ -150,7 +151,9 @@ impl RetryPolicy {
         } else {
             pc_stats::mix64(self.jitter_seed ^ u64::from(attempt)) % (span + 1)
         };
-        Duration::from_millis(nominal - jitter)
+        // Clamp *after* jitter: the hint is the server's floor, and jitter
+        // must only ever spread clients out beyond it, never under it.
+        Duration::from_millis((nominal - jitter).max(hint_ms))
     }
 }
 
@@ -364,13 +367,24 @@ mod tests {
     }
 
     #[test]
-    fn backoff_never_undercuts_half_the_server_hint() {
-        // Jitter subtracts at most half the nominal pause, and the nominal
-        // pause never drops below the server's hint.
-        let policy = RetryPolicy::default();
-        for attempt in 0..10 {
-            let pause = policy.backoff(attempt, 200);
-            assert!(pause >= Duration::from_millis(100), "got {pause:?}");
+    fn backoff_never_undercuts_the_server_hint() {
+        // Regression: jitter used to subtract from the hint-raised nominal,
+        // so a client could re-arrive before the server's `retry_after_ms`
+        // floor. The pause is now clamped to the hint after jitter.
+        for seed in [0u64, 1, 0x5eed, u64::MAX] {
+            let policy = RetryPolicy {
+                jitter_seed: seed,
+                ..RetryPolicy::default()
+            };
+            for attempt in 0..20 {
+                for hint_ms in [0u64, 1, 10, 200, 499, 500, 10_000] {
+                    let pause = policy.backoff(attempt, hint_ms);
+                    assert!(
+                        pause >= Duration::from_millis(hint_ms),
+                        "attempt {attempt} hint {hint_ms} seed {seed:#x}: slept only {pause:?}"
+                    );
+                }
+            }
         }
     }
 

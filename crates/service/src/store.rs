@@ -13,7 +13,9 @@
 //! pay full modified-Jaccard distance.
 
 use parking_lot::{Mutex, RwLock};
+use pc_kernels::{distance_packed, PackedErrors, Parallelism};
 use pc_telemetry::counter;
+use probable_cause::batch::add_comparisons;
 use probable_cause::persistence::{self, DbIoError};
 use probable_cause::{
     DistanceMetric, ErrorString, Fingerprint, FingerprintDb, LshIndex, PcDistance,
@@ -56,6 +58,9 @@ impl Default for StoreConfig {
 #[derive(Debug, Default)]
 struct Shard {
     entries: Vec<(String, Fingerprint)>,
+    /// Packed mirror of `entries` (same slots), kept in sync on insert and
+    /// refine so scoring takes the popcount kernels without re-packing.
+    packed: Vec<PackedErrors>,
 }
 
 /// The sharded, index-routed fingerprint store plus the online cluster book.
@@ -67,8 +72,9 @@ pub struct ShardedStore {
     index: RwLock<LshIndex>,
     /// label → global id; also the allocator (`len` = next id).
     labels: Mutex<BTreeMap<String, u32>>,
-    /// Algorithm 4 state for `cluster-ingest`.
-    clusters: Mutex<Vec<Fingerprint>>,
+    /// Algorithm 4 state for `cluster-ingest`: each cluster's fingerprint
+    /// with its packed mirror (rebuilt on refine).
+    clusters: Mutex<Vec<(Fingerprint, PackedErrors)>>,
     distance_evals: AtomicU64,
     /// Entry count mirrored outside the `labels` lock, so degraded-mode
     /// identify planning never blocks behind a rebuild holding that lock.
@@ -209,6 +215,7 @@ impl ShardedStore {
         if !self.degraded.load(Ordering::Acquire) {
             self.index.write().insert(id, fp.errors());
         }
+        shard.packed.push(fp.errors().to_packed());
         shard.entries.push((label.clone(), fp));
         labels.insert(label, id);
         // Published only after the shard slot exists, so a degraded linear
@@ -250,16 +257,27 @@ impl ShardedStore {
     ) -> Option<(String, f64)> {
         let _span = pc_telemetry::time!("service.store.score");
         let guard = self.shards[shard].read();
+        let slots: Vec<usize> = ids.iter().map(|&id| self.slot_of(id)).collect();
+        let kind = self.metric.kind().expect("PcDistance has a packed form");
+        // Shard workers already run concurrently, so each shard scores its
+        // candidates single-threaded on the packed kernels.
+        let distances = pc_kernels::score_subset(
+            &guard.packed,
+            &slots,
+            &errors.to_packed(),
+            kind,
+            Parallelism::single(),
+        );
+        add_comparisons(kind, slots.len() as u64);
         let mut best: Option<(&str, f64)> = None;
-        for &id in ids {
-            let (label, fp) = &guard.entries[self.slot_of(id)];
-            let d = self.metric.distance(fp.errors(), errors);
+        for (&slot, &d) in slots.iter().zip(&distances) {
+            let label = guard.entries[slot].0.as_str();
             let better = match best {
                 None => true,
-                Some((bl, bd)) => d < bd || (d == bd && label.as_str() < bl),
+                Some((bl, bd)) => d < bd || (d == bd && label < bl),
             };
             if better {
-                best = Some((label.as_str(), d));
+                best = Some((label, d));
             }
         }
         self.distance_evals
@@ -339,6 +357,7 @@ impl ShardedStore {
             self.index.write().insert(id, refined.errors());
         }
         let (weight, observations) = (refined.weight(), refined.observations());
+        shard.packed[slot] = refined.errors().to_packed();
         shard.entries[slot].1 = refined;
         counter!("service.store.characterize.refined").incr();
         Ok((weight, observations, false))
@@ -379,20 +398,37 @@ impl ShardedStore {
     /// cluster's fingerprint.
     pub fn cluster_ingest(&self, errors: &ErrorString) -> Result<(u64, bool, u64), String> {
         let _span = pc_telemetry::time!("service.store.cluster_ingest");
+        let probe = errors.to_packed();
+        let kind = self.metric.kind().expect("PcDistance has a packed form");
         let mut clusters = self.clusters.lock();
-        for (j, fp) in clusters.iter_mut().enumerate() {
-            self.distance_evals.fetch_add(1, Ordering::Relaxed);
-            if self.metric.distance(fp.errors(), errors) < self.config.threshold {
-                *fp = fp
-                    .refine(errors)
-                    .map_err(|e| format!("cannot refine cluster {j}: {e}"))?;
-                counter!("service.store.cluster.refined").incr();
-                return Ok((j as u64, false, clusters.len() as u64));
+        let mut compared = 0u64;
+        let mut matched = None;
+        for (j, (_, packed)) in clusters.iter().enumerate() {
+            compared += 1;
+            if distance_packed(packed, &probe, kind) < self.config.threshold {
+                matched = Some(j);
+                break;
             }
         }
-        clusters.push(Fingerprint::from_observation(errors.clone()));
-        counter!("service.store.cluster.seeded").incr();
-        Ok((clusters.len() as u64 - 1, true, clusters.len() as u64))
+        self.distance_evals.fetch_add(compared, Ordering::Relaxed);
+        add_comparisons(kind, compared);
+        match matched {
+            Some(j) => {
+                let refined = clusters[j]
+                    .0
+                    .refine(errors)
+                    .map_err(|e| format!("cannot refine cluster {j}: {e}"))?;
+                let packed = refined.errors().to_packed();
+                clusters[j] = (refined, packed);
+                counter!("service.store.cluster.refined").incr();
+                Ok((j as u64, false, clusters.len() as u64))
+            }
+            None => {
+                clusters.push((Fingerprint::from_observation(errors.clone()), probe));
+                counter!("service.store.cluster.seeded").incr();
+                Ok((clusters.len() as u64 - 1, true, clusters.len() as u64))
+            }
+        }
     }
 
     /// Reconstructs the flat database in global-id order (the persistence

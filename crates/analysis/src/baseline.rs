@@ -1,0 +1,203 @@
+//! The checked-in finding budget and its ratchet semantics.
+//!
+//! A baseline maps `(lint id, file)` to the number of findings that pair is
+//! allowed to produce. Comparison is strict in both directions:
+//!
+//! * more findings than budgeted → the extras are **new** and fail the run;
+//! * fewer findings than budgeted → the entry is **stale** and fails the run
+//!   until `--update-baseline` shrinks it (the ratchet: budgets only go
+//!   down).
+
+use std::collections::BTreeMap;
+
+use pc_telemetry::{parse_json, JsonObject, JsonValue};
+
+use crate::findings::{Finding, Report, StaleEntry};
+
+/// Per-(lint, file) finding budgets.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(lint id, workspace-relative file)` → allowed count.
+    pub entries: BTreeMap<(String, String), u64>,
+}
+
+impl Baseline {
+    /// Parses the baseline JSON (schema `pc-analyze/baseline/v1`).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let value = parse_json(text).map_err(|e| format!("baseline: {e}"))?;
+        let obj = value
+            .as_object()
+            .ok_or("baseline: root must be an object")?;
+        match obj.get("schema").and_then(|v| v.as_str()) {
+            Some("pc-analyze/baseline/v1") => {}
+            other => {
+                return Err(format!("baseline: unsupported schema {other:?}"));
+            }
+        }
+        let entries = obj
+            .get("entries")
+            .and_then(|v| v.as_array())
+            .ok_or("baseline: missing entries array")?;
+        let mut out = BTreeMap::new();
+        for entry in entries {
+            let e = entry
+                .as_object()
+                .ok_or("baseline: entry must be an object")?;
+            let lint = e
+                .get("lint")
+                .and_then(|v| v.as_str())
+                .ok_or("baseline: entry missing lint")?;
+            let file = e
+                .get("file")
+                .and_then(|v| v.as_str())
+                .ok_or("baseline: entry missing file")?;
+            let count = e
+                .get("count")
+                .and_then(|v| v.as_u64())
+                .ok_or("baseline: entry missing count")?;
+            if count == 0 {
+                return Err(format!("baseline: zero-count entry for {lint} {file}"));
+            }
+            if out
+                .insert((lint.to_string(), file.to_string()), count)
+                .is_some()
+            {
+                return Err(format!("baseline: duplicate entry for {lint} {file}"));
+            }
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Renders the baseline as stable, pretty JSON.
+    pub fn render(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.set("schema", "pc-analyze/baseline/v1");
+        let entries: Vec<JsonValue> = self
+            .entries
+            .iter()
+            .map(|((lint, file), count)| {
+                let mut e = JsonObject::new();
+                e.set("lint", lint.as_str());
+                e.set("file", file.as_str());
+                e.set("count", *count);
+                e.into()
+            })
+            .collect();
+        obj.set("entries", entries);
+        obj.to_pretty()
+    }
+
+    /// Builds the baseline that would make `findings` pass exactly.
+    pub fn from_findings(findings: &[Finding]) -> Baseline {
+        let mut entries: BTreeMap<(String, String), u64> = BTreeMap::new();
+        for f in findings {
+            *entries
+                .entry((f.lint.to_string(), f.file.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Splits `findings` against the budget into a [`Report`].
+    ///
+    /// Within a `(lint, file)` pair the first `budget` findings (in line
+    /// order) count as baselined and the rest as new, so a file that gains a
+    /// violation fails even if an older one still exists.
+    pub fn compare(&self, findings: Vec<Finding>) -> Report {
+        let mut counts: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut report = Report::default();
+        for f in findings {
+            let key = (f.lint.to_string(), f.file.clone());
+            let seen = counts.entry(key.clone()).or_insert(0);
+            *seen += 1;
+            let budget = self.entries.get(&key).copied().unwrap_or(0);
+            if *seen <= budget {
+                report.baselined.push(f);
+            } else {
+                report.new.push(f);
+            }
+        }
+        for ((lint, file), budget) in &self.entries {
+            let found = counts
+                .get(&(lint.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0);
+            if found < *budget {
+                report.stale.push(StaleEntry {
+                    lint: lint.clone(),
+                    file: file.clone(),
+                    baseline: *budget,
+                    found,
+                });
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(lint: &'static str, file: &str, line: usize) -> Finding {
+        Finding {
+            lint,
+            file: file.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = Baseline::from_findings(&[
+            finding("P002", "crates/service/src/pool.rs", 10),
+            finding("P002", "crates/service/src/pool.rs", 20),
+            finding("D001", "crates/os/src/trace.rs", 5),
+        ]);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(
+            parsed.entries[&("P002".to_string(), "crates/service/src/pool.rs".to_string())],
+            2
+        );
+    }
+
+    #[test]
+    fn extra_findings_are_new() {
+        let b = Baseline::from_findings(&[finding("P001", "a.rs", 1)]);
+        let report = b.compare(vec![finding("P001", "a.rs", 1), finding("P001", "a.rs", 9)]);
+        assert_eq!(report.baselined.len(), 1);
+        assert_eq!(report.new.len(), 1);
+        assert_eq!(report.new[0].line, 9);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn fixed_findings_make_the_baseline_stale() {
+        let b = Baseline::from_findings(&[finding("P001", "a.rs", 1), finding("P001", "a.rs", 2)]);
+        let report = b.compare(vec![finding("P001", "a.rs", 1)]);
+        assert!(report.new.is_empty());
+        assert_eq!(report.stale.len(), 1);
+        assert_eq!(report.stale[0].baseline, 2);
+        assert_eq!(report.stale[0].found, 1);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let found = vec![finding("U001", "k.rs", 3), finding("U001", "k.rs", 7)];
+        let b = Baseline::from_findings(&found);
+        assert!(b.compare(found).is_clean());
+    }
+
+    #[test]
+    fn rejects_malformed_baselines() {
+        assert!(Baseline::parse("[]").is_err());
+        assert!(Baseline::parse("{\"schema\":\"nope\",\"entries\":[]}").is_err());
+        let dup = "{\"schema\":\"pc-analyze/baseline/v1\",\"entries\":[\
+                   {\"lint\":\"P001\",\"file\":\"a.rs\",\"count\":1},\
+                   {\"lint\":\"P001\",\"file\":\"a.rs\",\"count\":2}]}";
+        assert!(Baseline::parse(dup).is_err());
+    }
+}

@@ -1,0 +1,8 @@
+//! Standalone `pc-analyze` binary; same interface as `pc analyze`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(pc_analysis::run_cli(&args))
+}

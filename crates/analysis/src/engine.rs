@@ -1,0 +1,787 @@
+//! The analysis engine: workspace walk, per-line scanning, suppression
+//! handling, test-region detection, and the cross-file wire-contract checks.
+//!
+//! Scoping rules (see [`crate::lints::LINTS`] for the catalog):
+//!
+//! * the walk skips `target/`, `results/`, hidden directories, and
+//!   `crates/compat/` (vendored shims are exempt by policy);
+//! * **D001** applies to every walked line, tests included — test
+//!   assertions that iterate a hash map are exactly how nondeterminism
+//!   sneaks into "passing" suites;
+//! * **D002/D003** skip test context and the two crates whose whole job is
+//!   timing (`crates/telemetry`, `crates/bench`);
+//! * **P-lints** apply to `crates/service/src` outside test context;
+//! * **U-lints** apply everywhere;
+//! * **W-lints** are cross-file: counter references (non-test) against
+//!   `crates/telemetry/src/catalog.rs`, protocol variants against
+//!   `*roundtrip*` test bodies anywhere under `crates/service`.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::Path;
+
+use crate::findings::Finding;
+use crate::lexer::{self, Line};
+use crate::lints;
+
+/// The raw outcome of walking and scanning a tree (before baseline
+/// comparison).
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All findings, sorted by (file, line, lint).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Walks `root` and runs every lint. `Err` is an internal error (I/O,
+/// unreadable source) — distinct from "findings exist".
+pub fn analyze(root: &Path) -> Result<Analysis, String> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+    let mut scanner = Scanner::default();
+    for rel in &files {
+        let full = root.join(rel);
+        let source =
+            fs::read_to_string(&full).map_err(|e| format!("read {}: {e}", full.display()))?;
+        scanner.scan_file(rel, &source);
+    }
+    Ok(scanner.finish())
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" || name == "results" {
+                continue;
+            }
+            let rel = rel_path(root, &path);
+            if rel == "crates/compat" {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(rel_path(root, &path));
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut s = String::new();
+    for comp in rel.components() {
+        if !s.is_empty() {
+            s.push('/');
+        }
+        s.push_str(&comp.as_os_str().to_string_lossy());
+    }
+    s
+}
+
+/// A counter!("…") reference site.
+struct CounterRef {
+    name: String,
+    file: String,
+    line: usize,
+}
+
+/// A protocol enum variant.
+struct Variant {
+    enum_name: String,
+    name: String,
+    line: usize,
+}
+
+#[derive(Default)]
+struct CrossFile {
+    counter_refs: Vec<CounterRef>,
+    /// Declared counter names with their catalog line.
+    catalog: Vec<(String, usize)>,
+    catalog_file_seen: bool,
+    variants: Vec<Variant>,
+    protocol_file: String,
+    /// Concatenated code text of every `*roundtrip*` fn under
+    /// `crates/service`.
+    roundtrip_text: String,
+}
+
+#[derive(Default)]
+pub(crate) struct Scanner {
+    findings: Vec<Finding>,
+    cross: CrossFile,
+    files_scanned: usize,
+}
+
+/// Per-file preprocessing: lexed lines, brace depth at line start, test
+/// regions, and suppression sets.
+struct Prep {
+    lines: Vec<Line>,
+    depth_start: Vec<i32>,
+    in_test: Vec<bool>,
+    allow: Vec<BTreeSet<String>>,
+}
+
+impl Scanner {
+    pub(crate) fn scan_file(&mut self, rel: &str, source: &str) {
+        self.files_scanned += 1;
+        let prep = self.prepare(rel, source);
+        self.scan_lines(rel, &prep);
+        self.collect_cross_file(rel, &prep);
+    }
+
+    pub(crate) fn finish(mut self) -> Analysis {
+        self.check_counters();
+        self.check_roundtrips();
+        self.findings.sort_by_key(|f| f.sort_key());
+        Analysis {
+            findings: self.findings,
+            files_scanned: self.files_scanned,
+        }
+    }
+
+    /// Lexes the file and builds depth/test/suppression tables. Emits A001
+    /// for malformed suppressions as a side effect.
+    fn prepare(&mut self, rel: &str, source: &str) -> Prep {
+        let lines = lexer::lex(source);
+        let n = lines.len();
+        let mut depth_start = vec![0i32; n];
+        let mut in_test = vec![false; n];
+        let mut allow: Vec<BTreeSet<String>> = vec![BTreeSet::new(); n];
+
+        let file_is_test = rel.starts_with("tests/")
+            || rel.contains("/tests/")
+            || rel.starts_with("benches/")
+            || rel.contains("/benches/");
+
+        let mut depth = 0i32;
+        let mut pending_cfg_test = false;
+        let mut test_until: Option<i32> = None;
+        for (idx, line) in lines.iter().enumerate() {
+            depth_start[idx] = depth;
+            let was_test = test_until.is_some();
+            if line.code.contains("cfg(test)") {
+                pending_cfg_test = true;
+            }
+            for c in line.code.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        if pending_cfg_test {
+                            if test_until.is_none() {
+                                test_until = Some(depth);
+                            }
+                            pending_cfg_test = false;
+                        }
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if let Some(d) = test_until {
+                            if depth < d {
+                                test_until = None;
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            in_test[idx] = file_is_test || was_test || test_until.is_some();
+        }
+
+        for (idx, line) in lines.iter().enumerate() {
+            if let Some(ids) = self.parse_suppression(rel, idx + 1, &line.comment) {
+                for id in &ids {
+                    allow[idx].insert(id.clone());
+                    if idx + 1 < n {
+                        allow[idx + 1].insert(id.clone());
+                    }
+                }
+            }
+        }
+
+        Prep {
+            lines,
+            depth_start,
+            in_test,
+            allow,
+        }
+    }
+
+    /// Parses one comment's `pc-allow:` clause. Returns the allowed ids when
+    /// well-formed; emits A001 and returns `None` otherwise.
+    fn parse_suppression(&mut self, rel: &str, line: usize, comment: &str) -> Option<Vec<String>> {
+        // Only a comment that *is* a suppression counts — prose that merely
+        // mentions pc-allow (docs, this function) must not parse as one.
+        let rest = comment.trim_start().strip_prefix("pc-allow:")?;
+        let mut a001 = |message: String| {
+            self.findings.push(Finding {
+                lint: "A001",
+                file: rel.to_string(),
+                line,
+                message,
+            });
+        };
+        let (ids_part, reason) = match rest.find('—') {
+            Some(dash) => (&rest[..dash], &rest[dash + '—'.len_utf8()..]),
+            None => match rest.find(" - ") {
+                Some(dash) => (&rest[..dash], &rest[dash + 3..]),
+                None => {
+                    a001("pc-allow without a reason (append `— reason`)".to_string());
+                    return None;
+                }
+            },
+        };
+        if reason.trim().is_empty() {
+            a001("pc-allow without a reason (append `— reason`)".to_string());
+            return None;
+        }
+        let ids: Vec<String> = ids_part
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if ids.is_empty() {
+            a001("pc-allow names no lint ids".to_string());
+            return None;
+        }
+        for id in &ids {
+            if lints::lint(id).is_none() {
+                a001(format!("pc-allow names unknown lint id `{id}`"));
+                return None;
+            }
+        }
+        Some(ids)
+    }
+
+    fn emit(&mut self, prep: &Prep, lint: &'static str, rel: &str, idx: usize, message: String) {
+        if prep.allow[idx].contains(lint) {
+            return;
+        }
+        self.findings.push(Finding {
+            lint,
+            file: rel.to_string(),
+            line: idx + 1,
+            message,
+        });
+    }
+
+    fn scan_lines(&mut self, rel: &str, prep: &Prep) {
+        let service_src = rel.starts_with("crates/service/src/");
+        let timing_crate = rel.starts_with("crates/telemetry/") || rel.starts_with("crates/bench/");
+
+        for idx in 0..prep.lines.len() {
+            let code = prep.lines[idx].code.clone();
+            let test = prep.in_test[idx];
+
+            // D001 — everywhere, tests included.
+            for tok in ["HashMap", "HashSet"] {
+                for _ in lexer::find_tokens(&code, tok) {
+                    self.emit(
+                        prep,
+                        "D001",
+                        rel,
+                        idx,
+                        format!(
+                            "std {tok} has per-process-seeded iteration order; \
+                             use the BTree equivalent or sort before iterating"
+                        ),
+                    );
+                }
+            }
+
+            if !test && !timing_crate {
+                // D002 — wall clock.
+                for pat in ["Instant::now", "SystemTime::now"] {
+                    for _ in lexer::find_tokens(&code, pat) {
+                        self.emit(
+                            prep,
+                            "D002",
+                            rel,
+                            idx,
+                            format!(
+                                "{pat} reads the wall clock; deterministic paths take \
+                                 time as input (the telemetry \"timing\" phase owns real time)"
+                            ),
+                        );
+                    }
+                }
+                // D003 — unseeded RNG.
+                for tok in ["thread_rng", "from_entropy"] {
+                    for _ in lexer::find_tokens(&code, tok) {
+                        self.emit(
+                            prep,
+                            "D003",
+                            rel,
+                            idx,
+                            format!("{tok} draws OS entropy; every stream takes an explicit seed"),
+                        );
+                    }
+                }
+            }
+
+            if service_src && !test {
+                self.scan_panic_safety(rel, prep, idx, &code);
+            }
+
+            // U001 — unsafe needs a SAFETY comment nearby.
+            for _ in lexer::find_tokens(&code, "unsafe") {
+                let documented = (idx.saturating_sub(3)..=idx)
+                    .any(|j| prep.lines[j].comment.contains("SAFETY:"));
+                if !documented {
+                    self.emit(
+                        prep,
+                        "U001",
+                        rel,
+                        idx,
+                        "`unsafe` without a `// SAFETY:` comment on the same line or \
+                         within the three lines above"
+                            .to_string(),
+                    );
+                }
+            }
+
+            // U002 — invariant-skipping constructor stays home.
+            if rel != "crates/core/src/bits.rs" {
+                for _ in lexer::find_tokens(&code, "from_sorted_unchecked") {
+                    self.emit(
+                        prep,
+                        "U002",
+                        rel,
+                        idx,
+                        "from_sorted_unchecked referenced outside its home module \
+                         crates/core/src/bits.rs"
+                            .to_string(),
+                    );
+                }
+            }
+
+            // Counter references feed the cross-file W002/W003 checks.
+            if !test {
+                for at in lexer::find_tokens(&code, "counter") {
+                    if let Some(name) = macro_string_arg(&code, &prep.lines[idx].raw, at + 7) {
+                        self.cross.counter_refs.push(CounterRef {
+                            name,
+                            file: rel.to_string(),
+                            line: idx + 1,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    fn scan_panic_safety(&mut self, rel: &str, prep: &Prep, idx: usize, code: &str) {
+        for at in lexer::find_tokens(code, "unwrap") {
+            if at > 0 && code.as_bytes()[at - 1] == b'.' {
+                self.emit(
+                    prep,
+                    "P001",
+                    rel,
+                    idx,
+                    ".unwrap() can panic on a request path; return a typed error".to_string(),
+                );
+            }
+        }
+        for at in lexer::find_tokens(code, "expect") {
+            if at > 0 && code.as_bytes()[at - 1] == b'.' {
+                self.emit(
+                    prep,
+                    "P002",
+                    rel,
+                    idx,
+                    ".expect() can panic on a request path; return a typed error".to_string(),
+                );
+            }
+        }
+        for tok in ["panic", "unreachable", "todo", "unimplemented"] {
+            for at in lexer::find_tokens(code, tok) {
+                if code[at + tok.len()..].starts_with('!') {
+                    self.emit(
+                        prep,
+                        "P003",
+                        rel,
+                        idx,
+                        format!(
+                            "{tok}! aborts request handling; return a typed error \
+                             (catch_unwind respawn is a last resort)"
+                        ),
+                    );
+                }
+            }
+        }
+        // P004 — `xs[i]` style indexing. A '[' immediately after an
+        // identifier, ']' or ')' is an index expression; type positions
+        // (`&mut [u8]`) and literals (`[0; 4]`) have a non-ident char
+        // before the bracket.
+        let bytes = code.as_bytes();
+        for (pos, &b) in bytes.iter().enumerate() {
+            if b != b'[' || pos == 0 {
+                continue;
+            }
+            let prev = bytes[pos - 1] as char;
+            if lexer::is_ident_char(prev) || prev == ']' || prev == ')' {
+                self.emit(
+                    prep,
+                    "P004",
+                    rel,
+                    idx,
+                    "direct indexing can panic; use .get()/.get_mut() and handle the miss"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    /// Collects catalog declarations, protocol variants, and roundtrip-test
+    /// bodies for the cross-file checks.
+    fn collect_cross_file(&mut self, rel: &str, prep: &Prep) {
+        if rel == "crates/telemetry/src/catalog.rs" {
+            self.cross.catalog_file_seen = true;
+            let mut in_region = false;
+            for (idx, line) in prep.lines.iter().enumerate() {
+                if !in_region {
+                    if !lexer::find_tokens(&line.code, "COUNTERS").is_empty() {
+                        in_region = true;
+                    } else {
+                        continue;
+                    }
+                }
+                for name in string_literals(&line.code, &line.raw) {
+                    self.cross.catalog.push((name, idx + 1));
+                }
+                if line.code.contains("];") {
+                    break;
+                }
+            }
+        }
+
+        if rel == "crates/service/src/protocol.rs" {
+            self.cross.protocol_file = rel.to_string();
+            self.collect_variants(prep);
+        }
+
+        if rel.starts_with("crates/service/") {
+            self.collect_roundtrip_bodies(prep);
+        }
+    }
+
+    fn collect_variants(&mut self, prep: &Prep) {
+        let n = prep.lines.len();
+        let mut idx = 0usize;
+        while idx < n {
+            let code = &prep.lines[idx].code;
+            let enum_name = lexer::find_tokens(code, "enum")
+                .first()
+                .map(|&at| leading_ident(code[at + 4..].trim_start()))
+                .filter(|name| name == "Request" || name == "Response");
+            let Some(enum_name) = enum_name else {
+                idx += 1;
+                continue;
+            };
+            let base = prep.depth_start[idx];
+            let mut j = idx + 1;
+            while j < n && prep.depth_start[j] > base {
+                if prep.depth_start[j] == base + 1 {
+                    let trimmed = prep.lines[j].code.trim_start();
+                    let first = trimmed.chars().next().unwrap_or(' ');
+                    if first.is_ascii_uppercase() {
+                        self.cross.variants.push(Variant {
+                            enum_name: enum_name.clone(),
+                            name: leading_ident(trimmed),
+                            line: j + 1,
+                        });
+                    }
+                }
+                j += 1;
+            }
+            idx = j;
+        }
+    }
+
+    fn collect_roundtrip_bodies(&mut self, prep: &Prep) {
+        let n = prep.lines.len();
+        for idx in 0..n {
+            let code = &prep.lines[idx].code;
+            let Some(&at) = lexer::find_tokens(code, "fn").first() else {
+                continue;
+            };
+            let name = leading_ident(code[at + 2..].trim_start());
+            if !name.contains("roundtrip") {
+                continue;
+            }
+            let base = prep.depth_start[idx];
+            self.cross.roundtrip_text.push_str(code);
+            self.cross.roundtrip_text.push('\n');
+            let mut j = idx + 1;
+            while j < n && prep.depth_start[j] > base {
+                self.cross.roundtrip_text.push_str(&prep.lines[j].code);
+                self.cross.roundtrip_text.push('\n');
+                j += 1;
+            }
+        }
+    }
+
+    /// W002/W003 — referenced counters vs. the catalog.
+    fn check_counters(&mut self) {
+        if !self.cross.catalog_file_seen && self.cross.counter_refs.is_empty() {
+            return;
+        }
+        let declared: BTreeSet<&str> = self
+            .cross
+            .catalog
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect();
+        let referenced: BTreeSet<&str> = self
+            .cross
+            .counter_refs
+            .iter()
+            .map(|r| r.name.as_str())
+            .collect();
+        for r in &self.cross.counter_refs {
+            if !declared.contains(r.name.as_str()) {
+                self.findings.push(Finding {
+                    lint: "W002",
+                    file: r.file.clone(),
+                    line: r.line,
+                    message: format!(
+                        "counter \"{}\" is not declared in crates/telemetry/src/catalog.rs",
+                        r.name
+                    ),
+                });
+            }
+        }
+        for (name, line) in &self.cross.catalog {
+            if !referenced.contains(name.as_str()) {
+                self.findings.push(Finding {
+                    lint: "W003",
+                    file: "crates/telemetry/src/catalog.rs".to_string(),
+                    line: *line,
+                    message: format!(
+                        "counter \"{name}\" is declared but no counter!(…) site references it"
+                    ),
+                });
+            }
+        }
+    }
+
+    /// W001 — every protocol variant appears in some roundtrip test.
+    fn check_roundtrips(&mut self) {
+        for v in &self.cross.variants {
+            let pat = format!("{}::{}", v.enum_name, v.name);
+            if lexer::find_tokens(&self.cross.roundtrip_text, &pat).is_empty() {
+                self.findings.push(Finding {
+                    lint: "W001",
+                    file: self.cross.protocol_file.clone(),
+                    line: v.line,
+                    message: format!("{pat} has no codec roundtrip test"),
+                });
+            }
+        }
+    }
+}
+
+/// The identifier at the start of `s`.
+fn leading_ident(s: &str) -> String {
+    s.chars().take_while(|&c| lexer::is_ident_char(c)).collect()
+}
+
+/// If `code[from..]` starts (after whitespace) with `!(` followed by a
+/// string literal, reads that literal's contents out of the aligned raw
+/// line.
+fn macro_string_arg(code: &str, raw: &str, from: usize) -> Option<String> {
+    let code_chars: Vec<char> = code.chars().collect();
+    let raw_chars: Vec<char> = raw.chars().collect();
+    let mut i = from;
+    while code_chars.get(i) == Some(&' ') {
+        i += 1;
+    }
+    if code_chars.get(i) != Some(&'!') {
+        return None;
+    }
+    i += 1;
+    while code_chars.get(i) == Some(&' ') {
+        i += 1;
+    }
+    if code_chars.get(i) != Some(&'(') {
+        return None;
+    }
+    i += 1;
+    while i < code_chars.len() && code_chars[i] != '"' {
+        i += 1;
+    }
+    if i >= code_chars.len() {
+        return None;
+    }
+    let start = i + 1;
+    let mut end = start;
+    while end < code_chars.len() && code_chars[end] != '"' {
+        end += 1;
+    }
+    if end >= code_chars.len() || end > raw_chars.len() {
+        return None;
+    }
+    Some(raw_chars[start..end].iter().collect())
+}
+
+/// All string literal contents on a line, read from the raw text via the
+/// code/raw alignment (delimiters survive blanking, contents do not).
+fn string_literals(code: &str, raw: &str) -> Vec<String> {
+    let code_chars: Vec<char> = code.chars().collect();
+    let raw_chars: Vec<char> = raw.chars().collect();
+    let mut out = Vec::new();
+    let mut open: Option<usize> = None;
+    for (i, &c) in code_chars.iter().enumerate() {
+        if c != '"' {
+            continue;
+        }
+        match open.take() {
+            None => open = Some(i),
+            Some(start) => {
+                if i <= raw_chars.len() {
+                    out.push(raw_chars[start + 1..i].iter().collect());
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(rel: &str, source: &str) -> Vec<Finding> {
+        let mut s = Scanner::default();
+        s.scan_file(rel, source);
+        s.finish().findings
+    }
+
+    fn ids(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.lint).collect()
+    }
+
+    #[test]
+    fn d001_fires_everywhere_including_tests() {
+        let src = "use std::collections::HashMap;\n\
+                   #[cfg(test)]\nmod tests {\n    fn f() { let m = HashMap::new(); }\n}\n";
+        let found = scan("crates/core/src/x.rs", src);
+        assert_eq!(ids(&found), vec!["D001", "D001"]);
+        assert_eq!(found[0].line, 1);
+        assert_eq!(found[1].line, 4);
+    }
+
+    #[test]
+    fn d002_skips_tests_and_timing_crates() {
+        let src = "fn f() { let t = Instant::now(); }\n\
+                   #[cfg(test)]\nmod tests {\n    fn g() { let t = Instant::now(); }\n}\n";
+        assert_eq!(ids(&scan("crates/core/src/x.rs", src)), vec!["D002"]);
+        assert!(scan("crates/telemetry/src/x.rs", src).is_empty());
+        assert!(scan("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p_lints_scope_to_service_src() {
+        let src = "fn f(xs: &[u8]) { let v = xs.get(0).unwrap(); foo.expect(\"x\"); \
+                   panic!(\"boom\"); let y = xs[0]; }\n";
+        let found = scan("crates/service/src/x.rs", src);
+        assert_eq!(ids(&found), vec!["P001", "P002", "P003", "P004"]);
+        assert!(scan("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p004_ignores_types_and_literals() {
+        let src = "fn f(buf: &mut [u8], xs: [u64; 4]) { let a = [0u8; 2]; }\n";
+        assert!(scan("crates/service/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_silences_and_validates() {
+        let ok = "fn f() { let t = Instant::now(); } // pc-allow: D002 — deadline is wall-clock\n";
+        assert!(scan("crates/core/src/x.rs", ok).is_empty());
+        let above = "// pc-allow: D002 — deadline is wall-clock\n\
+                     fn f() { let t = Instant::now(); }\n";
+        assert!(scan("crates/core/src/x.rs", above).is_empty());
+        let no_reason = "fn f() { let t = Instant::now(); } // pc-allow: D002\n";
+        assert_eq!(
+            ids(&scan("crates/core/src/x.rs", no_reason)),
+            vec!["A001", "D002"]
+        );
+        let unknown = "fn f() { let t = Instant::now(); } // pc-allow: Z999 — whatever\n";
+        assert_eq!(
+            ids(&scan("crates/core/src/x.rs", unknown)),
+            vec!["A001", "D002"]
+        );
+    }
+
+    #[test]
+    fn u001_wants_safety_comments() {
+        let bad = "fn f() { unsafe { g() } }\n";
+        assert_eq!(ids(&scan("crates/kernels/src/x.rs", bad)), vec!["U001"]);
+        let good = "// SAFETY: g has no preconditions\nfn f() { unsafe { g() } }\n";
+        assert!(scan("crates/kernels/src/x.rs", good).is_empty());
+        let string = "fn f() { let s = \"unsafe\"; }\n";
+        assert!(scan("crates/kernels/src/x.rs", string).is_empty());
+    }
+
+    #[test]
+    fn u002_allowlists_the_home_module() {
+        let src = "fn f() { let b = Bitset::from_sorted_unchecked(v); }\n";
+        assert_eq!(ids(&scan("crates/core/src/packed.rs", src)), vec!["U002"]);
+        assert!(scan("crates/core/src/bits.rs", src).is_empty());
+    }
+
+    #[test]
+    fn w002_and_w003_cross_check_the_catalog() {
+        let mut s = Scanner::default();
+        s.scan_file(
+            "crates/telemetry/src/catalog.rs",
+            "pub const COUNTERS: &[&str] = &[\n    \"a.b\",\n    \"c.d\",\n];\n",
+        );
+        s.scan_file(
+            "crates/core/src/x.rs",
+            "fn f() { counter!(\"a.b\").add(1); \
+                                             counter!(\"z.z\").add(1); }\n",
+        );
+        let found = s.finish().findings;
+        assert_eq!(ids(&found), vec!["W002", "W003"]);
+        assert!(found[0].message.contains("z.z"));
+        assert!(found[1].message.contains("c.d"));
+    }
+
+    #[test]
+    fn w001_wants_roundtrip_coverage() {
+        let mut s = Scanner::default();
+        s.scan_file(
+            "crates/service/src/protocol.rs",
+            "pub enum Request {\n    Ping,\n    Identify { id: u64 },\n}\n",
+        );
+        s.scan_file(
+            "crates/service/tests/codec.rs",
+            "#[test]\nfn ping_roundtrip() { let r = Request::Ping; }\n",
+        );
+        let found = s.finish().findings;
+        assert_eq!(ids(&found), vec!["W001"]);
+        assert!(found[0].message.contains("Request::Identify"));
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn counter_refs_read_the_literal_from_raw() {
+        let mut s = Scanner::default();
+        s.scan_file(
+            "crates/core/src/x.rs",
+            "fn f() { counter!(\"core.x.y\").add(1); }\n",
+        );
+        let found = s.finish().findings;
+        // No catalog file seen and no catalog entries -> refs unchecked only
+        // when there are no refs; with refs present they are undeclared.
+        assert_eq!(ids(&found), vec!["W002"]);
+        assert!(found[0].message.contains("core.x.y"));
+    }
+}

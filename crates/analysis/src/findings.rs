@@ -1,0 +1,131 @@
+//! Findings and report rendering (stable text + JSON).
+
+use pc_telemetry::{JsonObject, JsonValue};
+
+/// One lint violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint id (`D001`, …).
+    pub lint: &'static str,
+    /// Workspace-relative file path, forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human explanation of this occurrence.
+    pub message: String,
+}
+
+impl Finding {
+    /// Stable sort key: file, then line, then lint id.
+    pub fn sort_key(&self) -> (String, usize, &'static str) {
+        (self.file.clone(), self.line, self.lint)
+    }
+
+    /// `file:line: LINT message` — one text-report row.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {} {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+
+    /// The finding as a JSON object.
+    pub fn to_json(&self) -> JsonObject {
+        let mut obj = JsonObject::new();
+        obj.set("lint", self.lint);
+        obj.set("file", self.file.as_str());
+        obj.set("line", self.line as u64);
+        obj.set("message", self.message.as_str());
+        obj
+    }
+}
+
+/// A stale baseline entry: the baseline allows more findings than the tree
+/// has, so the budget must be ratcheted down with `--update-baseline`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// Lint id.
+    pub lint: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Count the baseline allows.
+    pub baseline: u64,
+    /// Count actually found.
+    pub found: u64,
+}
+
+/// The outcome of an analysis run after baseline comparison.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Findings not covered by the baseline — these fail the run.
+    pub new: Vec<Finding>,
+    /// Findings covered by the baseline budget.
+    pub baselined: Vec<Finding>,
+    /// Baseline entries whose budget exceeds what the tree has.
+    pub stale: Vec<StaleEntry>,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the run passes: no new findings and no stale budget.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+
+    /// The human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.new {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        for f in &self.baselined {
+            out.push_str(&f.render());
+            out.push_str(" [baselined]\n");
+        }
+        for s in &self.stale {
+            out.push_str(&format!(
+                "{}: stale baseline: {} allows {} but only {} found — run with --update-baseline\n",
+                s.file, s.lint, s.baseline, s.found
+            ));
+        }
+        out.push_str(&format!(
+            "pc-analyze: {} file(s), {} new finding(s), {} baselined, {} stale baseline entr{} — {}\n",
+            self.files_scanned,
+            self.new.len(),
+            self.baselined.len(),
+            self.stale.len(),
+            if self.stale.len() == 1 { "y" } else { "ies" },
+            if self.is_clean() { "clean" } else { "FAIL" }
+        ));
+        out
+    }
+
+    /// The machine-readable report (stable field and finding order).
+    pub fn render_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.set("schema", "pc-analyze/report/v1");
+        obj.set("analyzer_version", env!("CARGO_PKG_VERSION"));
+        obj.set("files_scanned", self.files_scanned as u64);
+        obj.set("clean", self.is_clean());
+        let new: Vec<JsonValue> = self.new.iter().map(|f| f.to_json().into()).collect();
+        obj.set("new", new);
+        let baselined: Vec<JsonValue> = self.baselined.iter().map(|f| f.to_json().into()).collect();
+        obj.set("baselined", baselined);
+        let stale: Vec<JsonValue> = self
+            .stale
+            .iter()
+            .map(|s| {
+                let mut o = JsonObject::new();
+                o.set("lint", s.lint.as_str());
+                o.set("file", s.file.as_str());
+                o.set("baseline", s.baseline);
+                o.set("found", s.found);
+                o.into()
+            })
+            .collect();
+        obj.set("stale_baseline", stale);
+        obj.to_pretty()
+    }
+}

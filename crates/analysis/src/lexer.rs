@@ -1,0 +1,355 @@
+//! A lightweight Rust line lexer.
+//!
+//! The analyzer never needs a syntax tree — every lint in the launch set is
+//! a question about *tokens in code position* ("is `HashMap` mentioned
+//! outside a string?", "does `.expect(` appear outside a test module?") or
+//! about *comment text* (`// SAFETY:`, `// pc-allow:`). So the lexer does
+//! exactly one job: split each source line into its code part and its
+//! comment part, with string/char-literal contents blanked out of the code.
+//!
+//! Alignment contract: a line's `code` has the **same length** as the raw
+//! line. Stripped characters (comment text, string contents) are replaced by
+//! spaces, and the string delimiters themselves are kept, so a byte offset
+//! into `code` indexes the same character in the raw line. Lints use this to
+//! read, e.g., the literal inside `counter!("…")` back out of the raw text
+//! after matching the macro in code position.
+//!
+//! Handled: line comments, nested block comments, doc comments, string /
+//! raw-string / byte-string / char literals (with escapes), and the
+//! lifetime-vs-char-literal ambiguity (`'a>` vs `'a'`).
+
+/// One source line, split into aligned code and extracted comment text.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// The line with comments and literal contents blanked (same length as
+    /// the raw line).
+    pub code: String,
+    /// The concatenated comment text on this line (without `//` / `/*`
+    /// markers).
+    pub comment: String,
+    /// The raw line, verbatim.
+    pub raw: String,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Lexes `source` into per-line code/comment splits.
+pub fn lex(source: &str) -> Vec<Line> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<Line> = vec![Line::default()];
+    let mut state = State::Code;
+    let mut i = 0usize;
+    // The last code character pushed, for ident-boundary checks (raw-string
+    // prefixes, lifetime disambiguation).
+    let mut prev_code = ' ';
+
+    macro_rules! cur {
+        () => {
+            lines.last_mut().expect("lines never empty")
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(Line::default());
+            prev_code = ' ';
+            i += 1;
+            continue;
+        }
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Code => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    cur!().code.push_str("  ");
+                    i += 2;
+                    // Skip doc-comment markers so `/// SAFETY:` and
+                    // `//! …` read as plain comment text.
+                    while chars.get(i) == Some(&'/') || chars.get(i) == Some(&'!') {
+                        cur!().code.push(' ');
+                        i += 1;
+                    }
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    cur!().code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                // Raw / byte string prefixes: r", r#", br", b" — only when
+                // the prefix letter starts an identifier of its own.
+                if (c == 'r' || c == 'b') && !is_ident_char(prev_code) {
+                    if let Some(skip) = raw_string_prefix(&chars, i) {
+                        // skip = (consumed chars, hash count) for r#*" / br#*".
+                        let (consumed, hashes) = skip;
+                        for _ in 0..consumed {
+                            cur!().code.push(' ');
+                        }
+                        cur!().code.push('"');
+                        state = State::RawStr(hashes);
+                        i += consumed + 1;
+                        prev_code = '"';
+                        continue;
+                    }
+                    if c == 'b' && next == Some('"') {
+                        cur!().code.push(' ');
+                        cur!().code.push('"');
+                        state = State::Str;
+                        i += 2;
+                        prev_code = '"';
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    cur!().code.push('"');
+                    state = State::Str;
+                    i += 1;
+                    prev_code = '"';
+                    continue;
+                }
+                if c == '\'' {
+                    // `'a` followed by another quote is the char literal
+                    // `'a'`; `'a` followed by anything else is a lifetime.
+                    let is_lifetime = match next {
+                        Some(n) if is_ident_char(n) => chars.get(i + 2) != Some(&'\''),
+                        _ => false,
+                    };
+                    if is_lifetime {
+                        cur!().code.push('\'');
+                        i += 1;
+                        prev_code = '\'';
+                        continue;
+                    }
+                    cur!().code.push('\'');
+                    state = State::Char;
+                    i += 1;
+                    prev_code = '\'';
+                    continue;
+                }
+                cur!().code.push(c);
+                prev_code = c;
+                i += 1;
+            }
+            State::LineComment => {
+                cur!().code.push(' ');
+                cur!().comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    cur!().code.push_str("  ");
+                    if depth == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(depth - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    cur!().code.push_str("  ");
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur!().code.push(' ');
+                    cur!().comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    // Blank the backslash; consume the escaped char too
+                    // unless it is the newline of a `\`-continued string
+                    // (the main loop must see that newline to keep line
+                    // numbers aligned).
+                    cur!().code.push(' ');
+                    if next.is_some() && next != Some('\n') {
+                        cur!().code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '"' {
+                    cur!().code.push('"');
+                    state = State::Code;
+                    prev_code = '"';
+                    i += 1;
+                } else {
+                    cur!().code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    cur!().code.push('"');
+                    for _ in 0..hashes {
+                        cur!().code.push(' ');
+                    }
+                    state = State::Code;
+                    prev_code = '"';
+                    i += 1 + hashes as usize;
+                } else {
+                    cur!().code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    cur!().code.push(' ');
+                    if next.is_some() && next != Some('\n') {
+                        cur!().code.push(' ');
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    cur!().code.push('\'');
+                    state = State::Code;
+                    prev_code = '\'';
+                    i += 1;
+                } else {
+                    cur!().code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    // Attach raw text per line (the state machine above only builds code
+    // and comment buffers).
+    for (line, raw) in lines.iter_mut().zip(source.split('\n')) {
+        line.raw = raw.to_string();
+    }
+    lines
+}
+
+/// Whether `c` can appear in an identifier.
+pub fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// At `chars[i] == 'r' | 'b'`, detects `r#*"` / `br#*"` prefixes. Returns
+/// `(chars consumed before the quote, hash count)`.
+fn raw_string_prefix(chars: &[char], i: usize) -> Option<(usize, u32)> {
+    let mut j = i;
+    if chars[j] == 'b' {
+        if chars.get(j + 1) != Some(&'r') {
+            return None;
+        }
+        j += 1;
+    }
+    if chars[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j - i, hashes))
+    } else {
+        None
+    }
+}
+
+/// Whether the `"` at `chars[i]` is followed by `hashes` `#` characters.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Byte offsets in `code` where `token` occurs with identifier boundaries on
+/// both sides.
+pub fn find_tokens(code: &str, token: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = code[from..].find(token) {
+        let at = from + pos;
+        let before_ok = at == 0 || !is_ident_char(code[..at].chars().next_back().unwrap_or(' '));
+        let after = code[at + token.len()..].chars().next().unwrap_or(' ');
+        if before_ok && !is_ident_char(after) {
+            out.push(at);
+        }
+        from = at + token.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_are_stripped_and_captured() {
+        let lines = lex("let x = 1; // trailing note\n/* block */ let y = 2;\n");
+        assert_eq!(lines[0].code.trim_end(), "let x = 1;");
+        assert_eq!(lines[0].comment.trim(), "trailing note");
+        assert!(lines[1].code.contains("let y = 2;"));
+        assert_eq!(lines[1].comment.trim(), "block");
+    }
+
+    #[test]
+    fn code_stays_aligned_with_raw() {
+        let src = "counter!(\"a.b\") // note\n";
+        let lines = lex(src);
+        assert_eq!(lines[0].code.len(), lines[0].raw.chars().count());
+        let at = lines[0].code.find("counter").unwrap();
+        assert_eq!(&lines[0].raw[at..at + 7], "counter");
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lines = lex("let s = \"HashMap::new()\";\nlet r = r#\"Instant::now\"#;\n");
+        assert!(!lines[0].code.contains("HashMap"));
+        assert!(!lines[1].code.contains("Instant"));
+        // Delimiters survive so expressions still look like expressions.
+        assert!(lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let lines = lex("/* outer /* inner */ still comment */ code();\n");
+        assert_eq!(lines[0].code.trim(), "code();");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = lex("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
+        assert!(lines[0].code.contains("fn f<'a>"));
+        assert_eq!(lines[1].code.trim_end(), "let c = ' ';");
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let lines = lex("let s = \"a\\\"b\"; let t = 1;\nlet c = '\\'';\n");
+        assert!(lines[0].code.contains("let t = 1;"));
+        assert!(lines[1].code.contains("let c ="));
+    }
+
+    #[test]
+    fn token_matching_respects_boundaries() {
+        assert_eq!(find_tokens("HashMap::new()", "HashMap"), vec![0]);
+        assert!(find_tokens("MyHashMap::new()", "HashMap").is_empty());
+        assert!(find_tokens("HashMapLike::new()", "HashMap").is_empty());
+        assert_eq!(find_tokens("a.unwrap().unwrap()", "unwrap"), vec![2, 11]);
+    }
+
+    #[test]
+    fn doc_comments_are_comment_text() {
+        let lines = lex("/// SAFETY: checked above\nunsafe { x() }\n");
+        assert!(lines[0].comment.contains("SAFETY:"));
+        assert!(lines[0].code.trim().is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! pc-analyze: the workspace invariant checker.
+//!
+//! A self-contained, offline static-analysis pass that walks the workspace
+//! source with a lightweight Rust line lexer (no external parser — the
+//! vendored-compat policy applies to tooling too) and enforces the
+//! repo-specific invariants the reproduction rests on, as named,
+//! individually-suppressible lints:
+//!
+//! * **D** — determinism (no hash-order iteration, wall clocks, or OS
+//!   entropy on scoring/persistence/stitching paths);
+//! * **P** — panic-safety (service request paths return typed errors);
+//! * **U** — unsafe hygiene (`// SAFETY:` comments, allowlisted
+//!   invariant-skipping constructors);
+//! * **W** — wire/telemetry contracts (roundtrip-tested protocol variants,
+//!   catalogued counters);
+//! * **A** — well-formed suppressions.
+//!
+//! Findings are compared against a checked-in `analysis-baseline.json`
+//! with strict ratchet semantics: new violations fail, and fixed ones
+//! fail too until the budget is shrunk with `--update-baseline` (budgets
+//! only go down).
+//!
+//! ```text
+//! pc analyze [--root DIR] [--format text|json] [--baseline PATH]
+//!            [--update-baseline] [--list]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (new or stale baseline), 2 internal
+//! error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod lints;
+
+pub use baseline::Baseline;
+pub use engine::{analyze, Analysis};
+pub use findings::{Finding, Report};
+pub use lints::{lint, Lint, LINTS};
+
+use std::path::{Path, PathBuf};
+
+/// The analyzer's version, recorded in reports and run manifests.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Walks up from `start` looking for the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Runs the analyzer against `root`'s checked-in baseline and summarises
+/// the tree for run manifests: `"clean"`, `"dirty:N"` (N = new + stale
+/// findings), or `"unavailable"` when the tree cannot be analyzed.
+pub fn tree_status(root: &Path) -> String {
+    let analysis = match engine::analyze(root) {
+        Ok(a) => a,
+        Err(_) => return "unavailable".to_string(),
+    };
+    let baseline = match load_baseline(&root.join(BASELINE_FILE)) {
+        Ok(b) => b,
+        Err(_) => return "unavailable".to_string(),
+    };
+    let report = baseline.compare(analysis.findings);
+    if report.is_clean() {
+        "clean".to_string()
+    } else {
+        format!("dirty:{}", report.new.len() + report.stale.len())
+    }
+}
+
+/// The default baseline file name, relative to the workspace root.
+pub const BASELINE_FILE: &str = "analysis-baseline.json";
+
+/// Loads a baseline file; a missing file is an empty baseline.
+fn load_baseline(path: &Path) -> Result<Baseline, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => Baseline::parse(&text),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+        Err(e) => Err(format!("read {}: {e}", path.display())),
+    }
+}
+
+/// The `pc analyze` entry point, shared by the standalone bin and the `pc`
+/// multitool. Returns the process exit code: 0 clean, 1 findings, 2
+/// internal error (bad flags, unreadable tree, malformed baseline).
+pub fn run_cli(args: &[String]) -> u8 {
+    match run_cli_inner(args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("pc-analyze: error: {message}");
+            2
+        }
+    }
+}
+
+fn run_cli_inner(args: &[String]) -> Result<u8, String> {
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut list = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                root = Some(PathBuf::from(v));
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs text|json")?;
+                if v != "text" && v != "json" {
+                    return Err(format!("unknown format `{v}` (want text|json)"));
+                }
+                format = v.clone();
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a path")?;
+                baseline_path = Some(PathBuf::from(v));
+            }
+            "--update-baseline" => update_baseline = true,
+            "--list" => list = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    if list {
+        for l in LINTS {
+            println!("{}  {:<32} {}", l.id, l.name, l.summary);
+        }
+        return Ok(0);
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or("no workspace root found (pass --root or run inside the workspace)")?
+        }
+    };
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
+
+    let analysis = engine::analyze(&root)?;
+
+    if update_baseline {
+        let updated = Baseline::from_findings(&analysis.findings);
+        if updated.entries.is_empty() {
+            if baseline_path.exists() {
+                std::fs::remove_file(&baseline_path)
+                    .map_err(|e| format!("remove {}: {e}", baseline_path.display()))?;
+            }
+            println!("pc-analyze: tree is clean; baseline removed");
+        } else {
+            std::fs::write(&baseline_path, updated.render())
+                .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+            println!(
+                "pc-analyze: baseline updated ({} entr{})",
+                updated.entries.len(),
+                if updated.entries.len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                }
+            );
+        }
+        return Ok(0);
+    }
+
+    let baseline = load_baseline(&baseline_path)?;
+    let mut report = baseline.compare(analysis.findings);
+    report.files_scanned = analysis.files_scanned;
+
+    match format.as_str() {
+        "json" => println!("{}", report.render_json()),
+        _ => print!("{}", report.render_text()),
+    }
+    Ok(if report.is_clean() { 0 } else { 1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_found_from_a_crate_dir() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn list_and_bad_flags_have_distinct_exit_codes() {
+        assert_eq!(run_cli(&["--list".to_string()]), 0);
+        assert_eq!(run_cli(&["--bogus".to_string()]), 2);
+        assert_eq!(run_cli(&["--format".to_string(), "yaml".to_string()]), 2);
+    }
+}

@@ -1,0 +1,260 @@
+//! Fixture-tree integration tests: for each lint family, a tiny synthetic
+//! workspace with an injected violation must produce exactly that finding,
+//! and the baseline ratchet must behave end to end through `run_cli`.
+
+use pc_analysis::{analyze, run_cli, tree_status, Baseline};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Builds a fresh fixture tree under the crate's target tmpdir from
+/// `(relative path, contents)` pairs and returns its root.
+fn fixture(name: &str, files: &[(&str, &str)]) -> PathBuf {
+    let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clear old fixture");
+    }
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixture paths have parents"))
+            .expect("mkdir fixture");
+        fs::write(&path, contents).expect("write fixture");
+    }
+    root
+}
+
+fn lint_ids(root: &Path) -> Vec<(String, String, usize)> {
+    analyze(root)
+        .expect("analyze fixture")
+        .findings
+        .into_iter()
+        .map(|f| (f.lint.to_string(), f.file, f.line))
+        .collect()
+}
+
+#[test]
+fn d_family_catches_injected_violations() {
+    let root = fixture(
+        "d-family",
+        &[(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\n\
+             fn f() { let t = std::time::Instant::now(); }\n\
+             fn g() { let r = rand::thread_rng(); }\n",
+        )],
+    );
+    let found = lint_ids(&root);
+    assert_eq!(
+        found,
+        vec![
+            ("D001".into(), "crates/core/src/x.rs".into(), 1),
+            ("D002".into(), "crates/core/src/x.rs".into(), 2),
+            ("D003".into(), "crates/core/src/x.rs".into(), 3),
+        ]
+    );
+}
+
+#[test]
+fn p_family_catches_injected_violations_only_in_service_src() {
+    let body = "fn f(xs: &[u8]) -> u8 {\n\
+                let a = xs.first().unwrap();\n\
+                let b = xs.first().expect(\"b\");\n\
+                if xs.is_empty() { panic!(\"boom\"); }\n\
+                xs[0]\n\
+                }\n";
+    let root = fixture(
+        "p-family",
+        &[
+            ("crates/service/src/handler.rs", body),
+            ("crates/core/src/same_code.rs", body),
+        ],
+    );
+    let found = lint_ids(&root);
+    assert_eq!(
+        found,
+        vec![
+            ("P001".into(), "crates/service/src/handler.rs".into(), 2),
+            ("P002".into(), "crates/service/src/handler.rs".into(), 3),
+            ("P003".into(), "crates/service/src/handler.rs".into(), 4),
+            ("P004".into(), "crates/service/src/handler.rs".into(), 5),
+        ]
+    );
+}
+
+#[test]
+fn u_family_catches_injected_violations() {
+    let root = fixture(
+        "u-family",
+        &[(
+            "crates/kernels/src/x.rs",
+            "fn f() { unsafe { g() } }\n\
+             fn h() { let b = Bitset::from_sorted_unchecked(v); }\n",
+        )],
+    );
+    let found = lint_ids(&root);
+    assert_eq!(
+        found,
+        vec![
+            ("U001".into(), "crates/kernels/src/x.rs".into(), 1),
+            ("U002".into(), "crates/kernels/src/x.rs".into(), 2),
+        ]
+    );
+}
+
+#[test]
+fn w_family_catches_injected_violations() {
+    let root = fixture(
+        "w-family",
+        &[
+            (
+                "crates/telemetry/src/catalog.rs",
+                "pub const COUNTERS: &[&str] = &[\n    \"svc.hits\",\n    \"svc.unused\",\n];\n",
+            ),
+            (
+                "crates/service/src/protocol.rs",
+                "pub enum Request {\n    Ping,\n    Untested { id: u64 },\n}\n",
+            ),
+            (
+                "crates/service/src/lib.rs",
+                "fn f() { counter!(\"svc.hits\").add(1); counter!(\"svc.rogue\").add(1); }\n",
+            ),
+            (
+                "crates/service/tests/codec.rs",
+                "#[test]\nfn ping_roundtrip() { let r = Request::Ping; }\n",
+            ),
+        ],
+    );
+    let found = lint_ids(&root);
+    assert_eq!(
+        found,
+        vec![
+            ("W002".into(), "crates/service/src/lib.rs".into(), 1),
+            ("W001".into(), "crates/service/src/protocol.rs".into(), 3),
+            ("W003".into(), "crates/telemetry/src/catalog.rs".into(), 3),
+        ]
+    );
+}
+
+#[test]
+fn suppressions_silence_findings_and_malformed_ones_are_a001() {
+    let root = fixture(
+        "suppressions",
+        &[(
+            "crates/core/src/x.rs",
+            "// pc-allow: D001 — fixture exercises suppression-above\n\
+             use std::collections::HashMap;\n\
+             fn f() { let t = Instant::now(); } // pc-allow: D002 — same-line form\n\
+             fn g() { let r = thread_rng(); } // pc-allow: D003\n",
+        )],
+    );
+    // Lines 1-3 are suppressed; line 4's pc-allow has no reason, so the
+    // suppression is rejected (A001) and D003 still fires.
+    let found = lint_ids(&root);
+    assert_eq!(
+        found,
+        vec![
+            ("A001".into(), "crates/core/src/x.rs".into(), 4),
+            ("D003".into(), "crates/core/src/x.rs".into(), 4),
+        ]
+    );
+}
+
+#[test]
+fn walk_skips_target_results_hidden_and_compat() {
+    let bad = "use std::collections::HashMap;\n";
+    let root = fixture(
+        "walk-exclusions",
+        &[
+            ("target/debug/build/gen.rs", bad),
+            ("results/fig05/snippet.rs", bad),
+            (".hidden/x.rs", bad),
+            ("crates/compat/rand/src/lib.rs", bad),
+            ("crates/core/src/ok.rs", "fn f() {}\n"),
+        ],
+    );
+    assert!(lint_ids(&root).is_empty());
+    assert_eq!(analyze(&root).expect("analyze").files_scanned, 1);
+}
+
+#[test]
+fn baseline_ratchet_via_cli_exit_codes() {
+    let dirty = "fn f() { let t = std::time::Instant::now(); }\n";
+    let root = fixture("ratchet-cli", &[("crates/core/src/x.rs", dirty)]);
+    let arg = |s: &str| s.to_string();
+    let run = |extra: &[String]| {
+        let mut args = vec![arg("--root"), root.to_string_lossy().into_owned()];
+        args.extend_from_slice(extra);
+        run_cli(&args)
+    };
+
+    // Dirty tree, no baseline: findings -> exit 1, and the tree reads dirty.
+    assert_eq!(run(&[]), 1);
+    assert_eq!(tree_status(&root), "dirty:1");
+
+    // Accept the debt: --update-baseline writes the file, re-run is clean.
+    assert_eq!(run(&[arg("--update-baseline")]), 0);
+    assert!(root.join("analysis-baseline.json").exists());
+    assert_eq!(run(&[arg("--format"), arg("json")]), 0);
+    assert_eq!(tree_status(&root), "clean");
+
+    // Regression: a second violation exceeds the budget -> exit 1.
+    fs::write(
+        root.join("crates/core/src/x.rs"),
+        format!("{dirty}fn g() {{ let t = std::time::Instant::now(); }}\n"),
+    )
+    .expect("grow fixture");
+    assert_eq!(run(&[]), 1);
+
+    // Fix everything: the budgeted entry is now stale -> still exit 1
+    // (the ratchet only moves down explicitly) ...
+    fs::write(root.join("crates/core/src/x.rs"), "fn f() {}\n").expect("fix fixture");
+    assert_eq!(run(&[]), 1);
+    assert_eq!(tree_status(&root), "dirty:1");
+
+    // ... until --update-baseline removes the now-empty baseline.
+    assert_eq!(run(&[arg("--update-baseline")]), 0);
+    assert!(!root.join("analysis-baseline.json").exists());
+    assert_eq!(run(&[]), 0);
+}
+
+#[test]
+fn malformed_baseline_is_an_internal_error() {
+    let root = fixture("bad-baseline", &[("crates/core/src/x.rs", "fn f() {}\n")]);
+    fs::write(
+        root.join("analysis-baseline.json"),
+        "{\"schema\": \"nope\"}",
+    )
+    .expect("write bad baseline");
+    let args = vec!["--root".to_string(), root.to_string_lossy().into_owned()];
+    assert_eq!(run_cli(&args), 2);
+}
+
+#[test]
+fn baseline_render_parse_roundtrip_through_files() {
+    let root = fixture(
+        "baseline-roundtrip",
+        &[(
+            "crates/core/src/x.rs",
+            "use std::collections::HashMap;\nuse std::collections::HashSet;\n",
+        )],
+    );
+    let findings = analyze(&root).expect("analyze").findings;
+    let baseline = Baseline::from_findings(&findings);
+    let reparsed = Baseline::parse(&baseline.render()).expect("reparse");
+    assert_eq!(baseline.entries, reparsed.entries);
+    assert_eq!(
+        reparsed
+            .entries
+            .get(&("D001".to_string(), "crates/core/src/x.rs".to_string())),
+        Some(&2)
+    );
+    assert!(reparsed.compare(findings).is_clean());
+}
+
+/// The acceptance gate: the shipped tree itself analyzes clean against its
+/// checked-in baseline.
+#[test]
+fn shipped_tree_is_clean() {
+    let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = pc_analysis::find_workspace_root(here).expect("workspace root");
+    assert_eq!(tree_status(&root), "clean", "run `pc analyze` for details");
+}

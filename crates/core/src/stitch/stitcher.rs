@@ -3,7 +3,7 @@
 use crate::stitch::MinHasher;
 use crate::{ErrorString, Fingerprint, PcDistance};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// How a cluster's page fingerprint absorbs a new observation of the same
 /// physical page.
@@ -124,7 +124,7 @@ pub struct Stitcher {
     clusters: Vec<Option<Cluster>>,
     parent: Vec<ClusterId>,
     /// Per band: bucket key → (cluster, cluster-relative offset) postings.
-    index: Vec<HashMap<u64, Vec<(ClusterId, i64)>>>,
+    index: Vec<BTreeMap<u64, Vec<(ClusterId, i64)>>>,
     live: usize,
     page_bits: u64,
     observations: u64,
@@ -149,7 +149,7 @@ impl Stitcher {
         );
         let hasher = MinHasher::new(config.bands, config.rows_per_band, config.seed);
         Self {
-            index: (0..config.bands).map(|_| HashMap::new()).collect(),
+            index: (0..config.bands).map(|_| BTreeMap::new()).collect(),
             config,
             hasher,
             metric: PcDistance::new(),
@@ -219,7 +219,7 @@ impl Stitcher {
             .collect();
 
         // Phase 1: vote for candidate (cluster, alignment) pairs via LSH.
-        let mut votes: HashMap<(ClusterId, i64), u32> = HashMap::new();
+        let mut votes: BTreeMap<(ClusterId, i64), u32> = BTreeMap::new();
         for &i in &usable {
             let sig = self.hasher.signature(&pages[i]);
             for (band, key) in self.hasher.band_keys(&sig).into_iter().enumerate() {
@@ -241,7 +241,7 @@ impl Stitcher {
         pc_telemetry::counter!("core.stitch.candidates").add(candidates.len() as u64);
 
         // Best accepted alignment per cluster: cid -> (delta, matched pages).
-        let mut accepted: HashMap<ClusterId, (i64, usize)> = HashMap::new();
+        let mut accepted: BTreeMap<ClusterId, (i64, usize)> = BTreeMap::new();
         for ((cid, delta), _votes) in candidates {
             if accepted.contains_key(&cid) {
                 continue;

@@ -230,6 +230,7 @@ pub fn run(out: &Path) -> io::Result<String> {
         )?;
     }
 
+    // pc-allow: D002 — soak throughput is a wall-clock measurement
     let started = Instant::now();
     let retries = Arc::new(AtomicU64::new(0));
     let storm = Armed::install(SOAK_PLAN)?;

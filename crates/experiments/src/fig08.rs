@@ -6,7 +6,7 @@ use crate::platform::Platform;
 use crate::report::{artifact_dir, Report};
 use pc_image::{write_pgm, GrayImage};
 use probable_cause::ErrorString;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fs::File;
 use std::io::{self, BufWriter};
 use std::path::Path;
@@ -18,7 +18,7 @@ pub struct ConsistencyStats {
     pub trials: u32,
     /// cell -> number of trials in which it erred (only cells that erred at
     /// least once).
-    pub occurrences: HashMap<u64, u32>,
+    pub occurrences: BTreeMap<u64, u32>,
 }
 
 impl ConsistencyStats {
@@ -48,7 +48,7 @@ impl ConsistencyStats {
 /// Collects `trials` outputs of `chip` at 99%/40 °C and tallies per-cell
 /// error occurrences.
 pub fn collect(platform: &Platform, chip: usize, trials: u32) -> ConsistencyStats {
-    let mut occurrences: HashMap<u64, u32> = HashMap::new();
+    let mut occurrences: BTreeMap<u64, u32> = BTreeMap::new();
     for t in 0..trials {
         let es: ErrorString = platform.output(chip, 40.0, 99.0, 500 + t as u64);
         for &bit in es.positions() {

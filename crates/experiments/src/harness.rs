@@ -15,6 +15,19 @@
 use pc_telemetry::RunManifest;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// The `pc analyze` verdict for the tree this binary was built from, computed
+/// once per process: `"clean"`, `"dirty:N"`, or `"unavailable"` when the
+/// workspace sources are not present at runtime (e.g. an installed binary).
+fn analysis_status() -> &'static str {
+    static STATUS: OnceLock<String> = OnceLock::new();
+    STATUS.get_or_init(|| {
+        pc_analysis::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .map(|root| pc_analysis::tree_status(&root))
+            .unwrap_or_else(|| "unavailable".to_string())
+    })
+}
 
 /// Installs the global telemetry collector, attaching a JSON-lines event sink
 /// when the `PC_TELEMETRY` environment variable names a path. Idempotent; a
@@ -55,6 +68,7 @@ pub fn capture(
 ) -> io::Result<String> {
     init_telemetry();
     let mut manifest = RunManifest::new(name);
+    manifest.set_analysis(pc_analysis::VERSION, analysis_status());
     configure(&mut manifest);
     manifest.begin_phase("run");
     let mut report = run(out)?;

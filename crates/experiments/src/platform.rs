@@ -4,7 +4,7 @@
 use pc_approx::{analytic_interval, calibrate_measured, AccuracyTarget, CalibrationConfig};
 use pc_dram::{ChipId, ChipProfile, Conditions, DramChip};
 use probable_cause::{characterize, ErrorString, Fingerprint};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// The paper's evaluation temperatures (°C).
@@ -22,7 +22,7 @@ pub struct Platform {
     /// Calibrated refresh intervals, keyed by (temp, accuracy) in milli-units
     /// to make the key hashable. Intervals depend only on the profile, not
     /// the individual chip.
-    intervals: Mutex<HashMap<(i64, i64), f64>>,
+    intervals: Mutex<BTreeMap<(i64, i64), f64>>,
 }
 
 impl Platform {
@@ -44,7 +44,7 @@ impl Platform {
             .collect();
         Self {
             chips,
-            intervals: Mutex::new(HashMap::new()),
+            intervals: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -204,7 +204,7 @@ mod tests {
         let p = small();
         let outs = p.evaluation_outputs(1, 50);
         assert_eq!(outs.len(), 9);
-        let temps: std::collections::HashSet<i64> =
+        let temps: std::collections::BTreeSet<i64> =
             outs.iter().map(|(t, _, _)| *t as i64).collect();
         assert_eq!(temps.len(), 3);
     }

@@ -81,6 +81,7 @@ pub fn run(out: &Path) -> io::Result<String> {
             .map_err(io::Error::other)?;
     }
 
+    // pc-allow: D002 — soak throughput is a wall-clock measurement
     let started = Instant::now();
     let workers: Vec<_> = (0..CLIENTS)
         .map(|t| {

@@ -28,6 +28,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod packed;
 pub mod pool;

@@ -135,7 +135,7 @@ mod tests {
     fn contiguous_random_varies_start() {
         let mut a = Allocator::new(PlacementPolicy::ContiguousRandom, 4096, 1);
         let starts: Vec<u64> = (0..16).map(|_| a.allocate(8).pages()[0]).collect();
-        let distinct: std::collections::HashSet<_> = starts.iter().collect();
+        let distinct: std::collections::BTreeSet<_> = starts.iter().collect();
         assert!(distinct.len() > 8, "starts should vary: {starts:?}");
     }
 

@@ -10,7 +10,7 @@
 //! system and exposes those three observations as queries.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// One traced output: which physical pages backed it.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -103,14 +103,14 @@ impl AllocationTrace {
         self.records
             .iter()
             .map(TraceRecord::start)
-            .collect::<HashSet<_>>()
+            .collect::<BTreeSet<_>>()
             .len()
     }
 
     /// Fraction of physical pages covered by at least one traced output —
     /// how much of the memory the attacker could eventually fingerprint.
     pub fn coverage(&self, total_pages: u64) -> f64 {
-        let covered: HashSet<u64> = self
+        let covered: BTreeSet<u64> = self
             .records
             .iter()
             .flat_map(|r| r.pages.iter().copied())

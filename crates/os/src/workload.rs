@@ -156,8 +156,8 @@ mod tests {
         let input = synth::shapes_scene(256, 128, 7);
         let a = crate::run_image_workload(&mut s, &input, pc_image::ops::edge_detect);
         let b = crate::run_image_workload(&mut s, &input, pc_image::ops::sobel);
-        let ea: std::collections::HashSet<u64> = a.error_bits().into_iter().collect();
-        let eb: std::collections::HashSet<u64> = b.error_bits().into_iter().collect();
+        let ea: std::collections::BTreeSet<u64> = a.error_bits().into_iter().collect();
+        let eb: std::collections::BTreeSet<u64> = b.error_bits().into_iter().collect();
         assert!(!ea.is_empty() && !eb.is_empty());
         let common = ea.intersection(&eb).count();
         // Volatile cells charged by both payloads fail in both outputs.

@@ -324,6 +324,7 @@ impl ServiceClient {
         request: &Request,
         policy: &RetryPolicy,
     ) -> Result<Response, ClientError> {
+        // pc-allow: D002 — retry backoff deadline is wall-clock by contract
         let started = Instant::now();
         let mut attempts = 0;
         while attempts < policy.max_attempts.max(1) {

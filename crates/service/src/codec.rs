@@ -155,6 +155,7 @@ pub fn read_frame_guarded<R: Read>(
     max_bytes: u32,
     guard: ReadGuard,
 ) -> Result<JsonValue, CodecError> {
+    // pc-allow: D002 — read deadlines are wall-clock by contract
     let wait_start = Instant::now();
     let mut frame_start: Option<Instant> = None;
     let mut prefix = [0u8; 4];
@@ -190,6 +191,7 @@ fn read_exact_guarded<R: Read>(
 ) -> Result<(), CodecError> {
     let mut filled = 0;
     while filled < buf.len() {
+        // pc-allow: P004 — `filled < buf.len()` by the loop guard
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 return if at_boundary && filled == 0 {
@@ -205,6 +207,7 @@ fn read_exact_guarded<R: Read>(
                 // The frame clock starts at its first byte, not at the call:
                 // a connection may sit quietly at a boundary for as long as
                 // the idle window allows without penalizing the next frame.
+                // pc-allow: D002 — frame stall deadline is wall-clock by contract
                 frame_start.get_or_insert_with(Instant::now);
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}

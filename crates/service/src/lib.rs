@@ -39,6 +39,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![deny(unused_must_use)]
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod client;
 pub mod codec;

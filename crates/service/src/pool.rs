@@ -32,7 +32,7 @@ use pc_telemetry::counter;
 use probable_cause::ErrorString;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -123,7 +123,7 @@ impl SubmissionQueue {
     /// [`SubmitError::Full`] at capacity, [`SubmitError::Closed`] after
     /// [`SubmissionQueue::close`]; both return the job to the caller.
     pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = self.lock_state();
         if state.closed {
             return Err(SubmitError::Closed(job));
         }
@@ -144,12 +144,15 @@ impl SubmissionQueue {
     /// then drains up to `max` jobs. Returns `None` only when the queue is
     /// closed *and* empty — every admitted job is handed out exactly once.
     pub fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
-        let mut state = self.state.lock().expect("queue mutex poisoned");
+        let mut state = self.lock_state();
         while state.jobs.is_empty() {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue mutex poisoned");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         let take = state.jobs.len().min(max.max(1));
         Some(state.jobs.drain(..take).collect())
@@ -157,7 +160,7 @@ impl SubmissionQueue {
 
     /// Closes the queue: future submissions fail, pending jobs still drain.
     pub fn close(&self) {
-        self.state.lock().expect("queue mutex poisoned").closed = true;
+        self.lock_state().closed = true;
         self.not_empty.notify_all();
     }
 
@@ -173,7 +176,16 @@ impl SubmissionQueue {
 
     /// Jobs currently pending.
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("queue mutex poisoned").jobs.len()
+        self.lock_state().jobs.len()
+    }
+
+    /// Queue state is a plain deque + flag, so no panic can leave it
+    /// logically inconsistent — a poisoned lock is taken over, not
+    /// propagated into the request path.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -206,7 +218,8 @@ struct Gather {
     seq: u64,
     remaining: AtomicUsize,
     partials: PlMutex<Vec<(String, f64)>>,
-    failed: AtomicBool,
+    /// First failure message reported by any shard; set once, wins.
+    failure: PlMutex<Option<String>>,
     reply: Reply,
 }
 
@@ -312,7 +325,7 @@ fn dispatch_loop(
                         seq,
                         remaining: AtomicUsize::new(busy.len()),
                         partials: PlMutex::new(Vec::with_capacity(busy.len())),
-                        failed: AtomicBool::new(false),
+                        failure: PlMutex::new(None),
                         reply,
                     });
                     for (shard, ids) in busy {
@@ -322,9 +335,21 @@ fn dispatch_loop(
                             gather: Arc::clone(&gather),
                         };
                         // Workers survive panics (their loops respawn), so
-                        // the channel only closes at pool teardown, which
-                        // cannot race the dispatcher's own loop.
-                        senders[shard].send(task).expect("shard worker alive");
+                        // the channel only closes at pool teardown — but a
+                        // missing or closed channel must fail this request,
+                        // not the dispatcher.
+                        let sent = senders
+                            .get(shard)
+                            .map(|tx| tx.send(task))
+                            .filter(|sent| sent.is_ok());
+                        if sent.is_none() {
+                            finish_shard(
+                                &store,
+                                &gather,
+                                None,
+                                Some(format!("shard {shard} unavailable; request dropped")),
+                            );
+                        }
                     }
                 }
                 Job::Characterize {
@@ -345,7 +370,9 @@ fn dispatch_loop(
                             observations,
                             created,
                         },
-                        Ok(Err(message)) => Response::Error { message },
+                        Ok(Err(e)) => Response::Error {
+                            message: e.to_string(),
+                        },
                         Err(_) => {
                             metrics.panics.fetch_add(1, Ordering::Relaxed);
                             counter!("service.pool.panics").incr();
@@ -364,7 +391,9 @@ fn dispatch_loop(
                             seeded,
                             clusters,
                         },
-                        Ok(Err(message)) => Response::Error { message },
+                        Ok(Err(e)) => Response::Error {
+                            message: e.to_string(),
+                        },
                         Err(_) => {
                             metrics.panics.fetch_add(1, Ordering::Relaxed);
                             counter!("service.pool.panics").incr();
@@ -388,19 +417,17 @@ fn finish_shard(
     store: &ShardedStore,
     gather: &Gather,
     partial: Option<(String, f64)>,
-    failed: bool,
+    failure: Option<String>,
 ) {
-    if failed {
-        gather.failed.store(true, Ordering::Release);
+    if let Some(message) = failure {
+        gather.failure.lock().get_or_insert(message);
     }
     if let Some(p) = partial {
         gather.partials.lock().push(p);
     }
     if gather.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-        let response = if gather.failed.load(Ordering::Acquire) {
-            Response::Error {
-                message: "shard scoring failed (worker panicked)".to_string(),
-            }
+        let response = if let Some(message) = gather.failure.lock().take() {
+            Response::Error { message }
         } else {
             let partials = std::mem::take(&mut *gather.partials.lock());
             match store.merge_verdict(partials) {
@@ -422,21 +449,34 @@ fn handle_shard_task(shard: usize, store: &ShardedStore, task: ShardTask, metric
         // `Error` instead of hanging its connection.
         metrics.panics.fetch_add(1, Ordering::Relaxed);
         counter!("service.pool.panics").incr();
-        finish_shard(store, &task.gather, None, true);
+        finish_shard(
+            store,
+            &task.gather,
+            None,
+            Some("shard scoring failed (worker panicked)".to_string()),
+        );
+        // pc-allow: P003 — deliberate fault-injection site; the gather is already failed
         panic!("injected fault at pool.worker");
     }
     let scored = catch_unwind(AssertUnwindSafe(|| {
         if pc_faults::fail_point("store.score") {
+            // pc-allow: P003 — deliberate fault-injection site inside catch_unwind
             panic!("injected fault at store.score");
         }
         store.score_shard(shard, &task.ids, &task.errors)
     }));
     match scored {
-        Ok(best) => finish_shard(store, &task.gather, best, false),
+        Ok(Ok(best)) => finish_shard(store, &task.gather, best, None),
+        Ok(Err(e)) => finish_shard(store, &task.gather, None, Some(e.to_string())),
         Err(_) => {
             metrics.panics.fetch_add(1, Ordering::Relaxed);
             counter!("service.pool.panics").incr();
-            finish_shard(store, &task.gather, None, true);
+            finish_shard(
+                store,
+                &task.gather,
+                None,
+                Some("shard scoring failed (worker panicked)".to_string()),
+            );
         }
     }
 }

@@ -13,7 +13,7 @@
 //! pay full modified-Jaccard distance.
 
 use parking_lot::{Mutex, RwLock};
-use pc_kernels::{distance_packed, PackedErrors, Parallelism};
+use pc_kernels::{distance_packed, MetricKind, PackedErrors, Parallelism};
 use pc_telemetry::counter;
 use probable_cause::batch::add_comparisons;
 use probable_cause::persistence::{self, DbIoError};
@@ -53,6 +53,51 @@ impl Default for StoreConfig {
         }
     }
 }
+
+/// A request-path failure inside the store, answered as a typed error so
+/// the pool emits an `Error` frame instead of panicking into the
+/// `catch_unwind` net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A plan referenced a shard the store does not have.
+    MissingShard {
+        /// The out-of-range shard index.
+        shard: usize,
+    },
+    /// A plan referenced a slot its shard does not have.
+    MissingSlot {
+        /// The shard that was asked.
+        shard: usize,
+        /// The out-of-range slot.
+        slot: usize,
+    },
+    /// A cluster id vanished between match and refine.
+    MissingCluster {
+        /// The missing cluster id.
+        cluster: usize,
+    },
+    /// A refine failed (observation size disagrees with the fingerprint).
+    Refine(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::MissingShard { shard } => {
+                write!(f, "store shard {shard} does not exist")
+            }
+            StoreError::MissingSlot { shard, slot } => {
+                write!(f, "store shard {shard} has no slot {slot}")
+            }
+            StoreError::MissingCluster { cluster } => {
+                write!(f, "cluster {cluster} does not exist")
+            }
+            StoreError::Refine(message) => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
 
 /// One shard's slice of the store, slot-addressed (`slot = id / num_shards`).
 #[derive(Debug, Default)]
@@ -193,6 +238,18 @@ impl ShardedStore {
         id as usize / self.config.shards
     }
 
+    /// The shard lock owning `id`.
+    fn shard_for(&self, id: u32) -> &RwLock<Shard> {
+        // pc-allow: P004 — shard_of is `id % shards`, always in range
+        &self.shards[self.shard_of(id)]
+    }
+
+    /// The packed-kernel form of the metric. [`PcDistance`] always has one;
+    /// the fallback only exists to keep this path panic-free.
+    fn kind(&self) -> MetricKind {
+        self.metric.kind().unwrap_or(MetricKind::PcJaccard)
+    }
+
     /// Inserts a brand-new labelled fingerprint, allocating its global id.
     /// The caller must have verified the label is unused.
     fn insert_new(&self, label: String, fp: Fingerprint) -> u32 {
@@ -210,7 +267,7 @@ impl ShardedStore {
     ) -> u32 {
         debug_assert!(!labels.contains_key(&label));
         let id = labels.len() as u32;
-        let mut shard = self.shards[self.shard_of(id)].write();
+        let mut shard = self.shard_for(id).write();
         debug_assert_eq!(shard.entries.len(), self.slot_of(id));
         if !self.degraded.load(Ordering::Acquire) {
             self.index.write().insert(id, fp.errors());
@@ -240,7 +297,9 @@ impl ShardedStore {
         let total = candidates.len();
         let mut plan = vec![Vec::new(); self.config.shards];
         for id in candidates {
-            plan[self.shard_of(id)].push(id);
+            if let Some(bucket) = plan.get_mut(self.shard_of(id)) {
+                bucket.push(id);
+            }
         }
         counter!("service.store.candidates").add(total as u64);
         (plan, total)
@@ -249,16 +308,28 @@ impl ShardedStore {
     /// Scores `ids` (all living in `shard`) against `errors`, returning the
     /// shard-local best as `(label, distance)` — lowest distance, ties by
     /// label order, matching [`FingerprintDb::identify`]'s determinism.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] when the plan references a shard or slot the store
+    /// does not have (geometry drift — a bug, but one that must answer an
+    /// `Error` frame rather than panic a worker).
     pub fn score_shard(
         &self,
         shard: usize,
         ids: &[u32],
         errors: &ErrorString,
-    ) -> Option<(String, f64)> {
+    ) -> Result<Option<(String, f64)>, StoreError> {
         let _span = pc_telemetry::time!("service.store.score");
-        let guard = self.shards[shard].read();
+        let Some(lock) = self.shards.get(shard) else {
+            return Err(StoreError::MissingShard { shard });
+        };
+        let guard = lock.read();
         let slots: Vec<usize> = ids.iter().map(|&id| self.slot_of(id)).collect();
-        let kind = self.metric.kind().expect("PcDistance has a packed form");
+        if let Some(&slot) = slots.iter().find(|&&s| s >= guard.packed.len()) {
+            return Err(StoreError::MissingSlot { shard, slot });
+        }
+        let kind = self.kind();
         // Shard workers already run concurrently, so each shard scores its
         // candidates single-threaded on the packed kernels.
         let distances = pc_kernels::score_subset(
@@ -271,7 +342,10 @@ impl ShardedStore {
         add_comparisons(kind, slots.len() as u64);
         let mut best: Option<(&str, f64)> = None;
         for (&slot, &d) in slots.iter().zip(&distances) {
-            let label = guard.entries[slot].0.as_str();
+            let Some(entry) = guard.entries.get(slot) else {
+                return Err(StoreError::MissingSlot { shard, slot });
+            };
+            let label = entry.0.as_str();
             let better = match best {
                 None => true,
                 Some((bl, bd)) => d < bd || (d == bd && label < bl),
@@ -283,7 +357,7 @@ impl ShardedStore {
         self.distance_evals
             .fetch_add(ids.len() as u64, Ordering::Relaxed);
         counter!("service.store.distance_evals").add(ids.len() as u64);
-        best.map(|(l, d)| (l.to_string(), d))
+        Ok(best.map(|(l, d)| (l.to_string(), d)))
     }
 
     /// Merges per-shard bests into the final verdict: `Ok((label, distance))`
@@ -318,7 +392,7 @@ impl ShardedStore {
             .iter()
             .enumerate()
             .filter(|(_, ids)| !ids.is_empty())
-            .filter_map(|(s, ids)| self.score_shard(s, ids, errors));
+            .filter_map(|(s, ids)| self.score_shard(s, ids, errors).ok().flatten());
         self.merge_verdict(partials)
     }
 
@@ -328,13 +402,13 @@ impl ShardedStore {
     ///
     /// # Errors
     ///
-    /// A message when the observation's size disagrees with the stored
-    /// fingerprint.
+    /// [`StoreError::Refine`] when the observation's size disagrees with
+    /// the stored fingerprint.
     pub fn characterize(
         &self,
         label: &str,
         errors: &ErrorString,
-    ) -> Result<(u64, u32, bool), String> {
+    ) -> Result<(u64, u32, bool), StoreError> {
         // The label book is held across the whole mutation so no refine can
         // interleave with an index rebuild (which also holds it): every
         // mutation lands either fully before or fully after the rebuild's
@@ -347,18 +421,30 @@ impl ShardedStore {
             counter!("service.store.characterize.created").incr();
             return Ok((weight, observations, true));
         };
-        let mut shard = self.shards[self.shard_of(id)].write();
+        let mut shard = self.shard_for(id).write();
         let slot = self.slot_of(id);
-        let refined = shard.entries[slot]
-            .1
-            .refine(errors)
-            .map_err(|e| format!("cannot refine {label:?}: {e}"))?;
+        let refined = match shard.entries.get(slot) {
+            Some(entry) => entry
+                .1
+                .refine(errors)
+                .map_err(|e| StoreError::Refine(format!("cannot refine {label:?}: {e}")))?,
+            None => {
+                return Err(StoreError::MissingSlot {
+                    shard: self.shard_of(id),
+                    slot,
+                })
+            }
+        };
         if !self.degraded.load(Ordering::Acquire) {
             self.index.write().insert(id, refined.errors());
         }
         let (weight, observations) = (refined.weight(), refined.observations());
-        shard.packed[slot] = refined.errors().to_packed();
-        shard.entries[slot].1 = refined;
+        if let Some(p) = shard.packed.get_mut(slot) {
+            *p = refined.errors().to_packed();
+        }
+        if let Some(entry) = shard.entries.get_mut(slot) {
+            entry.1 = refined;
+        }
         counter!("service.store.characterize.refined").incr();
         Ok((weight, observations, false))
     }
@@ -375,8 +461,10 @@ impl ShardedStore {
             self.config.index_seed,
         );
         for id in 0..labels.len() as u32 {
-            let guard = self.shards[self.shard_of(id)].read();
-            index.insert(id, guard.entries[self.slot_of(id)].1.errors());
+            let guard = self.shard_for(id).read();
+            if let Some(entry) = guard.entries.get(self.slot_of(id)) {
+                index.insert(id, entry.1.errors());
+            }
         }
         *self.index.write() = index;
         self.degraded.store(false, Ordering::Release);
@@ -394,12 +482,12 @@ impl ShardedStore {
     ///
     /// # Errors
     ///
-    /// A message when the observation's size disagrees with the matched
-    /// cluster's fingerprint.
-    pub fn cluster_ingest(&self, errors: &ErrorString) -> Result<(u64, bool, u64), String> {
+    /// [`StoreError::Refine`] when the observation's size disagrees with
+    /// the matched cluster's fingerprint.
+    pub fn cluster_ingest(&self, errors: &ErrorString) -> Result<(u64, bool, u64), StoreError> {
         let _span = pc_telemetry::time!("service.store.cluster_ingest");
         let probe = errors.to_packed();
-        let kind = self.metric.kind().expect("PcDistance has a packed form");
+        let kind = self.kind();
         let mut clusters = self.clusters.lock();
         let mut compared = 0u64;
         let mut matched = None;
@@ -414,14 +502,18 @@ impl ShardedStore {
         add_comparisons(kind, compared);
         match matched {
             Some(j) => {
-                let refined = clusters[j]
+                let total = clusters.len() as u64;
+                let Some(entry) = clusters.get_mut(j) else {
+                    return Err(StoreError::MissingCluster { cluster: j });
+                };
+                let refined = entry
                     .0
                     .refine(errors)
-                    .map_err(|e| format!("cannot refine cluster {j}: {e}"))?;
+                    .map_err(|e| StoreError::Refine(format!("cannot refine cluster {j}: {e}")))?;
                 let packed = refined.errors().to_packed();
-                clusters[j] = (refined, packed);
+                *entry = (refined, packed);
                 counter!("service.store.cluster.refined").incr();
-                Ok((j as u64, false, clusters.len() as u64))
+                Ok((j as u64, false, total))
             }
             None => {
                 clusters.push((Fingerprint::from_observation(errors.clone()), probe));
@@ -438,7 +530,15 @@ impl ShardedStore {
         let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let mut db = FingerprintDb::new(PcDistance::new(), self.config.threshold);
         for id in 0..labels.len() as u32 {
-            let (label, fp) = &guards[self.shard_of(id)].entries[self.slot_of(id)];
+            // Geometry cannot drift between the label book and the shards
+            // (both are written under the book's lock), but persistence must
+            // stay panic-free regardless.
+            let Some((label, fp)) = guards
+                .get(self.shard_of(id))
+                .and_then(|g| g.entries.get(self.slot_of(id)))
+            else {
+                continue;
+            };
             db.insert(label.clone(), fp.clone());
         }
         db

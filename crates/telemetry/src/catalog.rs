@@ -1,0 +1,114 @@
+//! The counter catalog: every counter name the workspace is allowed to
+//! emit, in sorted order.
+//!
+//! `pc analyze` cross-checks this list in both directions (W002/W003):
+//! a `counter!("…")` site whose name is missing here fails analysis, and a
+//! name declared here that no site references fails too — the catalog can
+//! neither rot nor drift. Keep the list sorted; the test below pins that.
+
+/// Every counter name referenced by a `counter!` site outside test code.
+pub const COUNTERS: &[&str] = &[
+    "approx.calibration.failures",
+    "approx.calibration.probes",
+    "approx.calibrations",
+    "approx.trials",
+    "core.characterize.observations",
+    "core.cluster.refined",
+    "core.cluster.seeded",
+    "core.db.identify.comparisons",
+    "core.db.identify.hits",
+    "core.db.identify.misses",
+    "core.db.identify_indexed.comparisons",
+    "core.db.identify_indexed.hits",
+    "core.db.identify_indexed.misses",
+    "core.db.identify_indexed.pruned",
+    "core.distance.hamming",
+    "core.distance.jaccard",
+    "core.distance.pc",
+    "core.index.candidates_returned",
+    "core.index.inserts",
+    "core.index.probes",
+    "core.minhash.signatures",
+    "core.stitch.alignments_accepted",
+    "core.stitch.candidates",
+    "core.stitch.clusters_seeded",
+    "core.stitch.merges",
+    "core.stitch.observations",
+    "core.stitch.pages_observed",
+    "dram.cells_scanned",
+    "dram.error_bits",
+    "dram.plan_readbacks",
+    "dram.readbacks",
+    "os.allocations",
+    "os.pages_allocated",
+    "os.trace.records",
+    "service.codec.bytes_in",
+    "service.codec.bytes_out",
+    "service.codec.frames_in",
+    "service.codec.frames_out",
+    "service.codec.idle_timeouts",
+    "service.codec.rejected_oversize",
+    "service.codec.stalled_frames",
+    "service.conn.accepted",
+    "service.conn.closed",
+    "service.conn.idle_closed",
+    "service.decode.bad_requests",
+    "service.decode.framing_errors",
+    "service.dispatch.batches",
+    "service.dispatch.jobs",
+    "service.pool.panics",
+    "service.pool.respawns",
+    "service.queue.admitted",
+    "service.queue.rejected",
+    "service.recovery.db_from_backup",
+    "service.recovery.degraded_start",
+    "service.recovery.index_mismatch",
+    "service.recovery.index_unreadable",
+    "service.requests.characterize",
+    "service.requests.cluster_ingest",
+    "service.requests.identify",
+    "service.requests.ping",
+    "service.requests.save",
+    "service.requests.shutdown",
+    "service.requests.stats",
+    "service.responses",
+    "service.save.failed",
+    "service.shutdown.drained",
+    "service.shutdown.triggered",
+    "service.store.candidates",
+    "service.store.characterize.created",
+    "service.store.characterize.refined",
+    "service.store.cluster.refined",
+    "service.store.cluster.seeded",
+    "service.store.degraded_scans",
+    "service.store.distance_evals",
+    "service.store.index_rebuilt",
+];
+
+/// Whether `name` is a catalogued counter.
+pub fn is_declared(name: &str) -> bool {
+    COUNTERS.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        let mut sorted = COUNTERS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(
+            COUNTERS,
+            sorted.as_slice(),
+            "COUNTERS must be sorted, no dupes"
+        );
+    }
+
+    #[test]
+    fn lookup_uses_the_sort_order() {
+        assert!(is_declared("core.distance.pc"));
+        assert!(!is_declared("core.distance.bogus"));
+    }
+}

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod catalog;
 pub mod counter;
 pub mod histogram;
 pub mod json;

@@ -27,6 +27,7 @@ pub const SCHEMA: &str = "pc-telemetry/manifest/v1";
 pub struct RunManifest {
     experiment: String,
     seed: Option<u64>,
+    analysis: Option<(String, String)>,
     knobs: JsonObject,
     phases: Vec<(String, f64)>,
     open_phase: Option<(String, Instant)>,
@@ -41,6 +42,7 @@ impl RunManifest {
         Self {
             experiment: experiment.to_string(),
             seed: None,
+            analysis: None,
             knobs: JsonObject::new(),
             phases: Vec::new(),
             open_phase: None,
@@ -55,6 +57,15 @@ impl RunManifest {
     /// Records the run's master seed.
     pub fn set_seed(&mut self, seed: u64) -> &mut Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Records the static-analysis provenance of the producing tree:
+    /// the `pc-analyze` version and its verdict (`"clean"`, `"dirty:N"`, or
+    /// `"unavailable"`). Deterministic for a given tree, so it lives in the
+    /// comparable portion of the manifest.
+    pub fn set_analysis(&mut self, version: &str, status: &str) -> &mut Self {
+        self.analysis = Some((version.to_string(), status.to_string()));
         self
     }
 
@@ -93,6 +104,17 @@ impl RunManifest {
             Some(seed) => obj.set("seed", seed),
             None => obj.set("seed", JsonValue::Null),
         };
+        match &self.analysis {
+            Some((version, status)) => {
+                let mut analysis = JsonObject::new();
+                analysis.set("analyzer_version", version.as_str());
+                analysis.set("status", status.as_str());
+                obj.set("analysis", analysis);
+            }
+            None => {
+                obj.set("analysis", JsonValue::Null);
+            }
+        }
         obj.set("knobs", self.knobs.clone());
         let mut counters = JsonObject::new();
         if let Some(collector) = crate::global() {

@@ -31,6 +31,13 @@
 //!     exhaustion the error reports how long the client waited. `save`
 //!     checkpoints the server's database to disk without stopping it.
 //!
+//! pc analyze [--root DIR] [--format text|json] [--baseline PATH]
+//!            [--update-baseline] [--list]
+//!     Run the workspace invariant checker (pc-analyze): determinism,
+//!     panic-safety, unsafe-hygiene, and wire-contract lints over the
+//!     source tree, governed by analysis-baseline.json. Exits 0 when
+//!     clean, 1 on findings, 2 on internal error.
+//!
 //! pc version
 //!     Report the toolkit version, git revision, and build configuration.
 //! ```
@@ -65,7 +72,7 @@ fn main() -> ExitCode {
         collector.flush();
     }
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("pc: {msg}\n");
             print_usage();
@@ -74,18 +81,21 @@ fn main() -> ExitCode {
     }
 }
 
-fn dispatch(args: Vec<String>) -> Result<(), String> {
+fn dispatch(args: Vec<String>) -> Result<ExitCode, String> {
     let args = init_telemetry(args)?;
     match args.first().map(String::as_str) {
-        Some("characterize") => cmd_characterize(&args[1..]),
-        Some("identify") => cmd_identify(&args[1..]),
-        Some("serve") => cmd_serve(&args[1..]),
-        Some("query") => cmd_query(&args[1..]),
-        Some("demo") => cmd_demo(),
-        Some("version" | "--version" | "-V") => cmd_version(),
+        Some("characterize") => cmd_characterize(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("identify") => cmd_identify(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("serve") => cmd_serve(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("query") => cmd_query(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("demo") => cmd_demo().map(|()| ExitCode::SUCCESS),
+        // pc-analyze reports its own errors and encodes them in the exit
+        // code (0 clean, 1 findings, 2 internal), so no Err mapping here.
+        Some("analyze") => Ok(ExitCode::from(pc_analysis::run_cli(&args[1..]))),
+        Some("version" | "--version" | "-V") => cmd_version().map(|()| ExitCode::SUCCESS),
         Some("--help" | "-h" | "help") | None => {
             print_usage();
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         Some(other) => Err(format!("unknown command {other:?}")),
     }
@@ -118,6 +128,8 @@ fn print_usage() {
          \x20 pc query       [--timeout-ms MS] --addr HOST:PORT ping|stats|save|shutdown\n\
          \x20 pc query       --addr HOST:PORT identify|characterize|cluster-ingest\n\
          \x20                [--label NAME] (--bits P,P,... --size N | EXACT.pgm APPROX.pgm)\n\
+         \x20 pc analyze     [--root DIR] [--format text|json] [--baseline PATH]\n\
+         \x20                [--update-baseline] [--list]\n\
          \x20 pc demo\n\
          \x20 pc version\n\
          \n\

@@ -31,8 +31,8 @@ fn both_engines_realize_the_requested_error_rate() {
 #[test]
 fn both_engines_show_the_same_trial_consistency() {
     let consistency = |error_sets: &[Vec<u64>]| -> f64 {
-        use std::collections::HashMap;
-        let mut occ: HashMap<u64, u32> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut occ: BTreeMap<u64, u32> = BTreeMap::new();
         for set in error_sets {
             for &b in set {
                 *occ.entry(b).or_insert(0) += 1;
@@ -117,7 +117,7 @@ fn entropy_model_consistent_with_observed_uniqueness() {
     // With >2400 bits of entropy per page, every one of the distinct pages
     // sampled must have a distinct fingerprint; check a few hundred.
     let q = QuantileMemory::new(5);
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     for p in 0..300u64 {
         let fp = q.page_ground_truth(p, 0.01);
         assert!(seen.insert(fp), "duplicate page fingerprint at page {p}");

@@ -12,8 +12,9 @@
 //!   timing (`crates/telemetry`, `crates/bench`);
 //! * **P-lints** apply to `crates/service/src` outside test context;
 //! * **U-lints** apply everywhere;
-//! * **W-lints** are cross-file: counter references (non-test) against
-//!   `crates/telemetry/src/catalog.rs`, protocol variants against
+//! * **W-lints** are cross-file: `counter!` / `time!` / `histogram!`
+//!   references (non-test) against the `COUNTERS` / `SPANS` / `HISTOGRAMS`
+//!   lists in `crates/telemetry/src/catalog.rs`, protocol variants against
 //!   `*roundtrip*` test bodies anywhere under `crates/service`.
 
 use std::collections::BTreeSet;
@@ -84,8 +85,49 @@ fn rel_path(root: &Path, path: &Path) -> String {
     s
 }
 
-/// A counter!("…") reference site.
-struct CounterRef {
+/// One family of catalogued telemetry names: the macro that references
+/// them and the `catalog.rs` list that declares them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Span,
+    Histogram,
+}
+
+impl MetricKind {
+    const ALL: [MetricKind; 3] = [MetricKind::Counter, MetricKind::Span, MetricKind::Histogram];
+
+    /// How findings name this family.
+    fn noun(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Span => "span",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+
+    /// The macro whose string argument references a name of this family.
+    fn macro_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Span => "time",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+
+    /// The `catalog.rs` list that declares this family.
+    fn list_token(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "COUNTERS",
+            MetricKind::Span => "SPANS",
+            MetricKind::Histogram => "HISTOGRAMS",
+        }
+    }
+}
+
+/// A counter!("…") / time!("…") / histogram!("…") reference site.
+struct MetricRef {
+    kind: MetricKind,
     name: String,
     file: String,
     line: usize,
@@ -100,9 +142,9 @@ struct Variant {
 
 #[derive(Default)]
 struct CrossFile {
-    counter_refs: Vec<CounterRef>,
-    /// Declared counter names with their catalog line.
-    catalog: Vec<(String, usize)>,
+    metric_refs: Vec<MetricRef>,
+    /// Declared metric names with their family and catalog line.
+    catalog: Vec<(MetricKind, String, usize)>,
     catalog_file_seen: bool,
     variants: Vec<Variant>,
     protocol_file: String,
@@ -136,7 +178,7 @@ impl Scanner {
     }
 
     pub(crate) fn finish(mut self) -> Analysis {
-        self.check_counters();
+        self.check_catalog();
         self.check_roundtrips();
         self.findings.sort_by_key(|f| f.sort_key());
         Analysis {
@@ -360,15 +402,21 @@ impl Scanner {
                 }
             }
 
-            // Counter references feed the cross-file W002/W003 checks.
+            // Metric references feed the cross-file W002/W003 checks.
             if !test {
-                for at in lexer::find_tokens(&code, "counter") {
-                    if let Some(name) = macro_string_arg(&code, &prep.lines[idx].raw, at + 7) {
-                        self.cross.counter_refs.push(CounterRef {
-                            name,
-                            file: rel.to_string(),
-                            line: idx + 1,
-                        });
+                for kind in MetricKind::ALL {
+                    let mac = kind.macro_name();
+                    for at in lexer::find_tokens(&code, mac) {
+                        if let Some(name) =
+                            macro_string_arg(&code, &prep.lines[idx].raw, at + mac.len())
+                        {
+                            self.cross.metric_refs.push(MetricRef {
+                                kind,
+                                name,
+                                file: rel.to_string(),
+                                line: idx + 1,
+                            });
+                        }
                     }
                 }
             }
@@ -442,20 +490,23 @@ impl Scanner {
     fn collect_cross_file(&mut self, rel: &str, prep: &Prep) {
         if rel == "crates/telemetry/src/catalog.rs" {
             self.cross.catalog_file_seen = true;
-            let mut in_region = false;
+            // Three declaration regions, one per list. Only the `pub const
+            // NAME: &[&str]` line opens a region (lookup helpers mention the
+            // list tokens too); `];` closes it.
+            let mut region: Option<MetricKind> = None;
             for (idx, line) in prep.lines.iter().enumerate() {
-                if !in_region {
-                    if !lexer::find_tokens(&line.code, "COUNTERS").is_empty() {
-                        in_region = true;
-                    } else {
-                        continue;
-                    }
+                if region.is_none() {
+                    region = MetricKind::ALL.into_iter().find(|k| {
+                        line.code.contains("&[&str]")
+                            && !lexer::find_tokens(&line.code, k.list_token()).is_empty()
+                    });
                 }
+                let Some(kind) = region else { continue };
                 for name in string_literals(&line.code, &line.raw) {
-                    self.cross.catalog.push((name, idx + 1));
+                    self.cross.catalog.push((kind, name, idx + 1));
                 }
                 if line.code.contains("];") {
-                    break;
+                    region = None;
                 }
             }
         }
@@ -526,46 +577,56 @@ impl Scanner {
         }
     }
 
-    /// W002/W003 — referenced counters vs. the catalog.
-    fn check_counters(&mut self) {
-        if !self.cross.catalog_file_seen && self.cross.counter_refs.is_empty() {
+    /// W002/W003 — referenced counters / spans / histograms vs. the
+    /// catalog, each family checked against its own list.
+    fn check_catalog(&mut self) {
+        if !self.cross.catalog_file_seen && self.cross.metric_refs.is_empty() {
             return;
         }
-        let declared: BTreeSet<&str> = self
-            .cross
-            .catalog
-            .iter()
-            .map(|(name, _)| name.as_str())
-            .collect();
-        let referenced: BTreeSet<&str> = self
-            .cross
-            .counter_refs
-            .iter()
-            .map(|r| r.name.as_str())
-            .collect();
-        for r in &self.cross.counter_refs {
-            if !declared.contains(r.name.as_str()) {
-                self.findings.push(Finding {
-                    lint: "W002",
-                    file: r.file.clone(),
-                    line: r.line,
-                    message: format!(
-                        "counter \"{}\" is not declared in crates/telemetry/src/catalog.rs",
-                        r.name
-                    ),
-                });
+        for kind in MetricKind::ALL {
+            let declared: BTreeSet<&str> = self
+                .cross
+                .catalog
+                .iter()
+                .filter(|(k, _, _)| *k == kind)
+                .map(|(_, name, _)| name.as_str())
+                .collect();
+            let referenced: BTreeSet<&str> = self
+                .cross
+                .metric_refs
+                .iter()
+                .filter(|r| r.kind == kind)
+                .map(|r| r.name.as_str())
+                .collect();
+            for r in self.cross.metric_refs.iter().filter(|r| r.kind == kind) {
+                if !declared.contains(r.name.as_str()) {
+                    self.findings.push(Finding {
+                        lint: "W002",
+                        file: r.file.clone(),
+                        line: r.line,
+                        message: format!(
+                            "{} \"{}\" is not declared in \
+                             crates/telemetry/src/catalog.rs::{}",
+                            kind.noun(),
+                            r.name,
+                            kind.list_token(),
+                        ),
+                    });
+                }
             }
-        }
-        for (name, line) in &self.cross.catalog {
-            if !referenced.contains(name.as_str()) {
-                self.findings.push(Finding {
-                    lint: "W003",
-                    file: "crates/telemetry/src/catalog.rs".to_string(),
-                    line: *line,
-                    message: format!(
-                        "counter \"{name}\" is declared but no counter!(…) site references it"
-                    ),
-                });
+            for (_, name, line) in self.cross.catalog.iter().filter(|(k, _, _)| *k == kind) {
+                if !referenced.contains(name.as_str()) {
+                    self.findings.push(Finding {
+                        lint: "W003",
+                        file: "crates/telemetry/src/catalog.rs".to_string(),
+                        line: *line,
+                        message: format!(
+                            "{} \"{name}\" is declared but no {}!(…) site references it",
+                            kind.noun(),
+                            kind.macro_name(),
+                        ),
+                    });
+                }
             }
         }
     }
@@ -752,6 +813,45 @@ mod tests {
         assert_eq!(ids(&found), vec!["W002", "W003"]);
         assert!(found[0].message.contains("z.z"));
         assert!(found[1].message.contains("c.d"));
+    }
+
+    #[test]
+    fn w002_and_w003_check_spans_and_histograms_against_their_own_lists() {
+        let catalog = "pub const COUNTERS: &[&str] = &[\n    \"a.b\",\n];\n\
+                       pub const SPANS: &[&str] = &[\n    \"s.good\",\n    \"s.rotten\",\n];\n\
+                       pub const HISTOGRAMS: &[&str] = &[\n    \"h.good\",\n];\n\
+                       pub fn is_declared(n: &str) -> bool { COUNTERS.binary_search(&n).is_ok() }\n";
+        let mut s = Scanner::default();
+        s.scan_file("crates/telemetry/src/catalog.rs", catalog);
+        s.scan_file(
+            "crates/core/src/x.rs",
+            "fn f() {\n    counter!(\"a.b\").add(1);\n    let _s = time!(\"s.good\");\n    \
+             histogram!(\"h.good\").record(1);\n    histogram!(\"h.stray\").record(2);\n}\n",
+        );
+        let found = s.finish().findings;
+        assert_eq!(ids(&found), vec!["W002", "W003"]);
+        // The stray histogram is undeclared; the rotten span is unreferenced.
+        assert!(found[0].message.contains("histogram \"h.stray\""));
+        assert!(found[0].message.contains("HISTOGRAMS"));
+        assert!(found[1].message.contains("span \"s.rotten\""));
+        assert!(found[1].message.contains("time!"));
+    }
+
+    #[test]
+    fn a_span_name_does_not_satisfy_a_histogram_declaration() {
+        // Same name in SPANS but referenced via histogram! — each family
+        // checks against its own list, so both directions fire.
+        let catalog = "pub const SPANS: &[&str] = &[\n    \"x.y\",\n];\n";
+        let mut s = Scanner::default();
+        s.scan_file("crates/telemetry/src/catalog.rs", catalog);
+        s.scan_file(
+            "crates/core/src/x.rs",
+            "fn f() { histogram!(\"x.y\").record(1); }\n",
+        );
+        let found = s.finish().findings;
+        assert_eq!(ids(&found), vec!["W002", "W003"]);
+        assert!(found[0].message.contains("histogram \"x.y\""));
+        assert!(found[1].message.contains("span \"x.y\""));
     }
 
     #[test]

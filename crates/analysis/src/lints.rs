@@ -13,7 +13,8 @@
 //! * **U — unsafe hygiene.** `unsafe` blocks carry `// SAFETY:` comments;
 //!   invariant-skipping constructors stay in their allowlisted homes.
 //! * **W — wire/telemetry contracts.** Protocol variants have codec
-//!   roundtrip tests; referenced counters are declared in the catalog.
+//!   roundtrip tests; referenced counters, spans, and histograms are
+//!   declared in the catalog (and declared names stay referenced).
 //! * **A — analyzer hygiene.** Suppression comments are well-formed.
 //!
 //! Suppression syntax (same line or the line above the finding):
@@ -107,15 +108,17 @@ pub const LINTS: &[Lint] = &[
     },
     Lint {
         id: "W002",
-        name: "counter-undeclared",
-        summary: "every counter!(\"…\") name must be declared in \
-                  crates/telemetry/src/catalog.rs::COUNTERS",
+        name: "metric-undeclared",
+        summary: "every counter!/time!/histogram!(\"…\") name must be declared in \
+                  the matching COUNTERS/SPANS/HISTOGRAMS list of \
+                  crates/telemetry/src/catalog.rs",
     },
     Lint {
         id: "W003",
-        name: "counter-unreferenced",
-        summary: "every name declared in crates/telemetry/src/catalog.rs::COUNTERS \
-                  must be referenced by some counter!(\"…\") site",
+        name: "metric-unreferenced",
+        summary: "every name declared in the COUNTERS/SPANS/HISTOGRAMS lists of \
+                  crates/telemetry/src/catalog.rs must be referenced by some \
+                  counter!/time!/histogram!(\"…\") site",
     },
 ];
 

@@ -8,13 +8,16 @@
 //! the packed popcount kernels of `pc-kernels`, single-threaded and with the
 //! deterministic pool. The same comparison also runs outside Criterion and
 //! lands in `BENCH_kernels.json` (see [`emit_kernels_json`]) so CI can gate
-//! on the packed path never regressing below scalar; `PC_BENCH_QUICK=1`
-//! shortens it for smoke runs, `PC_BENCH_REPS` / `PC_BENCH_OUT` override the
-//! repetition count and output path.
+//! on the packed path never regressing below scalar — and on disabled
+//! request tracing costing at most 1% on a 10k-chip identify (the
+//! `tracing_overhead_ok` field); `PC_BENCH_QUICK=1` shortens it for smoke
+//! runs, `PC_BENCH_REPS` / `PC_BENCH_OUT` override the repetition count and
+//! output path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pc_bench::{perturbed, synthetic_errors};
 use pc_kernels::{PackedErrors, Parallelism};
+use pc_telemetry::trace::{Stage, StageClock, Tracer};
 use probable_cause::{DistanceMetric, ErrorString, Fingerprint, FingerprintDb, PcDistance};
 use std::hint::black_box;
 use std::time::Instant;
@@ -224,10 +227,47 @@ fn emit_kernels_json(_c: &mut Criterion) {
         ));
     }
 
+    // Tracing-overhead A/B at 10k chips: the identify scoring loop raw vs
+    // wrapped in the exact per-request pattern `pc-service` runs when
+    // tracing is *disabled* (a `Tracer::begin` that returns `None` plus the
+    // guard branches around it). The gate asserts the disabled path costs
+    // at most 1% — tracing must be free when it is off.
+    let w = KernelWorkload::new(10_000);
+    let raw_ns = median_ns(reps, || {
+        black_box(pc_kernels::score_batch(
+            &w.packed,
+            &w.probe_packed,
+            kind,
+            Parallelism::single(),
+        ));
+    });
+    let tracer = Tracer::disabled();
+    let traced_ns = median_ns(reps, || {
+        let clock = tracer.enabled().then(StageClock::start);
+        let decode_ns = clock.as_ref().map_or(0, StageClock::elapsed_ns);
+        let mut trace = tracer.begin(0, 1, "identify", decode_ns, false);
+        black_box(pc_kernels::score_batch(
+            &w.packed,
+            &w.probe_packed,
+            kind,
+            Parallelism::single(),
+        ));
+        if let Some(tb) = trace.as_deref_mut() {
+            tb.record_lap(Stage::Score);
+        }
+        if let Some(tb) = trace.take() {
+            tracer.observe(tb.finish());
+        }
+    });
+    let tracing_overhead_pct = ((traced_ns - raw_ns) / raw_ns * 100.0).max(0.0);
+    let tracing_overhead_ok = tracing_overhead_pct <= 1.0;
+
     let json = format!(
         "{{\n  \"bench\": \"kernels\",\n  \"size_bits\": {SIZE},\n  \"weight\": {WEIGHT},\n  \
          \"reps\": {reps},\n  \"threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \
-         \"speedup_10k\": {speedup_10k:.2},\n  \"packed_parallel_not_slower_at_1k\": {not_slower_at_1k}\n}}\n",
+         \"speedup_10k\": {speedup_10k:.2},\n  \"packed_parallel_not_slower_at_1k\": {not_slower_at_1k},\n  \
+         \"tracing_overhead_pct_10k\": {tracing_overhead_pct:.2},\n  \
+         \"tracing_overhead_ok\": {tracing_overhead_ok}\n}}\n",
         rows.join(",\n")
     );
     std::fs::write(&out_path, &json).expect("write kernels bench record");

@@ -5,7 +5,9 @@
 //! concurrent client connections (with a deliberately small submission
 //! queue so `busy` backpressure is exercised), then shuts down gracefully
 //! and restarts from the persisted database + routing index. Reported: load
-//! accounting (responses, retries, rejected-vs-observed agreement), the
+//! accounting (responses, retries, rejected-vs-observed agreement), per-op
+//! latency quantiles from the server's tracer (also written as
+//! `BENCH_serving.json`, path overridable via `PC_BENCH_SERVING_OUT`), the
 //! LSH pruning factor actually paid on the serving path, and the two
 //! durability checks (drain answered everything; restart is byte-identical).
 
@@ -25,6 +27,16 @@ const CLIENTS: u64 = 6;
 const REQUESTS_PER_CLIENT: u64 = 50;
 const DEVICES: u64 = 4;
 const THRESHOLD: f64 = 0.3;
+
+/// Renders nanoseconds at a human scale for the report.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{}µs", ns / 1_000),
+        10_000_000..=9_999_999_999 => format!("{}ms", ns / 1_000_000),
+        _ => format!("{}s", ns / 1_000_000_000),
+    }
+}
 
 fn es(bits: Vec<u64>) -> ErrorString {
     ErrorString::from_sorted(bits, SIZE).expect("sorted in-range bits")
@@ -166,6 +178,57 @@ pub fn run(out: &Path) -> io::Result<String> {
     let linear_would_pay = matches * CHIPS;
     let pruning = linear_would_pay as f64 / stats.distance_evals.max(1) as f64;
 
+    // Per-op latency quantiles from the tracer, captured before shutdown so
+    // they cover the whole soak. Written as `BENCH_serving.json` — the
+    // machine-readable serving-latency record (path overridable via
+    // `PC_BENCH_SERVING_OUT`).
+    let metrics = match setup.call(&Request::Metrics).map_err(io::Error::other)? {
+        Response::Metrics(m) => m,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected metrics, got {other:?}"),
+            ))
+        }
+    };
+    for required in ["identify", "characterize", "cluster-ingest"] {
+        if !metrics
+            .ops
+            .iter()
+            .any(|o| o.op == required && o.count > 0 && o.p50_ns > 0)
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("metrics missing a populated `{required}` latency row"),
+            ));
+        }
+    }
+    let bench_path = std::env::var("PC_BENCH_SERVING_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| dir.join("BENCH_serving.json"));
+    let rows: Vec<String> = metrics
+        .ops
+        .iter()
+        .map(|o| {
+            format!(
+                "    {{ \"op\": \"{}\", \"count\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                 \"p99_ns\": {}, \"max_ns\": {} }}",
+                o.op, o.count, o.p50_ns, o.p90_ns, o.p99_ns, o.max_ns
+            )
+        })
+        .collect();
+    let bench_json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"chips\": {CHIPS},\n  \"clients\": {CLIENTS},\n  \
+         \"requests_per_client\": {REQUESTS_PER_CLIENT},\n  \"wall_ms\": {},\n  \"ops\": [\n{}\n  ],\n  \
+         \"queue_depth\": {},\n  \"slow_requests\": {},\n  \"degraded\": {}\n}}\n",
+        elapsed.as_millis(),
+        rows.join(",\n"),
+        metrics.queue_depth,
+        metrics.slow_requests,
+        metrics.degraded,
+    );
+    std::fs::write(&bench_path, &bench_json)?;
+
     setup.call(&Request::Shutdown).map_err(io::Error::other)?;
     handle.wait()?;
     let db_bytes = std::fs::read(&db_path)?;
@@ -201,6 +264,21 @@ pub fn run(out: &Path) -> io::Result<String> {
     r.kv("admitted jobs", stats.admitted);
     r.kv("clusters formed", stats.clusters);
     r.kv("wall clock", format!("{:.2?}", elapsed));
+    r.section("serving latency");
+    for o in &metrics.ops {
+        r.kv(
+            &format!("{} p50 / p99 / max", o.op),
+            format!(
+                "{} / {} / {} ({} requests)",
+                fmt_ns(o.p50_ns),
+                fmt_ns(o.p99_ns),
+                fmt_ns(o.max_ns),
+                o.count
+            ),
+        );
+    }
+    r.kv("slow requests over threshold", metrics.slow_requests);
+    r.kv("serving bench record", bench_path.display());
     r.section("index routing");
     r.kv("full distance evaluations paid", stats.distance_evals);
     r.kv("linear scan would have paid (identify)", linear_would_pay);
@@ -235,6 +313,8 @@ mod tests {
         let report = run(&dir).expect("soak succeeds");
         assert!(report.contains("drain answered every request"));
         assert!(report.contains("byte-identical"));
+        assert!(report.contains("identify p50 / p99 / max"));
+        assert!(report.contains("serving bench record"));
         assert!(!report.contains("FAILED"));
         assert!(!report.contains(" NO\n"));
         std::fs::remove_dir_all(&dir).ok();

@@ -192,6 +192,7 @@ pub struct ServiceClient {
     reader: BufReader<TcpStream>,
     next_seq: u64,
     max_frame_bytes: u32,
+    trace: bool,
 }
 
 impl ServiceClient {
@@ -242,7 +243,15 @@ impl ServiceClient {
             reader,
             next_seq: 1,
             max_frame_bytes: MAX_FRAME_BYTES,
+            trace: false,
         })
+    }
+
+    /// Asks (or stops asking) the server for per-request stage traces: while
+    /// set, every request carries the `trace` flag and its response arrives
+    /// wrapped in [`Response::Traced`].
+    pub fn set_trace(&mut self, trace: bool) {
+        self.trace = trace;
     }
 
     /// Sends `request` without waiting, returning the sequence number its
@@ -254,7 +263,7 @@ impl ServiceClient {
     pub fn send(&mut self, request: &Request) -> Result<u64, ClientError> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let frame = protocol::encode_request(seq, request);
+        let frame = protocol::encode_request_with(seq, request, self.trace);
         codec::write_frame(&mut self.writer, &frame).map_err(CodecError::Io)?;
         Ok(seq)
     }
@@ -329,8 +338,9 @@ impl ServiceClient {
         let mut attempts = 0;
         while attempts < policy.max_attempts.max(1) {
             attempts += 1;
-            match self.call(request)? {
-                Response::Busy { retry_after_ms } => {
+            let response = self.call(request)?;
+            match busy_hint(&response) {
+                Some(retry_after_ms) => {
                     let pause = policy.backoff(attempts - 1, retry_after_ms);
                     if let Some(deadline) = policy.deadline {
                         if started.elapsed() + pause >= deadline {
@@ -342,13 +352,23 @@ impl ServiceClient {
                     }
                     std::thread::sleep(pause);
                 }
-                other => return Ok(other),
+                None => return Ok(response),
             }
         }
         Err(ClientError::ExhaustedRetries {
             attempts,
             waited_ms: started.elapsed().as_millis() as u64,
         })
+    }
+}
+
+/// The `retry_after_ms` hint if `response` is a `busy` answer — looking
+/// through a [`Response::Traced`] wrapper, so traced calls still retry.
+fn busy_hint(response: &Response) -> Option<u64> {
+    match response {
+        Response::Busy { retry_after_ms } => Some(*retry_after_ms),
+        Response::Traced { inner, .. } => busy_hint(inner),
+        _ => None,
     }
 }
 

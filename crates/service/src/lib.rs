@@ -54,10 +54,10 @@ pub use client::{ClientError, ConnectOptions, RetryPolicy, ServiceClient};
 pub use codec::{
     read_frame, read_frame_guarded, write_frame, CodecError, ReadGuard, MAX_FRAME_BYTES,
 };
-pub use pool::PoolMetrics;
+pub use pool::{Outbound, PoolMetrics};
 pub use protocol::{
-    decode_request, decode_response, encode_request, encode_response, ProtocolError, Request,
-    Response, StatsBody,
+    decode_request, decode_response, encode_request, encode_request_with, encode_response,
+    MetricsBody, OpLatency, ProtocolError, Request, Response, StatsBody, TraceBody, TraceRecord,
 };
 pub use server::{start, ServerConfig, ServerHandle, ShutdownTrigger};
 pub use store::{ShardedStore, StoreConfig};

@@ -25,10 +25,11 @@
 //! under `catch_unwind` — the respawn shows up in [`PoolMetrics`], which
 //! `stats` reports as `worker_panics` / `worker_respawns`.
 
-use crate::protocol::Response;
+use crate::protocol::{Response, TraceBody};
 use crate::store::ShardedStore;
 use parking_lot::Mutex as PlMutex;
 use pc_telemetry::counter;
+use pc_telemetry::trace::{Stage, TraceBuilder, Tracer};
 use probable_cause::ErrorString;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -37,8 +38,62 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 
+/// One response leaving the engine for a connection's writer thread: the
+/// request's sequence number, its payload, and — when tracing is enabled —
+/// the request's stage timer, which the writer closes (encode/write laps)
+/// and hands to the tracer.
+pub struct Outbound {
+    /// Request sequence number, echoed in the response.
+    pub seq: u64,
+    /// The response payload.
+    pub response: Response,
+    /// The request's stage timer, if the request was traced.
+    pub trace: Option<Box<TraceBuilder>>,
+}
+
+impl Outbound {
+    /// An untraced response.
+    pub fn new(seq: u64, response: Response) -> Self {
+        Self {
+            seq,
+            response,
+            trace: None,
+        }
+    }
+}
+
 /// Where a job's response goes: the owning connection's writer channel.
-pub type Reply = mpsc::Sender<(u64, Response)>;
+pub type Reply = mpsc::Sender<Outbound>;
+
+/// Records the score lap on `trace` (if present) and wraps `response` in
+/// [`Response::Traced`] when the client asked for the breakdown on the wire.
+///
+/// Called exactly once per request, at the point its response is built —
+/// everything from queue pickup to here counts as the score stage.
+pub(crate) fn apply_trace(trace: &mut Option<Box<TraceBuilder>>, response: Response) -> Response {
+    let Some(tb) = trace.as_deref_mut() else {
+        return response;
+    };
+    tb.record_lap(Stage::Score);
+    if !tb.wire() {
+        return response;
+    }
+    let decode_ns = tb.stage_ns(Stage::Decode);
+    let queue_wait_ns = tb.stage_ns(Stage::QueueWait);
+    let score_ns = tb.stage_ns(Stage::Score);
+    let total_ns = tb.total_so_far_ns();
+    Response::Traced {
+        inner: Box::new(response),
+        trace: TraceBody {
+            trace_id: tb.trace_id(),
+            decode_ns,
+            queue_wait_ns,
+            score_ns,
+            other_ns: total_ns.saturating_sub(decode_ns + queue_wait_ns + score_ns),
+            total_ns,
+        },
+    }
+}
 
 /// A unit of admitted work.
 pub enum Job {
@@ -50,6 +105,8 @@ pub enum Job {
         errors: Arc<ErrorString>,
         /// Response channel.
         reply: Reply,
+        /// The request's stage timer, if tracing is enabled.
+        trace: Option<Box<TraceBuilder>>,
     },
     /// Refine (or create) a labelled fingerprint.
     Characterize {
@@ -61,6 +118,8 @@ pub enum Job {
         errors: ErrorString,
         /// Response channel.
         reply: Reply,
+        /// The request's stage timer, if tracing is enabled.
+        trace: Option<Box<TraceBuilder>>,
     },
     /// Online-cluster an output.
     ClusterIngest {
@@ -70,7 +129,30 @@ pub enum Job {
         errors: ErrorString,
         /// Response channel.
         reply: Reply,
+        /// The request's stage timer, if tracing is enabled.
+        trace: Option<Box<TraceBuilder>>,
     },
+}
+
+impl Job {
+    /// The job's stage timer, if any.
+    fn trace_mut(&mut self) -> Option<&mut TraceBuilder> {
+        match self {
+            Job::Identify { trace, .. }
+            | Job::Characterize { trace, .. }
+            | Job::ClusterIngest { trace, .. } => trace.as_deref_mut(),
+        }
+    }
+
+    /// Takes the job's stage timer, dropping the rest (used when a refused
+    /// job's reply must still carry its trace).
+    pub(crate) fn into_trace(self) -> Option<Box<TraceBuilder>> {
+        match self {
+            Job::Identify { trace, .. }
+            | Job::Characterize { trace, .. }
+            | Job::ClusterIngest { trace, .. } => trace,
+        }
+    }
 }
 
 /// Why a job was not admitted.
@@ -221,6 +303,8 @@ struct Gather {
     /// First failure message reported by any shard; set once, wins.
     failure: PlMutex<Option<String>>,
     reply: Reply,
+    /// The request's stage timer; taken by the last shard to report.
+    trace: PlMutex<Option<Box<TraceBuilder>>>,
 }
 
 struct ShardTask {
@@ -239,8 +323,14 @@ pub struct Pool {
 
 impl Pool {
     /// Spawns the dispatcher and one worker per store shard, with `batch_size`
-    /// as the dispatcher's maximum drain per wakeup.
-    pub fn spawn(store: Arc<ShardedStore>, queue: Arc<SubmissionQueue>, batch_size: usize) -> Self {
+    /// as the dispatcher's maximum drain per wakeup. The `tracer` receives a
+    /// flight-recorder dump on every absorbed worker panic.
+    pub fn spawn(
+        store: Arc<ShardedStore>,
+        queue: Arc<SubmissionQueue>,
+        batch_size: usize,
+        tracer: Arc<Tracer>,
+    ) -> Self {
         let metrics = Arc::new(PoolMetrics::default());
         let mut senders = Vec::with_capacity(store.num_shards());
         let mut workers = Vec::with_capacity(store.num_shards());
@@ -249,15 +339,17 @@ impl Pool {
             senders.push(tx);
             let store = Arc::clone(&store);
             let metrics = Arc::clone(&metrics);
+            let tracer = Arc::clone(&tracer);
             workers.push(
                 thread::Builder::new()
                     .name(format!("pc-shard-{shard}"))
-                    .spawn(move || shard_worker(shard, store, rx, metrics))
+                    .spawn(move || shard_worker(shard, store, rx, metrics, tracer))
                     .expect("spawn shard worker"),
             );
         }
         let dispatcher_queue = Arc::clone(&queue);
         let dispatcher_metrics = Arc::clone(&metrics);
+        let dispatcher_tracer = Arc::clone(&tracer);
         let dispatcher = thread::Builder::new()
             .name("pc-dispatcher".to_string())
             .spawn(move || {
@@ -267,6 +359,7 @@ impl Pool {
                     senders,
                     batch_size,
                     dispatcher_metrics,
+                    dispatcher_tracer,
                 )
             })
             .expect("spawn dispatcher");
@@ -302,18 +395,33 @@ fn dispatch_loop(
     senders: Vec<mpsc::Sender<ShardTask>>,
     batch_size: usize,
     metrics: Arc<PoolMetrics>,
+    tracer: Arc<Tracer>,
 ) {
     while let Some(batch) = queue.pop_batch(batch_size) {
         counter!("service.dispatch.batches").incr();
         counter!("service.dispatch.jobs").add(batch.len() as u64);
-        for job in batch {
+        for mut job in batch {
             let _span = pc_telemetry::time!("service.dispatch.route");
+            // Pickup closes the queue-wait stage: admission → here.
+            if let Some(tb) = job.trace_mut() {
+                tb.record_lap(Stage::QueueWait);
+            }
             match job {
-                Job::Identify { seq, errors, reply } => {
+                Job::Identify {
+                    seq,
+                    errors,
+                    reply,
+                    mut trace,
+                } => {
                     let (plan, total) = store.plan_identify(&errors);
                     if total == 0 {
                         // No band collision anywhere: a certain miss.
-                        let _ = reply.send((seq, Response::NoMatch { closest: None }));
+                        let response = apply_trace(&mut trace, Response::NoMatch { closest: None });
+                        let _ = reply.send(Outbound {
+                            seq,
+                            response,
+                            trace,
+                        });
                         continue;
                     }
                     let busy: Vec<(usize, Vec<u32>)> = plan
@@ -327,6 +435,7 @@ fn dispatch_loop(
                         partials: PlMutex::new(Vec::with_capacity(busy.len())),
                         failure: PlMutex::new(None),
                         reply,
+                        trace: PlMutex::new(trace),
                     });
                     for (shard, ids) in busy {
                         let task = ShardTask {
@@ -357,6 +466,7 @@ fn dispatch_loop(
                     label,
                     errors,
                     reply,
+                    mut trace,
                 } => {
                     // The mutation runs under catch_unwind so a poisoned
                     // observation cannot take down the dispatcher — the one
@@ -376,14 +486,25 @@ fn dispatch_loop(
                         Err(_) => {
                             metrics.panics.fetch_add(1, Ordering::Relaxed);
                             counter!("service.pool.panics").incr();
+                            tracer.dump("worker_panic");
                             Response::Error {
                                 message: "characterize panicked; request dropped".to_string(),
                             }
                         }
                     };
-                    let _ = reply.send((seq, response));
+                    let response = apply_trace(&mut trace, response);
+                    let _ = reply.send(Outbound {
+                        seq,
+                        response,
+                        trace,
+                    });
                 }
-                Job::ClusterIngest { seq, errors, reply } => {
+                Job::ClusterIngest {
+                    seq,
+                    errors,
+                    reply,
+                    mut trace,
+                } => {
                     let outcome = catch_unwind(AssertUnwindSafe(|| store.cluster_ingest(&errors)));
                     let response = match outcome {
                         Ok(Ok((cluster, seeded, clusters))) => Response::Clustered {
@@ -397,12 +518,18 @@ fn dispatch_loop(
                         Err(_) => {
                             metrics.panics.fetch_add(1, Ordering::Relaxed);
                             counter!("service.pool.panics").incr();
+                            tracer.dump("worker_panic");
                             Response::Error {
                                 message: "cluster-ingest panicked; request dropped".to_string(),
                             }
                         }
                     };
-                    let _ = reply.send((seq, response));
+                    let response = apply_trace(&mut trace, response);
+                    let _ = reply.send(Outbound {
+                        seq,
+                        response,
+                        trace,
+                    });
                 }
             }
         }
@@ -435,20 +562,33 @@ fn finish_shard(
                 Err(closest) => Response::NoMatch { closest },
             }
         };
-        let _ = gather.reply.send((gather.seq, response));
+        let mut trace = gather.trace.lock().take();
+        let response = apply_trace(&mut trace, response);
+        let _ = gather.reply.send(Outbound {
+            seq: gather.seq,
+            response,
+            trace,
+        });
     }
 }
 
 /// Handles one scatter task. May panic (`pool.worker` fault site, or an
 /// organic scoring panic escaping the inner guard) — but only after the
 /// task's own gather has been failed, so the caller always gets an answer.
-fn handle_shard_task(shard: usize, store: &ShardedStore, task: ShardTask, metrics: &PoolMetrics) {
+fn handle_shard_task(
+    shard: usize,
+    store: &ShardedStore,
+    task: ShardTask,
+    metrics: &PoolMetrics,
+    tracer: &Tracer,
+) {
     if pc_faults::fail_point("pool.worker") {
         // Fail the caller first, then die like a real worker panic: the
         // loop in `shard_worker` respawns us and the request answers
         // `Error` instead of hanging its connection.
         metrics.panics.fetch_add(1, Ordering::Relaxed);
         counter!("service.pool.panics").incr();
+        tracer.dump("worker_panic");
         finish_shard(
             store,
             &task.gather,
@@ -471,6 +611,7 @@ fn handle_shard_task(shard: usize, store: &ShardedStore, task: ShardTask, metric
         Err(_) => {
             metrics.panics.fetch_add(1, Ordering::Relaxed);
             counter!("service.pool.panics").incr();
+            tracer.dump("worker_panic");
             finish_shard(
                 store,
                 &task.gather,
@@ -486,11 +627,12 @@ fn shard_worker(
     store: Arc<ShardedStore>,
     rx: mpsc::Receiver<ShardTask>,
     metrics: Arc<PoolMetrics>,
+    tracer: Arc<Tracer>,
 ) {
     loop {
         let run = catch_unwind(AssertUnwindSafe(|| {
             while let Ok(task) = rx.recv() {
-                handle_shard_task(shard, &store, task, &metrics);
+                handle_shard_task(shard, &store, task, &metrics, &tracer);
             }
         }));
         match run {
@@ -536,14 +678,20 @@ mod tests {
     fn pool_answers_identify_and_mutations() {
         let store = store_with_chips(8);
         let queue = Arc::new(SubmissionQueue::new(64));
-        let pool = Pool::spawn(Arc::clone(&store), Arc::clone(&queue), 8);
-        let (tx, rx) = mpsc::channel();
+        let pool = Pool::spawn(
+            Arc::clone(&store),
+            Arc::clone(&queue),
+            8,
+            Arc::new(Tracer::disabled()),
+        );
+        let (tx, rx) = mpsc::channel::<Outbound>();
 
         queue
             .try_submit(Job::Identify {
                 seq: 1,
                 errors: Arc::new(es(&chip_bits(5))),
                 reply: tx.clone(),
+                trace: None,
             })
             .ok()
             .unwrap();
@@ -552,6 +700,7 @@ mod tests {
                 seq: 2,
                 errors: es(&[9, 99, 999]),
                 reply: tx.clone(),
+                trace: None,
             })
             .ok()
             .unwrap();
@@ -561,14 +710,15 @@ mod tests {
                 label: "fresh".to_string(),
                 errors: es(&[4, 44]),
                 reply: tx,
+                trace: None,
             })
             .ok()
             .unwrap();
 
         let mut got = std::collections::BTreeMap::new();
         for _ in 0..3 {
-            let (seq, resp) = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
-            got.insert(seq, resp);
+            let out = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+            got.insert(out.seq, out.response);
         }
         assert_eq!(
             got[&1],
@@ -595,11 +745,12 @@ mod tests {
     #[test]
     fn full_queue_bounces_jobs_back() {
         let queue = SubmissionQueue::new(1);
-        let (tx, _rx) = mpsc::channel();
+        let (tx, _rx) = mpsc::channel::<Outbound>();
         let job = |seq| Job::ClusterIngest {
             seq,
             errors: es(&[1]),
             reply: tx.clone(),
+            trace: None,
         };
         queue.try_submit(job(1)).ok().unwrap();
         match queue.try_submit(job(2)) {
@@ -614,13 +765,14 @@ mod tests {
     fn close_drains_admitted_jobs() {
         let store = store_with_chips(4);
         let queue = Arc::new(SubmissionQueue::new(64));
-        let (tx, rx) = mpsc::channel();
+        let (tx, rx) = mpsc::channel::<Outbound>();
         for seq in 0..20 {
             queue
                 .try_submit(Job::Identify {
                     seq,
                     errors: Arc::new(es(&chip_bits(seq % 4))),
                     reply: tx.clone(),
+                    trace: None,
                 })
                 .ok()
                 .unwrap();
@@ -628,17 +780,18 @@ mod tests {
         drop(tx);
         // The pool starts with 20 jobs already queued; closing immediately
         // must still answer every one of them.
-        let pool = Pool::spawn(store, Arc::clone(&queue), 4);
+        let pool = Pool::spawn(store, Arc::clone(&queue), 4, Arc::new(Tracer::disabled()));
         pool.drain_and_join();
         let answered: Vec<_> = rx.try_iter().collect();
         assert_eq!(answered.len(), 20, "every admitted job must be answered");
         // After close, submissions are refused as Closed.
-        let (tx2, _rx2) = mpsc::channel();
+        let (tx2, _rx2) = mpsc::channel::<Outbound>();
         assert!(matches!(
             queue.try_submit(Job::ClusterIngest {
                 seq: 99,
                 errors: es(&[1]),
                 reply: tx2,
+                trace: None,
             }),
             Err(SubmitError::Closed(_))
         ));

@@ -14,8 +14,14 @@
 //! {"seq":3,"op":"characterize","label":"chip-A","size":32768,"positions":[...]}
 //! {"seq":4,"op":"cluster-ingest","size":32768,"positions":[...]}
 //! {"seq":5,"op":"stats"}
-//! {"seq":6,"op":"shutdown"}
+//! {"seq":6,"op":"metrics"}
+//! {"seq":7,"op":"trace-dump"}
+//! {"seq":8,"op":"shutdown"}
 //! ```
+//!
+//! Any request may additionally carry `"trace":true`
+//! ([`encode_request_with`]); the response then arrives wrapped in
+//! [`Response::Traced`] with a per-stage latency breakdown.
 //!
 //! Responses are `{"seq":N,"ok":true,"kind":...,...}`, or `"ok":false` with
 //! `"retryable"` distinguishing backpressure (`busy`, retry after the hinted
@@ -51,6 +57,10 @@ pub enum Request {
     },
     /// Server statistics snapshot.
     Stats,
+    /// Per-op latency quantiles from the server's tracer; answered inline.
+    Metrics,
+    /// The flight recorder's recent request traces; answered inline.
+    TraceDump,
     /// Durability checkpoint: persist the database and index now. The
     /// acknowledgement promises every previously-acknowledged mutation has
     /// reached disk.
@@ -58,6 +68,20 @@ pub enum Request {
     /// Graceful shutdown: drain in-flight requests, persist, exit.
     Shutdown,
 }
+
+/// Every request `op` string, in the order requests typically flow. The
+/// server seeds its per-op latency tracer from this list.
+pub const OPS: &[&str] = &[
+    "ping",
+    "identify",
+    "characterize",
+    "cluster-ingest",
+    "stats",
+    "metrics",
+    "trace-dump",
+    "save",
+    "shutdown",
+];
 
 impl Request {
     /// The request's `op` string (also its telemetry label).
@@ -68,6 +92,8 @@ impl Request {
             Request::Characterize { .. } => "characterize",
             Request::ClusterIngest { .. } => "cluster-ingest",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::TraceDump => "trace-dump",
             Request::Save => "save",
             Request::Shutdown => "shutdown",
         }
@@ -96,6 +122,85 @@ pub struct StatsBody {
     /// Whether the store is serving in degraded (linear-scan) mode while
     /// its routing index rebuilds.
     pub degraded: bool,
+}
+
+/// Latency quantiles for one request op, reported by [`Response::Metrics`].
+/// All latencies are nanoseconds; quantiles are bucket-bounded estimates
+/// from the server's per-op histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OpLatency {
+    /// The request op (`"identify"`, `"characterize"`, ...).
+    pub op: String,
+    /// Requests of this op observed since start.
+    pub count: u64,
+    /// Median latency.
+    pub p50_ns: u64,
+    /// 90th-percentile latency.
+    pub p90_ns: u64,
+    /// 99th-percentile latency.
+    pub p99_ns: u64,
+    /// Worst observed latency.
+    pub max_ns: u64,
+}
+
+/// Live serving metrics reported by [`Response::Metrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsBody {
+    /// Per-op latency quantiles, one row per op that has seen traffic.
+    pub ops: Vec<OpLatency>,
+    /// Requests currently waiting in the submission queue.
+    pub queue_depth: u64,
+    /// Requests that breached the slow threshold since start.
+    pub slow_requests: u64,
+    /// Whether the store is serving degraded (index rebuilding).
+    pub degraded: bool,
+}
+
+/// Per-stage latency breakdown attached to a [`Response::Traced`] wrapper.
+///
+/// `other_ns` is the unattributed remainder, so the stage fields always sum
+/// to exactly `total_ns`. Encode/write time cannot ride in the response
+/// that is itself being encoded; it lands in the flight recorder instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceBody {
+    /// Deterministic trace id (`pc_telemetry::trace::trace_id`).
+    pub trace_id: u64,
+    /// Wire frame → typed request.
+    pub decode_ns: u64,
+    /// Queue admission → dispatcher pickup.
+    pub queue_wait_ns: u64,
+    /// Scoring / mutation work.
+    pub score_ns: u64,
+    /// Unattributed remainder (`total - decode - queue_wait - score`).
+    pub other_ns: u64,
+    /// Total latency from decode begin to response build.
+    pub total_ns: u64,
+}
+
+/// One flight-recorder entry on the wire, reported by
+/// [`Response::TraceDump`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceRecord {
+    /// Deterministic trace id.
+    pub trace_id: u64,
+    /// The request's op.
+    pub op: String,
+    /// The request's sequence number on its connection.
+    pub seq: u64,
+    /// Wire frame → typed request.
+    pub decode_ns: u64,
+    /// Queue admission → dispatcher pickup.
+    pub queue_wait_ns: u64,
+    /// Scoring / mutation work.
+    pub score_ns: u64,
+    /// Response build → wire frame (includes writer-queue wait).
+    pub encode_ns: u64,
+    /// Wire frame → socket.
+    pub write_ns: u64,
+    /// Total latency from decode begin to write completion.
+    pub total_ns: u64,
+    /// Whether the request breached the slow threshold.
+    pub slow: bool,
 }
 
 /// A decoded server response.
@@ -137,6 +242,21 @@ pub enum Response {
     },
     /// Statistics snapshot.
     Stats(StatsBody),
+    /// Live per-op latency metrics.
+    Metrics(MetricsBody),
+    /// Recent request traces from the flight recorder.
+    TraceDump {
+        /// Recorded traces, oldest first.
+        traces: Vec<TraceRecord>,
+    },
+    /// A response wrapped with its request's per-stage latency breakdown
+    /// (the request carried `"trace":true`). Never nests.
+    Traced {
+        /// The wrapped response.
+        inner: Box<Response>,
+        /// Stage breakdown for the request that produced it.
+        trace: TraceBody,
+    },
     /// Acknowledgement of [`Request::Save`]: the database and index are on
     /// disk.
     Saved {
@@ -160,13 +280,22 @@ pub enum Response {
 
 impl Response {
     /// Whether the response signals success (`"ok":true` on the wire).
+    /// A [`Response::Traced`] wrapper delegates to its inner response.
     pub fn is_ok(&self) -> bool {
-        !matches!(self, Response::Busy { .. } | Response::Error { .. })
+        match self {
+            Response::Traced { inner, .. } => inner.is_ok(),
+            Response::Busy { .. } | Response::Error { .. } => false,
+            _ => true,
+        }
     }
 
     /// Whether a failed response may be retried verbatim.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Response::Busy { .. })
+        match self {
+            Response::Traced { inner, .. } => inner.is_retryable(),
+            Response::Busy { .. } => true,
+            _ => false,
+        }
     }
 }
 
@@ -211,6 +340,12 @@ fn get_str<'a>(obj: &'a JsonObject, key: &str) -> Result<&'a str, ProtocolError>
         .ok_or_else(|| err(format!("missing or non-string `{key}`")))
 }
 
+fn get_bool(obj: &JsonObject, key: &str) -> Result<bool, ProtocolError> {
+    obj.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| err(format!("missing or non-boolean `{key}`")))
+}
+
 fn get_errors(obj: &JsonObject) -> Result<ErrorString, ProtocolError> {
     let size = get_u64(obj, "size")?;
     let positions = obj
@@ -226,11 +361,26 @@ fn get_errors(obj: &JsonObject) -> Result<ErrorString, ProtocolError> {
 
 /// Encodes a request as the wire JSON object.
 pub fn encode_request(seq: u64, request: &Request) -> JsonObject {
+    encode_request_with(seq, request, false)
+}
+
+/// Encodes a request, optionally asking the server to trace it
+/// (`"trace":true` on the wire → the response arrives as
+/// [`Response::Traced`]).
+pub fn encode_request_with(seq: u64, request: &Request, trace: bool) -> JsonObject {
     let mut obj = JsonObject::new();
     obj.set("seq", seq);
     obj.set("op", request.op());
+    if trace {
+        obj.set("trace", true);
+    }
     match request {
-        Request::Ping | Request::Stats | Request::Save | Request::Shutdown => {}
+        Request::Ping
+        | Request::Stats
+        | Request::Metrics
+        | Request::TraceDump
+        | Request::Save
+        | Request::Shutdown => {}
         Request::Identify { errors } | Request::ClusterIngest { errors } => {
             set_errors(&mut obj, errors);
         }
@@ -242,16 +392,31 @@ pub fn encode_request(seq: u64, request: &Request) -> JsonObject {
     obj
 }
 
-/// Decodes a request frame into `(seq, request)`.
+/// Decodes a request frame into `(seq, request)`, dropping the optional
+/// `trace` flag (see [`decode_request_flags`]).
 ///
 /// # Errors
 ///
 /// [`ProtocolError`] naming the first offending field.
 pub fn decode_request(frame: &JsonValue) -> Result<(u64, Request), ProtocolError> {
+    decode_request_flags(frame).map(|(seq, request, _)| (seq, request))
+}
+
+/// Decodes a request frame into `(seq, request, trace)`, where `trace` is
+/// the optional `"trace"` flag (absent → `false`).
+///
+/// # Errors
+///
+/// [`ProtocolError`] naming the first offending field.
+pub fn decode_request_flags(frame: &JsonValue) -> Result<(u64, Request, bool), ProtocolError> {
     let obj = frame
         .as_object()
         .ok_or_else(|| err("frame is not an object"))?;
     let seq = get_u64(obj, "seq")?;
+    let trace = match obj.get("trace") {
+        None => false,
+        Some(v) => v.as_bool().ok_or_else(|| err("non-boolean `trace`"))?,
+    };
     let request = match get_str(obj, "op")? {
         "ping" => Request::Ping,
         "identify" => Request::Identify {
@@ -265,19 +430,113 @@ pub fn decode_request(frame: &JsonValue) -> Result<(u64, Request), ProtocolError
             errors: get_errors(obj)?,
         },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
+        "trace-dump" => Request::TraceDump,
         "save" => Request::Save,
         "shutdown" => Request::Shutdown,
         other => return Err(err(format!("unknown op {other:?}"))),
     };
-    Ok((seq, request))
+    Ok((seq, request, trace))
+}
+
+fn trace_body_json(trace: &TraceBody) -> JsonObject {
+    let mut obj = JsonObject::new();
+    obj.set("trace_id", trace.trace_id);
+    obj.set("decode_ns", trace.decode_ns);
+    obj.set("queue_wait_ns", trace.queue_wait_ns);
+    obj.set("score_ns", trace.score_ns);
+    obj.set("other_ns", trace.other_ns);
+    obj.set("total_ns", trace.total_ns);
+    obj
+}
+
+fn decode_trace_body(v: &JsonValue) -> Result<TraceBody, ProtocolError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| err("`trace` is not an object"))?;
+    Ok(TraceBody {
+        trace_id: get_u64(obj, "trace_id")?,
+        decode_ns: get_u64(obj, "decode_ns")?,
+        queue_wait_ns: get_u64(obj, "queue_wait_ns")?,
+        score_ns: get_u64(obj, "score_ns")?,
+        other_ns: get_u64(obj, "other_ns")?,
+        total_ns: get_u64(obj, "total_ns")?,
+    })
+}
+
+fn trace_record_json(record: &TraceRecord) -> JsonObject {
+    let mut obj = JsonObject::new();
+    obj.set("trace_id", record.trace_id);
+    obj.set("op", record.op.as_str());
+    obj.set("seq", record.seq);
+    obj.set("decode_ns", record.decode_ns);
+    obj.set("queue_wait_ns", record.queue_wait_ns);
+    obj.set("score_ns", record.score_ns);
+    obj.set("encode_ns", record.encode_ns);
+    obj.set("write_ns", record.write_ns);
+    obj.set("total_ns", record.total_ns);
+    obj.set("slow", record.slow);
+    obj
+}
+
+fn decode_trace_record(v: &JsonValue) -> Result<TraceRecord, ProtocolError> {
+    let obj = v.as_object().ok_or_else(|| err("trace is not an object"))?;
+    Ok(TraceRecord {
+        trace_id: get_u64(obj, "trace_id")?,
+        op: get_str(obj, "op")?.to_string(),
+        seq: get_u64(obj, "seq")?,
+        decode_ns: get_u64(obj, "decode_ns")?,
+        queue_wait_ns: get_u64(obj, "queue_wait_ns")?,
+        score_ns: get_u64(obj, "score_ns")?,
+        encode_ns: get_u64(obj, "encode_ns")?,
+        write_ns: get_u64(obj, "write_ns")?,
+        total_ns: get_u64(obj, "total_ns")?,
+        slow: get_bool(obj, "slow")?,
+    })
 }
 
 /// Encodes a response as the wire JSON object.
 pub fn encode_response(seq: u64, response: &Response) -> JsonObject {
+    if let Response::Traced { inner, trace } = response {
+        let mut obj = encode_response(seq, inner);
+        obj.set("trace", trace_body_json(trace));
+        return obj;
+    }
     let mut obj = JsonObject::new();
     obj.set("seq", seq);
     obj.set("ok", response.is_ok());
     match response {
+        // Handled by the early return above; unreachable here.
+        Response::Traced { .. } => {}
+        Response::Metrics(m) => {
+            obj.set("kind", "metrics");
+            obj.set("queue_depth", m.queue_depth);
+            obj.set("slow_requests", m.slow_requests);
+            obj.set("degraded", m.degraded);
+            let rows: Vec<JsonValue> = m
+                .ops
+                .iter()
+                .map(|row| {
+                    let mut o = JsonObject::new();
+                    o.set("op", row.op.as_str());
+                    o.set("count", row.count);
+                    o.set("p50_ns", row.p50_ns);
+                    o.set("p90_ns", row.p90_ns);
+                    o.set("p99_ns", row.p99_ns);
+                    o.set("max_ns", row.max_ns);
+                    JsonValue::from(o)
+                })
+                .collect();
+            obj.set("ops", rows);
+        }
+        Response::TraceDump { traces } => {
+            obj.set("kind", "trace-dump");
+            let rows: Vec<JsonValue> = traces
+                .iter()
+                .map(|t| JsonValue::from(trace_record_json(t)))
+                .collect();
+            obj.set("traces", rows);
+        }
         Response::Pong => {
             obj.set("kind", "pong");
         }
@@ -348,7 +607,8 @@ pub fn encode_response(seq: u64, response: &Response) -> JsonObject {
     obj
 }
 
-/// Decodes a response frame into `(seq, response)`.
+/// Decodes a response frame into `(seq, response)`. A frame carrying a
+/// `"trace"` object decodes as [`Response::Traced`] around its base kind.
 ///
 /// # Errors
 ///
@@ -359,6 +619,37 @@ pub fn decode_response(frame: &JsonValue) -> Result<(u64, Response), ProtocolErr
         .ok_or_else(|| err("frame is not an object"))?;
     let seq = get_u64(obj, "seq")?;
     let response = match get_str(obj, "kind")? {
+        "metrics" => Response::Metrics(MetricsBody {
+            ops: obj
+                .get("ops")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err("missing or non-array `ops`"))?
+                .iter()
+                .map(|row| {
+                    let o = row.as_object().ok_or_else(|| err("op row not an object"))?;
+                    Ok(OpLatency {
+                        op: get_str(o, "op")?.to_string(),
+                        count: get_u64(o, "count")?,
+                        p50_ns: get_u64(o, "p50_ns")?,
+                        p90_ns: get_u64(o, "p90_ns")?,
+                        p99_ns: get_u64(o, "p99_ns")?,
+                        max_ns: get_u64(o, "max_ns")?,
+                    })
+                })
+                .collect::<Result<_, ProtocolError>>()?,
+            queue_depth: get_u64(obj, "queue_depth")?,
+            slow_requests: get_u64(obj, "slow_requests")?,
+            degraded: get_bool(obj, "degraded")?,
+        }),
+        "trace-dump" => Response::TraceDump {
+            traces: obj
+                .get("traces")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err("missing or non-array `traces`"))?
+                .iter()
+                .map(decode_trace_record)
+                .collect::<Result<_, ProtocolError>>()?,
+        },
         "pong" => Response::Pong,
         "match" => Response::Match {
             label: get_str(obj, "label")?.to_string(),
@@ -426,6 +717,13 @@ pub fn decode_response(frame: &JsonValue) -> Result<(u64, Response), ProtocolErr
         },
         other => return Err(err(format!("unknown kind {other:?}"))),
     };
+    let response = match obj.get("trace") {
+        Some(v) => Response::Traced {
+            inner: Box::new(response),
+            trace: decode_trace_body(v)?,
+        },
+        None => response,
+    };
     Ok((seq, response))
 }
 
@@ -452,6 +750,8 @@ mod tests {
                 errors: es(&[0, 4095]),
             },
             Request::Stats,
+            Request::Metrics,
+            Request::TraceDump,
             Request::Save,
             Request::Shutdown,
         ];
@@ -496,6 +796,63 @@ mod tests {
                 worker_respawns: 8,
                 degraded: true,
             }),
+            Response::Metrics(MetricsBody {
+                ops: vec![
+                    OpLatency {
+                        op: "identify".into(),
+                        count: 100,
+                        p50_ns: 1_000,
+                        p90_ns: 2_000,
+                        p99_ns: 9_000,
+                        max_ns: 12_345,
+                    },
+                    OpLatency {
+                        op: "ping".into(),
+                        count: 3,
+                        p50_ns: 10,
+                        p90_ns: 20,
+                        p99_ns: 30,
+                        max_ns: 31,
+                    },
+                ],
+                queue_depth: 2,
+                slow_requests: 1,
+                degraded: false,
+            }),
+            Response::Metrics(MetricsBody::default()),
+            Response::TraceDump {
+                traces: vec![TraceRecord {
+                    trace_id: 0xfeed_beef,
+                    op: "identify".into(),
+                    seq: 4,
+                    decode_ns: 10,
+                    queue_wait_ns: 20,
+                    score_ns: 30,
+                    encode_ns: 40,
+                    write_ns: 50,
+                    total_ns: 160,
+                    slow: true,
+                }],
+            },
+            Response::TraceDump { traces: vec![] },
+            Response::Traced {
+                inner: Box::new(Response::Match {
+                    label: "chip".into(),
+                    distance: 0.25,
+                }),
+                trace: TraceBody {
+                    trace_id: 77,
+                    decode_ns: 5,
+                    queue_wait_ns: 6,
+                    score_ns: 7,
+                    other_ns: 2,
+                    total_ns: 20,
+                },
+            },
+            Response::Traced {
+                inner: Box::new(Response::Busy { retry_after_ms: 3 }),
+                trace: TraceBody::default(),
+            },
             Response::Saved { fingerprints: 42 },
             Response::ShuttingDown,
             Response::Busy { retry_after_ms: 12 },
@@ -527,6 +884,23 @@ mod tests {
     }
 
     #[test]
+    fn trace_flag_roundtrips_and_defaults_off() {
+        let req = Request::Identify {
+            errors: es(&[2, 3]),
+        };
+        let text = encode_request_with(9, &req, true).to_compact();
+        let back = pc_telemetry::parse_json(&text).unwrap();
+        assert_eq!(decode_request_flags(&back).unwrap(), (9, req.clone(), true));
+
+        let plain = encode_request(9, &req).to_compact();
+        let back = pc_telemetry::parse_json(&plain).unwrap();
+        assert_eq!(decode_request_flags(&back).unwrap(), (9, req, false));
+
+        let bad = pc_telemetry::parse_json(r#"{"seq":1,"op":"ping","trace":"yes"}"#).unwrap();
+        assert!(decode_request_flags(&bad).is_err(), "non-bool trace flag");
+    }
+
+    #[test]
     fn ok_and_retryable_flags() {
         assert!(Response::Pong.is_ok());
         assert!(!Response::Busy { retry_after_ms: 1 }.is_ok());
@@ -536,5 +910,16 @@ mod tests {
         };
         assert!(!e.is_ok());
         assert!(!e.is_retryable());
+        let traced_busy = Response::Traced {
+            inner: Box::new(Response::Busy { retry_after_ms: 1 }),
+            trace: TraceBody::default(),
+        };
+        assert!(!traced_busy.is_ok());
+        assert!(traced_busy.is_retryable());
+        let traced_ok = Response::Traced {
+            inner: Box::new(Response::Pong),
+            trace: TraceBody::default(),
+        };
+        assert!(traced_ok.is_ok());
     }
 }

@@ -27,10 +27,11 @@
 //! `save` request checkpoints durably while the server runs.
 
 use crate::codec::{self, CodecError, ReadGuard};
-use crate::pool::{Job, Pool, PoolMetrics, SubmissionQueue, SubmitError};
-use crate::protocol::{self, Request, Response, StatsBody};
+use crate::pool::{apply_trace, Job, Outbound, Pool, PoolMetrics, SubmissionQueue, SubmitError};
+use crate::protocol::{self, MetricsBody, OpLatency, Request, Response, StatsBody, TraceRecord};
 use crate::store::{ShardedStore, StoreConfig};
 use pc_telemetry::counter;
+use pc_telemetry::trace::{Stage, StageClock, Tracer};
 use probable_cause::persistence;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -69,6 +70,16 @@ pub struct ServerConfig {
     pub frame_timeout_ms: Option<u64>,
     /// Socket write timeout for response frames.
     pub write_timeout_ms: Option<u64>,
+    /// Slow-request threshold in milliseconds: a traced request whose total
+    /// latency meets or exceeds it logs a structured `slow_query` event and
+    /// dumps the flight recorder. `None` disables the slow path.
+    pub slow_ms: Option<u64>,
+    /// Flight-recorder capacity: the last N request traces kept for dumps
+    /// and `trace-dump` frames.
+    pub flight_recorder_len: usize,
+    /// Whether per-request tracing is live. Off means zero clock reads on
+    /// the request path and empty `metrics`/`trace-dump` responses.
+    pub trace: bool,
 }
 
 impl Default for ServerConfig {
@@ -85,6 +96,9 @@ impl Default for ServerConfig {
             idle_timeout_ms: None,
             frame_timeout_ms: Some(30_000),
             write_timeout_ms: Some(30_000),
+            slow_ms: None,
+            flight_recorder_len: 64,
+            trace: true,
         }
     }
 }
@@ -106,6 +120,7 @@ struct Shared {
     local_addr: SocketAddr,
     shutting_down: AtomicBool,
     pool_metrics: Arc<PoolMetrics>,
+    tracer: Arc<Tracer>,
     /// Serializes checkpoint saves: two connections issuing `save` at once
     /// must not interleave writes to the same temp file.
     save_lock: Mutex<()>,
@@ -134,6 +149,56 @@ impl Shared {
             worker_respawns: self.pool_metrics.worker_respawns(),
             degraded: self.store.degraded(),
         }
+    }
+
+    /// Live serving metrics: per-op latency quantiles for every op that has
+    /// seen traffic, plus queue depth, slow-request count, and degraded flag.
+    fn metrics(&self) -> MetricsBody {
+        let ops = self
+            .tracer
+            .snapshot()
+            .into_iter()
+            .filter_map(|(op, snap)| {
+                if snap.count() == 0 {
+                    return None;
+                }
+                let max_ns = snap.max().unwrap_or(0);
+                Some(OpLatency {
+                    op: op.to_string(),
+                    count: snap.count(),
+                    p50_ns: snap.quantile(0.50).unwrap_or(max_ns),
+                    p90_ns: snap.quantile(0.90).unwrap_or(max_ns),
+                    p99_ns: snap.quantile(0.99).unwrap_or(max_ns),
+                    max_ns,
+                })
+            })
+            .collect();
+        MetricsBody {
+            ops,
+            queue_depth: self.queue.depth() as u64,
+            slow_requests: self.tracer.slow_requests(),
+            degraded: self.store.degraded(),
+        }
+    }
+
+    /// The flight recorder's contents as wire records, oldest first.
+    fn trace_dump(&self) -> Vec<TraceRecord> {
+        self.tracer
+            .recent_traces()
+            .into_iter()
+            .map(|t| TraceRecord {
+                trace_id: t.trace_id,
+                op: t.op.to_string(),
+                seq: t.seq,
+                decode_ns: t.stage_ns(Stage::Decode),
+                queue_wait_ns: t.stage_ns(Stage::QueueWait),
+                score_ns: t.stage_ns(Stage::Score),
+                encode_ns: t.stage_ns(Stage::Encode),
+                write_ns: t.stage_ns(Stage::Write),
+                total_ns: t.total_ns,
+                slow: t.slow,
+            })
+            .collect()
     }
 
     /// Checkpoints the store to the configured paths under the save lock.
@@ -251,7 +316,18 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let queue = Arc::new(SubmissionQueue::new(config.queue_capacity));
-    let pool = Pool::spawn(Arc::clone(&store), Arc::clone(&queue), config.batch_size);
+    let tracer = Arc::new(Tracer::new(
+        protocol::OPS,
+        config.flight_recorder_len,
+        config.slow_ms,
+        config.trace,
+    ));
+    let pool = Pool::spawn(
+        Arc::clone(&store),
+        Arc::clone(&queue),
+        config.batch_size,
+        Arc::clone(&tracer),
+    );
     let shared = Arc::new(Shared {
         store,
         queue,
@@ -259,6 +335,7 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         local_addr,
         shutting_down: AtomicBool::new(false),
         pool_metrics: pool.metrics(),
+        tracer,
         save_lock: Mutex::new(()),
     });
 
@@ -337,7 +414,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Pool) -> io::Re
         conn_threads.push(
             thread::Builder::new()
                 .name(format!("pc-conn-{id}"))
-                .spawn(move || serve_connection(stream, conn_shared))?,
+                .spawn(move || serve_connection(stream, conn_shared, id))?,
         );
     }
 
@@ -362,7 +439,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, pool: Pool) -> io::Re
     Ok(())
 }
 
-fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
+fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
     let guard = shared.config.read_guard();
     if guard.is_active() {
         // The socket's read timeout is the guard's polling tick, not the
@@ -377,14 +454,18 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
         Ok(s) => s,
         Err(_) => return,
     };
-    let (reply_tx, reply_rx) = mpsc::channel::<(u64, Response)>();
-    let writer_thread = thread::spawn(move || write_loop(write_half, reply_rx));
+    let (reply_tx, reply_rx) = mpsc::channel::<Outbound>();
+    let writer_tracer = Arc::clone(&shared.tracer);
+    let writer_thread = thread::spawn(move || write_loop(write_half, reply_rx, writer_tracer));
 
     let mut reader = BufReader::new(stream);
     loop {
         let frame = {
             let _span = pc_telemetry::time!("service.decode");
             if pc_faults::fail_point("wire.read") {
+                // A read-side fault is an incident: capture the traces that
+                // led up to it before the connection dies.
+                shared.tracer.dump("fault_injected");
                 Err(CodecError::Io(pc_faults::injected_io("wire.read")))
             } else {
                 codec::read_frame_guarded(&mut reader, shared.config.max_frame_bytes, guard)
@@ -401,7 +482,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
             Err(e) => {
                 // Framing is unrecoverable mid-stream: report and hang up.
                 counter!("service.decode.framing_errors").incr();
-                let _ = reply_tx.send((
+                let _ = reply_tx.send(Outbound::new(
                     0,
                     Response::Error {
                         message: e.to_string(),
@@ -410,13 +491,16 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 break;
             }
         };
-        let (seq, request) = match protocol::decode_request(&value) {
+        // The decode clock only runs when tracing is live: a disabled tracer
+        // keeps the request path free of clock reads.
+        let clock = shared.tracer.enabled().then(StageClock::start);
+        let (seq, request, wants_trace) = match protocol::decode_request_flags(&value) {
             Ok(decoded) => decoded,
             Err(e) => {
                 // The frame boundary held, so the connection survives a
                 // malformed request; seq 0 marks an uncorrelated error.
                 counter!("service.decode.bad_requests").incr();
-                let _ = reply_tx.send((
+                let _ = reply_tx.send(Outbound::new(
                     0,
                     Response::Error {
                         message: e.to_string(),
@@ -425,13 +509,49 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                 continue;
             }
         };
-        count_request(request.op());
+        let op = request.op();
+        count_request(op);
+        let decode_ns = clock.map_or(0, |c| c.elapsed_ns());
+        let mut trace = shared
+            .tracer
+            .begin(conn_id, seq, op, decode_ns, wants_trace);
         match request {
             Request::Ping => {
-                let _ = reply_tx.send((seq, Response::Pong));
+                let response = apply_trace(&mut trace, Response::Pong);
+                let _ = reply_tx.send(Outbound {
+                    seq,
+                    response,
+                    trace,
+                });
             }
             Request::Stats => {
-                let _ = reply_tx.send((seq, Response::Stats(shared.stats())));
+                let response = apply_trace(&mut trace, Response::Stats(shared.stats()));
+                let _ = reply_tx.send(Outbound {
+                    seq,
+                    response,
+                    trace,
+                });
+            }
+            Request::Metrics => {
+                let response = apply_trace(&mut trace, Response::Metrics(shared.metrics()));
+                let _ = reply_tx.send(Outbound {
+                    seq,
+                    response,
+                    trace,
+                });
+            }
+            Request::TraceDump => {
+                let response = apply_trace(
+                    &mut trace,
+                    Response::TraceDump {
+                        traces: shared.trace_dump(),
+                    },
+                );
+                let _ = reply_tx.send(Outbound {
+                    seq,
+                    response,
+                    trace,
+                });
             }
             Request::Save => {
                 // Handled inline on the connection thread: a save is a
@@ -446,10 +566,20 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                         }
                     }
                 };
-                let _ = reply_tx.send((seq, response));
+                let response = apply_trace(&mut trace, response);
+                let _ = reply_tx.send(Outbound {
+                    seq,
+                    response,
+                    trace,
+                });
             }
             Request::Shutdown => {
-                let _ = reply_tx.send((seq, Response::ShuttingDown));
+                let response = apply_trace(&mut trace, Response::ShuttingDown);
+                let _ = reply_tx.send(Outbound {
+                    seq,
+                    response,
+                    trace,
+                });
                 shared.begin_shutdown();
                 break;
             }
@@ -461,6 +591,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     seq,
                     errors: Arc::new(errors),
                     reply: reply_tx.clone(),
+                    trace,
                 },
             ),
             Request::Characterize { label, errors } => submit(
@@ -472,6 +603,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     label,
                     errors,
                     reply: reply_tx.clone(),
+                    trace,
                 },
             ),
             Request::ClusterIngest { errors } => submit(
@@ -482,6 +614,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>) {
                     seq,
                     errors,
                     reply: reply_tx.clone(),
+                    trace,
                 },
             ),
         }
@@ -502,47 +635,82 @@ fn count_request(op: &str) {
         "characterize" => counter!("service.requests.characterize").incr(),
         "cluster-ingest" => counter!("service.requests.cluster_ingest").incr(),
         "stats" => counter!("service.requests.stats").incr(),
+        "metrics" => counter!("service.requests.metrics").incr(),
+        "trace-dump" => counter!("service.requests.trace_dump").incr(),
         "save" => counter!("service.requests.save").incr(),
         _ => counter!("service.requests.shutdown").incr(),
     }
 }
 
-/// Admits a job or answers the backpressure/shutdown refusal inline.
-fn submit(shared: &Shared, reply: &mpsc::Sender<(u64, Response)>, seq: u64, job: Job) {
+/// Admits a job or answers the backpressure/shutdown refusal inline. A
+/// refused job's stage timer still rides out with the refusal, so `busy`
+/// responses are traced too.
+fn submit(shared: &Shared, reply: &mpsc::Sender<Outbound>, seq: u64, job: Job) {
     match shared.queue.try_submit(job) {
         Ok(()) => {}
-        Err(SubmitError::Full(_)) => {
-            let _ = reply.send((
-                seq,
+        Err(SubmitError::Full(job)) => {
+            let mut trace = job.into_trace();
+            let response = apply_trace(
+                &mut trace,
                 Response::Busy {
                     retry_after_ms: shared.config.retry_after_ms,
                 },
-            ));
-        }
-        Err(SubmitError::Closed(_)) => {
-            let _ = reply.send((
+            );
+            let _ = reply.send(Outbound {
                 seq,
+                response,
+                trace,
+            });
+        }
+        Err(SubmitError::Closed(job)) => {
+            let mut trace = job.into_trace();
+            let response = apply_trace(
+                &mut trace,
                 Response::Error {
                     message: "server is shutting down".to_string(),
                 },
-            ));
+            );
+            let _ = reply.send(Outbound {
+                seq,
+                response,
+                trace,
+            });
         }
     }
 }
 
-fn write_loop(stream: TcpStream, replies: mpsc::Receiver<(u64, Response)>) {
+fn write_loop(stream: TcpStream, replies: mpsc::Receiver<Outbound>, tracer: Arc<Tracer>) {
     let mut w = BufWriter::new(&stream);
-    while let Ok((seq, response)) = replies.recv() {
+    while let Ok(out) = replies.recv() {
+        let Outbound {
+            seq,
+            response,
+            mut trace,
+        } = out;
         let _span = pc_telemetry::time!("service.respond");
         let frame = protocol::encode_response(seq, &response);
+        if let Some(tb) = trace.as_deref_mut() {
+            // Everything since the score lap — writer-queue wait plus the
+            // encode itself — is the encode stage.
+            tb.record_lap(Stage::Encode);
+        }
         // An injected wire.write fault drops the connection exactly as a
         // failed send would: the peer never sees this acknowledgement.
-        let failed =
-            pc_faults::fail_point("wire.write") || codec::write_frame(&mut w, &frame).is_err();
+        let fault = pc_faults::fail_point("wire.write");
+        if fault {
+            tracer.dump("fault_injected");
+        }
+        let failed = fault || codec::write_frame(&mut w, &frame).is_err();
         if failed {
             // The peer is gone; unblock our reader too and bail.
             let _ = stream.shutdown(Shutdown::Both);
             return;
+        }
+        if let Some(mut tb) = trace {
+            // write_frame flushes per frame, so this lap covers the real
+            // socket write.
+            tb.record_lap(Stage::Write);
+            tracer.observe(tb.finish());
         }
         counter!("service.responses").incr();
     }

@@ -266,6 +266,103 @@ fn restart_restores_the_persisted_index_byte_identically() {
 }
 
 #[test]
+fn traced_requests_report_consistent_stage_breakdowns() {
+    let handle = server::start(test_config()).unwrap();
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+    populate(&mut client, 8);
+
+    client.set_trace(true);
+    match client
+        .call(&Request::Identify {
+            errors: es(&chip_bits(5)),
+        })
+        .unwrap()
+    {
+        Response::Traced { inner, trace } => {
+            assert!(
+                matches!(*inner, Response::Match { .. }),
+                "expected a match inside the trace wrapper, got {inner:?}"
+            );
+            // The wire breakdown carries an explicit remainder, so the
+            // stages must sum to the total exactly.
+            assert_eq!(
+                trace.decode_ns + trace.queue_wait_ns + trace.score_ns + trace.other_ns,
+                trace.total_ns
+            );
+            assert!(trace.total_ns > 0);
+            assert_ne!(trace.trace_id, 0);
+        }
+        other => panic!("expected a traced response, got {other:?}"),
+    }
+    client.set_trace(false);
+
+    // After traffic, `metrics` reports non-zero quantiles for the ops seen.
+    match client.call(&Request::Metrics).unwrap() {
+        Response::Metrics(m) => {
+            let identify = m
+                .ops
+                .iter()
+                .find(|o| o.op == "identify")
+                .expect("identify row after identify traffic");
+            assert!(identify.count >= 1);
+            assert!(identify.p50_ns > 0);
+            assert!(identify.p90_ns >= identify.p50_ns);
+            assert!(identify.p99_ns >= identify.p90_ns);
+            let characterize = m
+                .ops
+                .iter()
+                .find(|o| o.op == "characterize")
+                .expect("characterize row after populate");
+            assert_eq!(characterize.count, 8);
+            assert!(!m.degraded);
+        }
+        other => panic!("expected metrics, got {other:?}"),
+    }
+
+    // The flight recorder has the recent requests, stages summing under the
+    // total (laps never over-attribute).
+    match client.call(&Request::TraceDump).unwrap() {
+        Response::TraceDump { traces } => {
+            assert!(!traces.is_empty(), "flight recorder must have traces");
+            for t in &traces {
+                let attributed =
+                    t.decode_ns + t.queue_wait_ns + t.score_ns + t.encode_ns + t.write_ns;
+                assert!(
+                    attributed <= t.total_ns,
+                    "stage sum {attributed} exceeds total {}",
+                    t.total_ns
+                );
+            }
+            assert!(traces.iter().any(|t| t.op == "identify"));
+        }
+        other => panic!("expected a trace dump, got {other:?}"),
+    }
+    handle.shutdown_and_wait().unwrap();
+}
+
+#[test]
+fn tracing_disabled_serves_untraced_and_empty_metrics() {
+    let config = ServerConfig {
+        trace: false,
+        ..test_config()
+    };
+    let handle = server::start(config).unwrap();
+    let mut client = ServiceClient::connect(handle.local_addr()).unwrap();
+    client.set_trace(true);
+    // The client may ask, but a trace-disabled server answers plainly.
+    assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+    match client.call(&Request::Metrics).unwrap() {
+        Response::Metrics(m) => assert!(m.ops.is_empty(), "no rows without tracing"),
+        other => panic!("expected metrics, got {other:?}"),
+    }
+    match client.call(&Request::TraceDump).unwrap() {
+        Response::TraceDump { traces } => assert!(traces.is_empty()),
+        other => panic!("expected a trace dump, got {other:?}"),
+    }
+    handle.shutdown_and_wait().unwrap();
+}
+
+#[test]
 fn late_queue_submissions_during_shutdown_are_refused_cleanly() {
     let handle = server::start(test_config()).unwrap();
     let store = Arc::clone(handle.store());

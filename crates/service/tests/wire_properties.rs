@@ -5,7 +5,8 @@
 
 use pc_service::codec::{read_frame, write_frame, CodecError, MAX_FRAME_BYTES};
 use pc_service::protocol::{
-    decode_request, decode_response, encode_request, encode_response, Request, Response, StatsBody,
+    decode_request, decode_response, encode_request, encode_request_with, encode_response,
+    MetricsBody, OpLatency, Request, Response, StatsBody, TraceBody, TraceRecord,
 };
 use probable_cause::ErrorString;
 use proptest::prelude::*;
@@ -24,9 +25,10 @@ fn label_from(chars: Vec<char>) -> String {
     chars.into_iter().collect()
 }
 
-/// Picks one of the six request shapes from raw generator output.
+/// Picks one of the request shapes from raw generator output. `which % 9
+/// == 1` must stay `Identify`: the oversize test leans on its payload size.
 fn request_from(which: u64, bits: Vec<u64>, label: Vec<char>) -> Request {
-    match which % 6 {
+    match which % 9 {
         0 => Request::Ping,
         1 => Request::Identify {
             errors: errors_from(bits),
@@ -39,6 +41,9 @@ fn request_from(which: u64, bits: Vec<u64>, label: Vec<char>) -> Request {
             errors: errors_from(bits),
         },
         4 => Request::Stats,
+        5 => Request::Metrics,
+        6 => Request::TraceDump,
+        7 => Request::Save,
         _ => Request::Shutdown,
     }
 }
@@ -46,7 +51,7 @@ fn request_from(which: u64, bits: Vec<u64>, label: Vec<char>) -> Request {
 /// Picks one of the response shapes from raw generator output.
 fn response_from(which: u64, label: Vec<char>, x: f64, n: u64, flag: bool) -> Response {
     let label = label_from(label);
-    match which % 9 {
+    match which % 12 {
         0 => Response::Pong,
         1 => Response::Match { label, distance: x },
         2 => Response::NoMatch { closest: None },
@@ -76,11 +81,67 @@ fn response_from(which: u64, label: Vec<char>, x: f64, n: u64, flag: bool) -> Re
             degraded: flag,
         }),
         7 => Response::ShuttingDown,
-        _ => {
+        8 => {
             if flag {
                 Response::Busy { retry_after_ms: n }
             } else {
                 Response::Error { message: label }
+            }
+        }
+        9 => Response::Metrics(MetricsBody {
+            ops: vec![
+                OpLatency {
+                    op: "identify".to_string(),
+                    count: n,
+                    p50_ns: n / 2,
+                    p90_ns: n / 2 + 9,
+                    p99_ns: n + 1,
+                    max_ns: n + 2,
+                },
+                OpLatency {
+                    op: label,
+                    count: 1,
+                    p50_ns: 0,
+                    p90_ns: 0,
+                    p99_ns: 0,
+                    max_ns: 0,
+                },
+            ],
+            queue_depth: n % 7,
+            slow_requests: n % 11,
+            degraded: flag,
+        }),
+        10 => Response::TraceDump {
+            traces: vec![TraceRecord {
+                trace_id: n.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                op: label,
+                seq: n,
+                decode_ns: n % 100,
+                queue_wait_ns: n % 200,
+                score_ns: n % 300,
+                encode_ns: n % 50,
+                write_ns: n % 60,
+                total_ns: n,
+                slow: flag,
+            }],
+        },
+        _ => {
+            // A traced wrapper around a non-nesting inner response.
+            let inner = if flag {
+                Response::Pong
+            } else {
+                Response::Match { label, distance: x }
+            };
+            Response::Traced {
+                inner: Box::new(inner),
+                trace: TraceBody {
+                    trace_id: n,
+                    decode_ns: n % 100,
+                    queue_wait_ns: n % 200,
+                    score_ns: n % 300,
+                    other_ns: n % 40,
+                    total_ns: n,
+                },
             }
         }
     }
@@ -95,12 +156,16 @@ proptest! {
         which in any::<u64>(),
         bits in proptest::collection::vec(any::<u64>(), 0..80),
         label in proptest::collection::vec(proptest::char::range('\u{20}', '\u{2FF}'), 0..24),
+        traced in any::<bool>(),
     ) {
         let request = request_from(which, bits, label);
         let mut wire = Vec::new();
-        write_frame(&mut wire, &encode_request(seq, &request)).expect("vec write");
+        write_frame(&mut wire, &encode_request_with(seq, &request, traced)).expect("vec write");
         let frame = read_frame(&mut wire.as_slice(), MAX_FRAME_BYTES).expect("own frame parses");
-        prop_assert_eq!(decode_request(&frame), Ok((seq, request)));
+        prop_assert_eq!(
+            pc_service::protocol::decode_request_flags(&frame),
+            Ok((seq, request, traced))
+        );
     }
 
     #[test]

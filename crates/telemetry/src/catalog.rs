@@ -1,10 +1,11 @@
-//! The counter catalog: every counter name the workspace is allowed to
-//! emit, in sorted order.
+//! The metric catalog: every counter, span, and value-histogram name the
+//! workspace is allowed to emit, in sorted order.
 //!
-//! `pc analyze` cross-checks this list in both directions (W002/W003):
-//! a `counter!("…")` site whose name is missing here fails analysis, and a
-//! name declared here that no site references fails too — the catalog can
-//! neither rot nor drift. Keep the list sorted; the test below pins that.
+//! `pc analyze` cross-checks each list in both directions (W002/W003):
+//! a `counter!("…")` / `time!("…")` / `histogram!("…")` site whose name is
+//! missing here fails analysis, and a name declared here that no site
+//! references fails too — the catalog can neither rot nor drift. Keep the
+//! lists sorted; the tests below pin that.
 
 /// Every counter name referenced by a `counter!` site outside test code.
 pub const COUNTERS: &[&str] = &[
@@ -67,10 +68,12 @@ pub const COUNTERS: &[&str] = &[
     "service.requests.characterize",
     "service.requests.cluster_ingest",
     "service.requests.identify",
+    "service.requests.metrics",
     "service.requests.ping",
     "service.requests.save",
     "service.requests.shutdown",
     "service.requests.stats",
+    "service.requests.trace_dump",
     "service.responses",
     "service.save.failed",
     "service.shutdown.drained",
@@ -85,30 +88,85 @@ pub const COUNTERS: &[&str] = &[
     "service.store.index_rebuilt",
 ];
 
+/// Every span name referenced by a `time!` site outside test code.
+pub const SPANS: &[&str] = &[
+    "approx.calibrate",
+    "core.characterize",
+    "core.cluster",
+    "core.db.identify",
+    "core.db.identify_batch",
+    "core.db.identify_indexed",
+    "core.index.candidates",
+    "core.index.insert",
+    "core.minhash.signature",
+    "core.stitch.align",
+    "core.stitch.observe",
+    "dram.errors_at",
+    "dram.errors_with_plan",
+    "service.decode",
+    "service.dispatch.route",
+    "service.respond",
+    "service.store.cluster_ingest",
+    "service.store.rebuild_index",
+    "service.store.score",
+];
+
+/// Every value-histogram name referenced by a `histogram!` site outside
+/// test code. The `service.op.*` family holds per-op request latency in
+/// nanoseconds, recorded by `pc_telemetry::trace` and exposed over the wire
+/// by the `metrics` frame.
+pub const HISTOGRAMS: &[&str] = &[
+    "service.op.characterize.latency_ns",
+    "service.op.cluster_ingest.latency_ns",
+    "service.op.identify.latency_ns",
+    "service.op.metrics.latency_ns",
+    "service.op.ping.latency_ns",
+    "service.op.save.latency_ns",
+    "service.op.shutdown.latency_ns",
+    "service.op.stats.latency_ns",
+    "service.op.trace_dump.latency_ns",
+];
+
 /// Whether `name` is a catalogued counter.
 pub fn is_declared(name: &str) -> bool {
     COUNTERS.binary_search(&name).is_ok()
+}
+
+/// Whether `name` is a catalogued span.
+pub fn is_declared_span(name: &str) -> bool {
+    SPANS.binary_search(&name).is_ok()
+}
+
+/// Whether `name` is a catalogued value histogram.
+pub fn is_declared_histogram(name: &str) -> bool {
+    HISTOGRAMS.binary_search(&name).is_ok()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn catalog_is_sorted_and_unique() {
-        let mut sorted = COUNTERS.to_vec();
+    fn assert_sorted_unique(list: &[&str], what: &str) {
+        let mut sorted = list.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(
-            COUNTERS,
-            sorted.as_slice(),
-            "COUNTERS must be sorted, no dupes"
-        );
+        assert_eq!(list, sorted.as_slice(), "{what} must be sorted, no dupes");
+    }
+
+    #[test]
+    fn catalog_is_sorted_and_unique() {
+        assert_sorted_unique(COUNTERS, "COUNTERS");
+        assert_sorted_unique(SPANS, "SPANS");
+        assert_sorted_unique(HISTOGRAMS, "HISTOGRAMS");
     }
 
     #[test]
     fn lookup_uses_the_sort_order() {
         assert!(is_declared("core.distance.pc"));
         assert!(!is_declared("core.distance.bogus"));
+        assert!(is_declared_span("service.decode"));
+        assert!(!is_declared_span("service.bogus"));
+        assert!(is_declared_histogram("service.op.identify.latency_ns"));
+        assert!(!is_declared_histogram("service.op.bogus"));
     }
 }

@@ -13,6 +13,7 @@
 
 use crate::json::{JsonObject, JsonValue};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Number of buckets: 16 exact + 60 octaves × 16 sub-buckets.
 pub const BUCKETS: usize = 976;
@@ -225,9 +226,9 @@ impl HistogramSnapshot {
                 obj.set("min", min);
                 obj.set("mean", mean);
                 obj.set("max", max);
-                obj.set("p50", self.quantile(0.50).expect("non-empty"));
-                obj.set("p90", self.quantile(0.90).expect("non-empty"));
-                obj.set("p99", self.quantile(0.99).expect("non-empty"));
+                obj.set("p50", self.quantile(0.50).unwrap_or(max));
+                obj.set("p90", self.quantile(0.90).unwrap_or(max));
+                obj.set("p99", self.quantile(0.99).unwrap_or(max));
             }
             _ => {
                 obj.set("min", JsonValue::Null);
@@ -236,6 +237,56 @@ impl HistogramSnapshot {
             }
         }
         obj
+    }
+}
+
+/// A call-site handle to a named value histogram, designed to live in a
+/// `static` (see the [`histogram!`](crate::histogram) macro).
+///
+/// Mirrors [`CounterHandle`](crate::CounterHandle): the first recording after
+/// the collector is installed resolves the name in the registry and caches
+/// the reference. While no collector is installed, [`record`](Self::record)
+/// is one atomic load and a branch — no clock, no lock, no allocation.
+#[derive(Debug)]
+pub struct HistogramHandle {
+    name: &'static str,
+    resolved: OnceLock<&'static Histogram>,
+}
+
+impl HistogramHandle {
+    /// A handle to the value histogram named `name`.
+    pub const fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            resolved: OnceLock::new(),
+        }
+    }
+
+    /// The histogram's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one observation; no-op when telemetry is not installed.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(collector) = crate::global() {
+            self.resolved
+                .get_or_init(|| collector.histogram(self.name))
+                .record(v);
+        }
+    }
+
+    /// Snapshot of the histogram, or an empty snapshot when telemetry is not
+    /// installed.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        match crate::global() {
+            Some(collector) => self
+                .resolved
+                .get_or_init(|| collector.histogram(self.name))
+                .snapshot(),
+            None => HistogramSnapshot::empty(),
+        }
     }
 }
 
@@ -258,6 +309,27 @@ mod tests {
             assert_eq!(bucket_index(bucket_lower(idx)), idx);
             assert_eq!(bucket_index(bucket_upper(idx)), idx);
         }
+    }
+
+    #[test]
+    fn empty_snapshot_summary_is_panic_free() {
+        let s = HistogramSnapshot::empty();
+        let obj = s.summary_json();
+        assert_eq!(obj.get("count").and_then(JsonValue::as_u64), Some(0));
+        assert!(matches!(obj.get("min"), Some(JsonValue::Null)));
+        assert!(matches!(obj.get("mean"), Some(JsonValue::Null)));
+        assert!(matches!(obj.get("max"), Some(JsonValue::Null)));
+        assert!(obj.get("p50").is_none(), "no quantiles for empty data");
+    }
+
+    #[test]
+    fn single_observation_summary_reports_quantiles() {
+        let h = Histogram::new();
+        h.record(42);
+        let obj = h.snapshot().summary_json();
+        assert_eq!(obj.get("count").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(obj.get("p50").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(obj.get("p99").and_then(JsonValue::as_u64), Some(42));
     }
 
     #[test]

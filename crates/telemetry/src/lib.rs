@@ -16,6 +16,10 @@
 //! * [`manifest::RunManifest`] — a reproducible, machine-readable record of
 //!   one experiment run (seed, knobs, git revision, per-phase wall clock,
 //!   counter snapshot).
+//! * [`trace`] — pc-trace: per-request stage timers with deterministic
+//!   trace ids, per-op latency histograms, and a flight recorder that dumps
+//!   the last N request traces to the sink on panic, fault trip, or
+//!   slow-request breach.
 //!
 //! # Zero cost when disabled
 //!
@@ -48,9 +52,10 @@ pub mod json;
 pub mod manifest;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use counter::{Counter, CounterHandle};
-pub use histogram::{Histogram, HistogramSnapshot};
+pub use histogram::{Histogram, HistogramHandle, HistogramSnapshot};
 pub use json::{parse as parse_json, JsonObject, JsonParseError, JsonValue};
 pub use manifest::RunManifest;
 pub use span::{Span, SpanHandle};
@@ -229,5 +234,18 @@ macro_rules! time {
     ($name:expr) => {{
         static __PC_SPAN: $crate::SpanHandle = $crate::SpanHandle::new($name);
         __PC_SPAN.enter()
+    }};
+}
+
+/// The call site's value histogram (a static handle is created per call
+/// site). Like [`counter!`], names must be declared in the catalog
+/// ([`catalog::HISTOGRAMS`]) — `pc analyze` cross-checks both directions.
+///
+/// A single atomic load + branch when telemetry is not installed.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {{
+        static __PC_HIST: $crate::HistogramHandle = $crate::HistogramHandle::new($name);
+        &__PC_HIST
     }};
 }

@@ -13,6 +13,7 @@
 //!
 //! pc serve [--addr HOST:PORT] [--db DB] [--index IDX] [--shards N]
 //!          [--queue-capacity N] [--threshold T] [--timeout-ms MS]
+//!          [--slow-ms MS] [--flight-recorder-len N] [--no-trace]
 //!          [--faults SPEC] [--watch-stdin]
 //!     Run the identification server (pc-service). Prints the bound address,
 //!     then blocks until a `shutdown` request arrives (or stdin closes, with
@@ -20,9 +21,14 @@
 //!     database and routing index to --db/--index atomically. --timeout-ms
 //!     bounds each connection's frame reads and response writes; --faults
 //!     arms deterministic fault injection (see `pc_faults`) for chaos tests.
+//!     --slow-ms (or PC_SLOW_MS) sets the slow-query threshold: breaching
+//!     requests log a structured `slow_query` event and dump the flight
+//!     recorder (the last --flight-recorder-len request traces) to the
+//!     telemetry sink. --no-trace turns per-request tracing off entirely —
+//!     zero clock reads on the request path.
 //!
-//! pc query [--timeout-ms MS] --addr HOST:PORT ping|stats|save|shutdown
-//! pc query --addr HOST:PORT identify|cluster-ingest (--bits P,P,... --size N | EXACT.pgm APPROX.pgm)
+//! pc query [--timeout-ms MS] --addr HOST:PORT ping|stats|metrics|trace-dump|save|shutdown
+//! pc query --addr HOST:PORT [--trace] identify|cluster-ingest (--bits P,P,... --size N | EXACT.pgm APPROX.pgm)
 //! pc query --addr HOST:PORT characterize --label NAME (--bits ... --size N | EXACT.pgm APPROX.pgm)
 //!     One request against a running server. Error bits come either from a
 //!     PGM pair (approx XOR exact) or directly from --bits/--size. `busy`
@@ -30,6 +36,15 @@
 //!     bounded by --timeout-ms (which also caps connect/read/write); on
 //!     exhaustion the error reports how long the client waited. `save`
 //!     checkpoints the server's database to disk without stopping it.
+//!     --trace asks the server for a per-stage latency breakdown (decode,
+//!     queue wait, score, other) printed under the response; `metrics`
+//!     prints per-op latency quantiles (--json emits the raw wire frame);
+//!     `trace-dump` prints the server's flight recorder.
+//!
+//! pc top --addr HOST:PORT [--interval-ms MS] [--iterations N]
+//!     Live serving dashboard: polls `metrics` and renders per-op
+//!     qps/p50/p99/max plus queue depth, slow-request count, and the
+//!     degraded flag. --iterations bounds the refresh count (0 = forever).
 //!
 //! pc analyze [--root DIR] [--format text|json] [--baseline PATH]
 //!            [--update-baseline] [--list]
@@ -88,6 +103,7 @@ fn dispatch(args: Vec<String>) -> Result<ExitCode, String> {
         Some("identify") => cmd_identify(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("serve") => cmd_serve(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("query") => cmd_query(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("top") => cmd_top(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("demo") => cmd_demo().map(|()| ExitCode::SUCCESS),
         // pc-analyze reports its own errors and encodes them in the exit
         // code (0 clean, 1 findings, 2 internal), so no Err mapping here.
@@ -124,10 +140,13 @@ fn print_usage() {
          \x20 pc identify    --db DB EXACT.pgm APPROX.pgm\n\
          \x20 pc serve       [--addr HOST:PORT] [--db DB] [--index IDX] [--shards N]\n\
          \x20                [--queue-capacity N] [--threshold T] [--timeout-ms MS]\n\
+         \x20                [--slow-ms MS] [--flight-recorder-len N] [--no-trace]\n\
          \x20                [--faults SPEC] [--watch-stdin]\n\
-         \x20 pc query       [--timeout-ms MS] --addr HOST:PORT ping|stats|save|shutdown\n\
-         \x20 pc query       --addr HOST:PORT identify|characterize|cluster-ingest\n\
+         \x20 pc query       [--timeout-ms MS] --addr HOST:PORT\n\
+         \x20                ping|stats|metrics|trace-dump|save|shutdown [--json]\n\
+         \x20 pc query       --addr HOST:PORT [--trace] identify|characterize|cluster-ingest\n\
          \x20                [--label NAME] (--bits P,P,... --size N | EXACT.pgm APPROX.pgm)\n\
+         \x20 pc top         --addr HOST:PORT [--interval-ms MS] [--iterations N]\n\
          \x20 pc analyze     [--root DIR] [--format text|json] [--baseline PATH]\n\
          \x20                [--update-baseline] [--list]\n\
          \x20 pc demo\n\
@@ -293,6 +312,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (queue_capacity, rest) = take_optional_flag(&rest, "--queue-capacity")?;
     let (threshold, rest) = take_optional_flag(&rest, "--threshold")?;
     let (timeout_ms, rest) = take_optional_flag(&rest, "--timeout-ms")?;
+    let (slow_ms, rest) = take_optional_flag(&rest, "--slow-ms")?;
+    let (recorder_len, rest) = take_optional_flag(&rest, "--flight-recorder-len")?;
+    let (no_trace, rest) = take_switch(&rest, "--no-trace");
     let (faults, rest) = take_optional_flag(&rest, "--faults")?;
     let (watch_stdin, rest) = take_switch(&rest, "--watch-stdin");
     if let Some(extra) = rest.first() {
@@ -330,6 +352,16 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         config.frame_timeout_ms = Some(ms);
         config.write_timeout_ms = Some(ms);
     }
+    // --slow-ms wins over the PC_SLOW_MS environment fallback.
+    if let Some(ms) = slow_ms.or_else(|| std::env::var("PC_SLOW_MS").ok()) {
+        config.slow_ms = Some(ms.parse().map_err(|_| format!("bad --slow-ms {ms:?}"))?);
+    }
+    if let Some(n) = recorder_len {
+        config.flight_recorder_len = n
+            .parse()
+            .map_err(|_| format!("bad --flight-recorder-len {n:?}"))?;
+    }
+    config.trace = !no_trace;
 
     let handle = server::start(config).map_err(|e| format!("cannot start server: {e}"))?;
     println!("pc-service listening on {}", handle.local_addr());
@@ -387,13 +419,17 @@ fn query_errors(rest: &[String]) -> Result<(ErrorString, Vec<String>), String> {
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (addr, rest) = take_flag(args, "--addr")?;
     let (timeout_ms, rest) = take_optional_flag(&rest, "--timeout-ms")?;
+    let (traced, rest) = take_switch(&rest, "--trace");
+    let (json, rest) = take_switch(&rest, "--json");
     let (op, rest) = rest.split_first().ok_or(
-        "query needs an operation (ping|stats|save|shutdown|identify|characterize|cluster-ingest)",
+        "query needs an operation (ping|stats|metrics|trace-dump|save|shutdown|identify|characterize|cluster-ingest)",
     )?;
 
     let (request, rest) = match op.as_str() {
         "ping" => (Request::Ping, rest.to_vec()),
         "stats" => (Request::Stats, rest.to_vec()),
+        "metrics" => (Request::Metrics, rest.to_vec()),
+        "trace-dump" => (Request::TraceDump, rest.to_vec()),
         "save" => (Request::Save, rest.to_vec()),
         "shutdown" => (Request::Shutdown, rest.to_vec()),
         "identify" => {
@@ -429,9 +465,23 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     };
     let mut client = ServiceClient::connect_with(&addr, opts)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    client.set_trace(traced);
     let response = client
         .call_with_policy(&request, &policy)
         .map_err(|e| format!("query failed: {e}"))?;
+    if json {
+        // The raw wire frame, exactly as the server answered — for piping
+        // into files and dashboards.
+        println!(
+            "{}",
+            probable_cause_repro::service::protocol::encode_response(0, &response).to_pretty()
+        );
+        return Ok(());
+    }
+    print_response(response)
+}
+
+fn print_response(response: Response) -> Result<(), String> {
     match response {
         Response::Pong => println!("pong"),
         Response::Match { label, distance } => println!("MATCH: {label} (distance {distance:.4})"),
@@ -459,15 +509,90 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             if seeded { "seeded" } else { "joined" }
         ),
         Response::Stats(s) => {
-            println!("fingerprints:   {}", s.fingerprints);
-            println!("clusters:       {}", s.clusters);
-            println!("shards:         {}", s.shards);
-            println!("admitted:       {}", s.admitted);
-            println!("rejected:       {}", s.rejected);
-            println!("distance evals: {}", s.distance_evals);
-            println!("worker panics:  {}", s.worker_panics);
-            println!("worker respawns:{}", s.worker_respawns);
-            println!("degraded:       {}", s.degraded);
+            println!("fingerprints:    {}", s.fingerprints);
+            println!("clusters:        {}", s.clusters);
+            println!("shards:          {}", s.shards);
+            println!("admitted:        {}", s.admitted);
+            println!("rejected:        {}", s.rejected);
+            println!("distance evals:  {}", s.distance_evals);
+            println!(
+                "worker panics:   {}",
+                if s.worker_panics == 0 {
+                    "none".to_string()
+                } else {
+                    format!(
+                        "{} (absorbed; each failed only its own request)",
+                        s.worker_panics
+                    )
+                }
+            );
+            println!(
+                "worker respawns: {}",
+                if s.worker_respawns == 0 {
+                    "none".to_string()
+                } else {
+                    format!(
+                        "{} (worker loops restarted after a panic)",
+                        s.worker_respawns
+                    )
+                }
+            );
+            println!(
+                "degraded:        {}",
+                if s.degraded {
+                    "yes (index rebuilding; queries fall back to linear scans)"
+                } else {
+                    "no"
+                }
+            );
+        }
+        Response::Metrics(m) => {
+            println!(
+                "{:<16} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                "op", "count", "p50", "p90", "p99", "max"
+            );
+            for row in &m.ops {
+                println!(
+                    "{:<16} {:>10} {:>12} {:>12} {:>12} {:>12}",
+                    row.op,
+                    row.count,
+                    format_ns(row.p50_ns),
+                    format_ns(row.p90_ns),
+                    format_ns(row.p99_ns),
+                    format_ns(row.max_ns),
+                );
+            }
+            if m.ops.is_empty() {
+                println!("(no traffic observed — or tracing is disabled)");
+            }
+            println!();
+            println!("queue depth:   {}", m.queue_depth);
+            println!("slow requests: {}", m.slow_requests);
+            println!("degraded:      {}", if m.degraded { "yes" } else { "no" });
+        }
+        Response::TraceDump { traces } => {
+            println!(
+                "{:<18} {:<14} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} slow",
+                "trace_id", "op", "seq", "decode", "queue", "score", "encode", "write", "total",
+            );
+            for t in &traces {
+                println!(
+                    "{:<18} {:<14} {:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {}",
+                    format!("{:016x}", t.trace_id),
+                    t.op,
+                    t.seq,
+                    format_ns(t.decode_ns),
+                    format_ns(t.queue_wait_ns),
+                    format_ns(t.score_ns),
+                    format_ns(t.encode_ns),
+                    format_ns(t.write_ns),
+                    format_ns(t.total_ns),
+                    if t.slow { "SLOW" } else { "" },
+                );
+            }
+            if traces.is_empty() {
+                println!("(flight recorder is empty — or tracing is disabled)");
+            }
         }
         Response::Saved { fingerprints } => {
             println!("saved {fingerprints} fingerprint(s) to disk");
@@ -475,6 +600,111 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         Response::ShuttingDown => println!("server shutting down"),
         Response::Busy { .. } => return Err("server busy after all retries".into()),
         Response::Error { message } => return Err(format!("server error: {message}")),
+        Response::Traced { inner, trace } => {
+            print_response(*inner)?;
+            println!();
+            println!("trace {:016x}:", trace.trace_id);
+            let total = trace.total_ns.max(1);
+            for (stage, ns) in [
+                ("decode", trace.decode_ns),
+                ("queue wait", trace.queue_wait_ns),
+                ("score", trace.score_ns),
+                ("other", trace.other_ns),
+            ] {
+                println!(
+                    "  {stage:<11} {:>10}  {:>5.1}%",
+                    format_ns(ns),
+                    ns as f64 * 100.0 / total as f64
+                );
+            }
+            println!("  {:<11} {:>10}", "total", format_ns(trace.total_ns));
+        }
+    }
+    Ok(())
+}
+
+/// Renders nanoseconds at a human scale (ns/µs/ms/s).
+fn format_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn cmd_top(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_flag(args, "--addr")?;
+    let (interval_ms, rest) = take_optional_flag(&rest, "--interval-ms")?;
+    let (iterations, rest) = take_optional_flag(&rest, "--iterations")?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("top does not take {extra:?}"));
+    }
+    let interval_ms: u64 = interval_ms
+        .map(|ms| ms.parse().map_err(|_| format!("bad --interval-ms {ms:?}")))
+        .transpose()?
+        .unwrap_or(1000)
+        .max(1);
+    let iterations: u64 = iterations
+        .map(|n| n.parse().map_err(|_| format!("bad --iterations {n:?}")))
+        .transpose()?
+        .unwrap_or(0);
+
+    let mut client =
+        ServiceClient::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let mut prev_counts: std::collections::BTreeMap<String, u64> =
+        std::collections::BTreeMap::new();
+    let mut tick = 0u64;
+    loop {
+        let m = match client
+            .call(&Request::Metrics)
+            .map_err(|e| format!("metrics poll failed: {e}"))?
+        {
+            Response::Metrics(m) => m,
+            other => return Err(format!("expected metrics, got {other:?}")),
+        };
+        // Clear + home, then redraw the whole dashboard.
+        print!("\x1b[2J\x1b[H");
+        println!("pc top — {addr} (refresh {interval_ms}ms)");
+        println!(
+            "queue {:>4}   slow {:>6}   degraded {}",
+            m.queue_depth,
+            m.slow_requests,
+            if m.degraded { "YES" } else { "no" }
+        );
+        println!();
+        println!(
+            "{:<16} {:>10} {:>8} {:>12} {:>12} {:>12}",
+            "op", "count", "qps", "p50", "p99", "max"
+        );
+        for row in &m.ops {
+            // qps over the last interval, from the count delta — no client
+            // clock needed.
+            let prev = prev_counts.get(&row.op).copied().unwrap_or(0);
+            let qps = (row.count.saturating_sub(prev)) as f64 * 1000.0 / interval_ms as f64;
+            println!(
+                "{:<16} {:>10} {:>8.1} {:>12} {:>12} {:>12}",
+                row.op,
+                row.count,
+                qps,
+                format_ns(row.p50_ns),
+                format_ns(row.p99_ns),
+                format_ns(row.max_ns),
+            );
+            prev_counts.insert(row.op.clone(), row.count);
+        }
+        if m.ops.is_empty() {
+            println!("(no traffic observed — or tracing is disabled on the server)");
+        }
+        std::io::stdout().flush().ok();
+        tick += 1;
+        if iterations != 0 && tick >= iterations {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms));
     }
     Ok(())
 }

@@ -1,0 +1,5 @@
+//! Ring soak: replica kill + wipe + journal-replay rejoin under load.
+
+fn main() {
+    pc_experiments::harness::exec_named("ring_soak");
+}

@@ -264,6 +264,15 @@ pub const CATALOG: &[Entry] = &[
         },
         run: crate::chaos_soak::run,
     },
+    Entry {
+        name: "ring_soak",
+        configure: |m| {
+            m.knob("replicas", 3u64)
+                .knob("clients", 4u64)
+                .knob("requests", 10_000u64);
+        },
+        run: crate::ring_soak::run,
+    },
 ];
 
 /// Records the Fig. 13 scale into a manifest (shared by the catalog row and

@@ -30,6 +30,7 @@
 //! | [`attribution`] | extension — attribution TPR/FPR vs collected samples |
 //! | [`serve_soak`] | extension — `pc-service` concurrent-serving soak |
 //! | [`chaos_soak`] | extension — fault-injection soak of the serving stack |
+//! | [`ring_soak`] | extension — replica kill/rejoin soak of the `pc route` tier |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -56,6 +57,7 @@ pub mod knobs;
 pub mod localization;
 pub mod mask_study;
 pub mod policies;
+pub mod ring_soak;
 pub mod serve_soak;
 pub mod table1;
 pub mod table2;

@@ -193,6 +193,9 @@ pub struct ServiceClient {
     next_seq: u64,
     max_frame_bytes: u32,
     trace: bool,
+    /// Dial target kept for transparent re-dials; only
+    /// [`ServiceClient::connect_named`] records it.
+    peer: Option<(String, ConnectOptions)>,
 }
 
 impl ServiceClient {
@@ -244,7 +247,23 @@ impl ServiceClient {
             next_seq: 1,
             max_frame_bytes: MAX_FRAME_BYTES,
             trace: false,
+            peer: None,
         })
+    }
+
+    /// Connects to a server by address string, remembering the target so
+    /// [`ServiceClient::call_with_policy`] can transparently re-dial after
+    /// a transport failure — the right mode for talking to a `pc route`
+    /// tier, where a broken connection usually means the router (or the
+    /// replica behind it) is mid-restart rather than gone.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::connect_with`].
+    pub fn connect_named(addr: &str, opts: ConnectOptions) -> io::Result<Self> {
+        let mut client = Self::connect_with(addr, opts)?;
+        client.peer = Some((addr.to_string(), opts));
+        Ok(client)
     }
 
     /// Asks (or stops asking) the server for per-request stage traces: while
@@ -278,6 +297,31 @@ impl ServiceClient {
         Ok(protocol::decode_response(&value)?)
     }
 
+    /// Sends `request` stamped with a router-assigned `origin` trace id
+    /// (replica-forwarding frames) without waiting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_routed(&mut self, request: &Request, origin: u64) -> Result<u64, ClientError> {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let frame = protocol::encode_request_routed(seq, request, self.trace, origin);
+        codec::write_frame(&mut self.writer, &frame).map_err(CodecError::Io)?;
+        Ok(seq)
+    }
+
+    /// [`ServiceClient::call`] for a forwarded frame: stamps `origin` so
+    /// the replica's flight recorder correlates with the routing tier.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn call_routed(&mut self, request: &Request, origin: u64) -> Result<Response, ClientError> {
+        let sent = self.send_routed(request, origin)?;
+        self.finish_call(sent)
+    }
+
     /// Sends `request` and waits for its response.
     ///
     /// # Errors
@@ -287,6 +331,10 @@ impl ServiceClient {
     /// previously used for pipelining and has responses still in flight.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         let sent = self.send(request)?;
+        self.finish_call(sent)
+    }
+
+    fn finish_call(&mut self, sent: u64) -> Result<Response, ClientError> {
         let (received, response) = self.recv()?;
         if received != sent {
             // Sequence 0 is the server's channel for uncorrelated
@@ -323,6 +371,15 @@ impl ServiceClient {
 
     /// [`ServiceClient::call`], resubmitting on `busy` under `policy`.
     ///
+    /// A routed `busy` (the router shedding because a replica quorum is
+    /// unreachable) paces exactly like a server-side one: its
+    /// `retry_after_ms` hint floors the back-off, even through a
+    /// [`Response::Traced`] wrapper. On a connection built with
+    /// [`ServiceClient::connect_named`], transport failures re-dial the
+    /// peer and retry under the same attempt/deadline budget — requests
+    /// are then delivered at-least-once, so non-idempotent mutations may
+    /// apply twice across a retry boundary.
+    ///
     /// # Errors
     ///
     /// [`ClientError::ExhaustedRetries`] when every allowed attempt answered
@@ -338,28 +395,62 @@ impl ServiceClient {
         let mut attempts = 0;
         while attempts < policy.max_attempts.max(1) {
             attempts += 1;
-            let response = self.call(request)?;
-            match busy_hint(&response) {
-                Some(retry_after_ms) => {
-                    let pause = policy.backoff(attempts - 1, retry_after_ms);
-                    if let Some(deadline) = policy.deadline {
-                        if started.elapsed() + pause >= deadline {
-                            return Err(ClientError::DeadlineExceeded {
-                                attempts,
-                                waited_ms: started.elapsed().as_millis() as u64,
-                            });
-                        }
+            let last_attempt = attempts >= policy.max_attempts.max(1);
+            let retry_after_ms = match self.call(request) {
+                Ok(response) => match busy_hint(&response) {
+                    Some(hint) => hint,
+                    None => return Ok(response),
+                },
+                Err(e) => {
+                    // A broken connection is retryable only when we know
+                    // the peer to re-dial; protocol violations never are.
+                    if self.peer.is_none() || !is_transport(&e) || last_attempt {
+                        return Err(e);
                     }
-                    std::thread::sleep(pause);
+                    self.redial();
+                    0
                 }
-                None => return Ok(response),
+            };
+            let pause = policy.backoff(attempts - 1, retry_after_ms);
+            if let Some(deadline) = policy.deadline {
+                if started.elapsed() + pause >= deadline {
+                    return Err(ClientError::DeadlineExceeded {
+                        attempts,
+                        waited_ms: started.elapsed().as_millis() as u64,
+                    });
+                }
             }
+            std::thread::sleep(pause);
         }
         Err(ClientError::ExhaustedRetries {
             attempts,
             waited_ms: started.elapsed().as_millis() as u64,
         })
     }
+
+    /// Attempts to replace the connection with a fresh dial to the
+    /// remembered peer. On failure the broken streams stay in place — the
+    /// next call fails fast and the retry loop paces another re-dial.
+    fn redial(&mut self) {
+        let Some((addr, opts)) = self.peer.clone() else {
+            return;
+        };
+        if let Ok(fresh) = Self::connect_named(&addr, opts) {
+            let trace = self.trace;
+            let next_seq = self.next_seq;
+            *self = fresh;
+            self.trace = trace;
+            self.next_seq = next_seq;
+        }
+    }
+}
+
+/// Whether a failure is a transport-level one a re-dial might heal.
+fn is_transport(e: &ClientError) -> bool {
+    matches!(
+        e,
+        ClientError::Codec(_) | ClientError::ConnectionError { .. }
+    )
 }
 
 /// The `retry_after_ms` hint if `response` is a `busy` answer — looking

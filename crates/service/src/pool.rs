@@ -132,6 +132,20 @@ pub enum Job {
         /// The request's stage timer, if tracing is enabled.
         trace: Option<Box<TraceBuilder>>,
     },
+    /// Apply a router journal replay batch (a rejoining replica catching
+    /// up on missed mutations). Runs serially on the dispatcher like every
+    /// other mutation, so replayed writes interleave deterministically
+    /// with live ones.
+    Replay {
+        /// Request sequence number.
+        seq: u64,
+        /// Journaled mutations, oldest first.
+        entries: Vec<crate::protocol::ReplayEntry>,
+        /// Response channel.
+        reply: Reply,
+        /// The request's stage timer, if tracing is enabled.
+        trace: Option<Box<TraceBuilder>>,
+    },
 }
 
 impl Job {
@@ -140,7 +154,8 @@ impl Job {
         match self {
             Job::Identify { trace, .. }
             | Job::Characterize { trace, .. }
-            | Job::ClusterIngest { trace, .. } => trace.as_deref_mut(),
+            | Job::ClusterIngest { trace, .. }
+            | Job::Replay { trace, .. } => trace.as_deref_mut(),
         }
     }
 
@@ -150,7 +165,8 @@ impl Job {
         match self {
             Job::Identify { trace, .. }
             | Job::Characterize { trace, .. }
-            | Job::ClusterIngest { trace, .. } => trace,
+            | Job::ClusterIngest { trace, .. }
+            | Job::Replay { trace, .. } => trace,
         }
     }
 }
@@ -521,6 +537,31 @@ fn dispatch_loop(
                             tracer.dump("worker_panic");
                             Response::Error {
                                 message: "cluster-ingest panicked; request dropped".to_string(),
+                            }
+                        }
+                    };
+                    let response = apply_trace(&mut trace, response);
+                    let _ = reply.send(Outbound {
+                        seq,
+                        response,
+                        trace,
+                    });
+                }
+                Job::Replay {
+                    seq,
+                    entries,
+                    reply,
+                    mut trace,
+                } => {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| store.apply_replay(&entries)));
+                    let response = match outcome {
+                        Ok(applied) => Response::Replayed { applied },
+                        Err(_) => {
+                            metrics.panics.fetch_add(1, Ordering::Relaxed);
+                            counter!("service.pool.panics").incr();
+                            tracer.dump("worker_panic");
+                            Response::Error {
+                                message: "replay panicked; request dropped".to_string(),
                             }
                         }
                     };

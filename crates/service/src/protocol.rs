@@ -16,7 +16,9 @@
 //! {"seq":5,"op":"stats"}
 //! {"seq":6,"op":"metrics"}
 //! {"seq":7,"op":"trace-dump"}
-//! {"seq":8,"op":"shutdown"}
+//! {"seq":8,"op":"ring-status"}
+//! {"seq":9,"op":"replay","entries":[{"op":"characterize","label":"chip-A",...},...]}
+//! {"seq":10,"op":"shutdown"}
 //! ```
 //!
 //! Any request may additionally carry `"trace":true`
@@ -65,8 +67,34 @@ pub enum Request {
     /// acknowledgement promises every previously-acknowledged mutation has
     /// reached disk.
     Save,
+    /// Ring topology and replica-health snapshot; answered inline by both
+    /// the router (full ring view) and plain replicas (self view).
+    RingStatus,
+    /// Router → replica journal replay after a node rejoins: re-apply the
+    /// mutations the node missed while it was down, in original order.
+    Replay {
+        /// Journaled mutations, oldest first.
+        entries: Vec<ReplayEntry>,
+    },
     /// Graceful shutdown: drain in-flight requests, persist, exit.
     Shutdown,
+}
+
+/// One journaled mutation inside a [`Request::Replay`] frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayEntry {
+    /// A journaled `characterize` observation.
+    Characterize {
+        /// Device label.
+        label: String,
+        /// The observation's error string.
+        errors: ErrorString,
+    },
+    /// A journaled `cluster-ingest` output.
+    ClusterIngest {
+        /// The output's error string.
+        errors: ErrorString,
+    },
 }
 
 /// Every request `op` string, in the order requests typically flow. The
@@ -80,6 +108,8 @@ pub const OPS: &[&str] = &[
     "metrics",
     "trace-dump",
     "save",
+    "ring-status",
+    "replay",
     "shutdown",
 ];
 
@@ -95,9 +125,51 @@ impl Request {
             Request::Metrics => "metrics",
             Request::TraceDump => "trace-dump",
             Request::Save => "save",
+            Request::RingStatus => "ring-status",
+            Request::Replay { .. } => "replay",
             Request::Shutdown => "shutdown",
         }
     }
+}
+
+/// One replica's health row inside a [`RingStatusBody`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NodeStatus {
+    /// The replica's address as the router dials it.
+    pub addr: String,
+    /// Health state: `"up"`, `"suspect"`, or `"down"`.
+    pub state: String,
+    /// Journaled mutations awaiting replay to this replica.
+    pub pending: u64,
+    /// Cumulative forward + probe failures observed for this replica.
+    pub failures: u64,
+}
+
+/// Ring topology snapshot reported by [`Response::RingStatus`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RingStatusBody {
+    /// `"router"` for the routing tier, `"replica"` for a shard server.
+    pub role: String,
+    /// The responder's identity (replica id or router address).
+    pub id: String,
+    /// Replication factor R (0 when answered by a plain replica).
+    pub replication: u64,
+    /// Virtual nodes per replica on the hash ring.
+    pub vnodes: u64,
+    /// The ring's placement seed.
+    pub seed: u64,
+    /// Whether quorum-of-2 read agreement is enabled.
+    pub quorum: bool,
+    /// Reads failed over to a lower-preference replica since start.
+    pub failovers: u64,
+    /// Quorum read pairs that disagreed since start.
+    pub quorum_mismatches: u64,
+    /// Requests shed with `busy` because a quorum was unreachable.
+    pub sheds: u64,
+    /// Journal entries replayed to rejoining replicas since start.
+    pub replayed: u64,
+    /// Per-replica health, in ring declaration order.
+    pub nodes: Vec<NodeStatus>,
 }
 
 /// Server statistics reported by [`Response::Stats`].
@@ -263,6 +335,15 @@ pub enum Response {
         /// Fingerprints in the persisted database.
         fingerprints: u64,
     },
+    /// Ring topology and health snapshot.
+    RingStatus(RingStatusBody),
+    /// Acknowledgement of [`Request::Replay`]: how many journal entries
+    /// the replica applied.
+    Replayed {
+        /// Entries applied (entries that failed store validation are
+        /// skipped, not retried).
+        applied: u64,
+    },
     /// Acknowledgement of [`Request::Shutdown`]; the server drains and
     /// exits after sending it.
     ShuttingDown,
@@ -380,6 +461,7 @@ pub fn encode_request_with(seq: u64, request: &Request, trace: bool) -> JsonObje
         | Request::Metrics
         | Request::TraceDump
         | Request::Save
+        | Request::RingStatus
         | Request::Shutdown => {}
         Request::Identify { errors } | Request::ClusterIngest { errors } => {
             set_errors(&mut obj, errors);
@@ -388,7 +470,37 @@ pub fn encode_request_with(seq: u64, request: &Request, trace: bool) -> JsonObje
             obj.set("label", label.as_str());
             set_errors(&mut obj, errors);
         }
+        Request::Replay { entries } => {
+            let rows: Vec<JsonValue> = entries
+                .iter()
+                .map(|entry| {
+                    let mut o = JsonObject::new();
+                    match entry {
+                        ReplayEntry::Characterize { label, errors } => {
+                            o.set("op", "characterize");
+                            o.set("label", label.as_str());
+                            set_errors(&mut o, errors);
+                        }
+                        ReplayEntry::ClusterIngest { errors } => {
+                            o.set("op", "cluster-ingest");
+                            set_errors(&mut o, errors);
+                        }
+                    }
+                    JsonValue::from(o)
+                })
+                .collect();
+            obj.set("entries", rows);
+        }
     }
+    obj
+}
+
+/// Encodes a request the router forwards to a replica: like
+/// [`encode_request_with`] but stamping the router-assigned `"origin"`
+/// trace id so the replica's flight recorder correlates with the router's.
+pub fn encode_request_routed(seq: u64, request: &Request, trace: bool, origin: u64) -> JsonObject {
+    let mut obj = encode_request_with(seq, request, trace);
+    obj.set("origin", origin);
     obj
 }
 
@@ -409,6 +521,35 @@ pub fn decode_request(frame: &JsonValue) -> Result<(u64, Request), ProtocolError
 ///
 /// [`ProtocolError`] naming the first offending field.
 pub fn decode_request_flags(frame: &JsonValue) -> Result<(u64, Request, bool), ProtocolError> {
+    decode_request_routed(frame).map(|(seq, request, trace, _)| (seq, request, trace))
+}
+
+fn decode_replay_entry(v: &JsonValue) -> Result<ReplayEntry, ProtocolError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| err("replay entry is not an object"))?;
+    match get_str(obj, "op")? {
+        "characterize" => Ok(ReplayEntry::Characterize {
+            label: get_str(obj, "label")?.to_string(),
+            errors: get_errors(obj)?,
+        }),
+        "cluster-ingest" => Ok(ReplayEntry::ClusterIngest {
+            errors: get_errors(obj)?,
+        }),
+        other => Err(err(format!("unknown replay entry op {other:?}"))),
+    }
+}
+
+/// Decodes a request frame into `(seq, request, trace, origin)`, where
+/// `origin` is the optional router-assigned trace id a forwarded frame
+/// carries (absent → `None`).
+///
+/// # Errors
+///
+/// [`ProtocolError`] naming the first offending field.
+pub fn decode_request_routed(
+    frame: &JsonValue,
+) -> Result<(u64, Request, bool, Option<u64>), ProtocolError> {
     let obj = frame
         .as_object()
         .ok_or_else(|| err("frame is not an object"))?;
@@ -416,6 +557,13 @@ pub fn decode_request_flags(frame: &JsonValue) -> Result<(u64, Request, bool), P
     let trace = match obj.get("trace") {
         None => false,
         Some(v) => v.as_bool().ok_or_else(|| err("non-boolean `trace`"))?,
+    };
+    let origin = match obj.get("origin") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| err("non-integer `origin` trace id"))?,
+        ),
     };
     let request = match get_str(obj, "op")? {
         "ping" => Request::Ping,
@@ -433,10 +581,20 @@ pub fn decode_request_flags(frame: &JsonValue) -> Result<(u64, Request, bool), P
         "metrics" => Request::Metrics,
         "trace-dump" => Request::TraceDump,
         "save" => Request::Save,
+        "ring-status" => Request::RingStatus,
+        "replay" => Request::Replay {
+            entries: obj
+                .get("entries")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err("missing or non-array `entries`"))?
+                .iter()
+                .map(decode_replay_entry)
+                .collect::<Result<_, ProtocolError>>()?,
+        },
         "shutdown" => Request::Shutdown,
         other => return Err(err(format!("unknown op {other:?}"))),
     };
-    Ok((seq, request, trace))
+    Ok((seq, request, trace, origin))
 }
 
 fn trace_body_json(trace: &TraceBody) -> JsonObject {
@@ -590,6 +748,36 @@ pub fn encode_response(seq: u64, response: &Response) -> JsonObject {
             obj.set("kind", "saved");
             obj.set("fingerprints", *fingerprints);
         }
+        Response::RingStatus(body) => {
+            obj.set("kind", "ring-status");
+            obj.set("role", body.role.as_str());
+            obj.set("id", body.id.as_str());
+            obj.set("replication", body.replication);
+            obj.set("vnodes", body.vnodes);
+            obj.set("seed", body.seed);
+            obj.set("quorum", body.quorum);
+            obj.set("failovers", body.failovers);
+            obj.set("quorum_mismatches", body.quorum_mismatches);
+            obj.set("sheds", body.sheds);
+            obj.set("replayed", body.replayed);
+            let rows: Vec<JsonValue> = body
+                .nodes
+                .iter()
+                .map(|node| {
+                    let mut o = JsonObject::new();
+                    o.set("addr", node.addr.as_str());
+                    o.set("state", node.state.as_str());
+                    o.set("pending", node.pending);
+                    o.set("failures", node.failures);
+                    JsonValue::from(o)
+                })
+                .collect();
+            obj.set("nodes", rows);
+        }
+        Response::Replayed { applied } => {
+            obj.set("kind", "replayed");
+            obj.set("applied", *applied);
+        }
         Response::ShuttingDown => {
             obj.set("kind", "shutting-down");
         }
@@ -708,6 +896,38 @@ pub fn decode_response(frame: &JsonValue) -> Result<(u64, Response), ProtocolErr
         "saved" => Response::Saved {
             fingerprints: get_u64(obj, "fingerprints")?,
         },
+        "ring-status" => Response::RingStatus(RingStatusBody {
+            role: get_str(obj, "role")?.to_string(),
+            id: get_str(obj, "id")?.to_string(),
+            replication: get_u64(obj, "replication")?,
+            vnodes: get_u64(obj, "vnodes")?,
+            seed: get_u64(obj, "seed")?,
+            quorum: get_bool(obj, "quorum")?,
+            failovers: get_u64(obj, "failovers")?,
+            quorum_mismatches: get_u64(obj, "quorum_mismatches")?,
+            sheds: get_u64(obj, "sheds")?,
+            replayed: get_u64(obj, "replayed")?,
+            nodes: obj
+                .get("nodes")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| err("missing or non-array `nodes`"))?
+                .iter()
+                .map(|row| {
+                    let o = row
+                        .as_object()
+                        .ok_or_else(|| err("node row not an object"))?;
+                    Ok(NodeStatus {
+                        addr: get_str(o, "addr")?.to_string(),
+                        state: get_str(o, "state")?.to_string(),
+                        pending: get_u64(o, "pending")?,
+                        failures: get_u64(o, "failures")?,
+                    })
+                })
+                .collect::<Result<_, ProtocolError>>()?,
+        }),
+        "replayed" => Response::Replayed {
+            applied: get_u64(obj, "applied")?,
+        },
         "shutting-down" => Response::ShuttingDown,
         "busy" => Response::Busy {
             retry_after_ms: get_u64(obj, "retry_after_ms")?,
@@ -753,6 +973,17 @@ mod tests {
             Request::Metrics,
             Request::TraceDump,
             Request::Save,
+            Request::RingStatus,
+            Request::Replay { entries: vec![] },
+            Request::Replay {
+                entries: vec![
+                    ReplayEntry::Characterize {
+                        label: "chip-B".to_string(),
+                        errors: es(&[7, 8]),
+                    },
+                    ReplayEntry::ClusterIngest { errors: es(&[11]) },
+                ],
+            },
             Request::Shutdown,
         ];
         for (seq, req) in requests.into_iter().enumerate() {
@@ -854,6 +1085,34 @@ mod tests {
                 trace: TraceBody::default(),
             },
             Response::Saved { fingerprints: 42 },
+            Response::RingStatus(RingStatusBody {
+                role: "router".into(),
+                id: "127.0.0.1:9000".into(),
+                replication: 2,
+                vnodes: 64,
+                seed: 0x5eed,
+                quorum: true,
+                failovers: 3,
+                quorum_mismatches: 1,
+                sheds: 2,
+                replayed: 17,
+                nodes: vec![
+                    NodeStatus {
+                        addr: "127.0.0.1:9001".into(),
+                        state: "up".into(),
+                        pending: 0,
+                        failures: 0,
+                    },
+                    NodeStatus {
+                        addr: "127.0.0.1:9002".into(),
+                        state: "down".into(),
+                        pending: 9,
+                        failures: 4,
+                    },
+                ],
+            }),
+            Response::RingStatus(RingStatusBody::default()),
+            Response::Replayed { applied: 9 },
             Response::ShuttingDown,
             Response::Busy { retry_after_ms: 12 },
             Response::Error {
@@ -898,6 +1157,31 @@ mod tests {
 
         let bad = pc_telemetry::parse_json(r#"{"seq":1,"op":"ping","trace":"yes"}"#).unwrap();
         assert!(decode_request_flags(&bad).is_err(), "non-bool trace flag");
+    }
+
+    #[test]
+    fn routed_origin_roundtrips_and_defaults_absent() {
+        let req = Request::Identify {
+            errors: es(&[2, 3]),
+        };
+        let text = encode_request_routed(5, &req, true, 0xfeed).to_compact();
+        let back = pc_telemetry::parse_json(&text).unwrap();
+        assert_eq!(
+            decode_request_routed(&back).unwrap(),
+            (5, req.clone(), true, Some(0xfeed))
+        );
+
+        let plain = encode_request(5, &req).to_compact();
+        let back = pc_telemetry::parse_json(&plain).unwrap();
+        assert_eq!(decode_request_routed(&back).unwrap(), (5, req, false, None));
+
+        let bad = pc_telemetry::parse_json(r#"{"seq":1,"op":"ping","origin":"x"}"#).unwrap();
+        assert!(decode_request_routed(&bad).is_err(), "non-integer origin");
+
+        let bad_entry =
+            pc_telemetry::parse_json(r#"{"seq":1,"op":"replay","entries":[{"op":"save"}]}"#)
+                .unwrap();
+        assert!(decode_request(&bad_entry).is_err(), "bad replay entry op");
     }
 
     #[test]

@@ -80,6 +80,9 @@ pub struct ServerConfig {
     /// Whether per-request tracing is live. Off means zero clock reads on
     /// the request path and empty `metrics`/`trace-dump` responses.
     pub trace: bool,
+    /// Identity this replica reports in `ring-status` answers when it runs
+    /// behind a `pc route` tier. `None` reports the bound address.
+    pub replica_id: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -99,6 +102,7 @@ impl Default for ServerConfig {
             slow_ms: None,
             flight_recorder_len: 64,
             trace: true,
+            replica_id: None,
         }
     }
 }
@@ -199,6 +203,20 @@ impl Shared {
                 slow: t.slow,
             })
             .collect()
+    }
+
+    /// This replica's self view for a `ring-status` request: identity only;
+    /// ring geometry and health live in the routing tier.
+    fn ring_status(&self) -> protocol::RingStatusBody {
+        protocol::RingStatusBody {
+            role: "replica".to_string(),
+            id: self
+                .config
+                .replica_id
+                .clone()
+                .unwrap_or_else(|| self.local_addr.to_string()),
+            ..protocol::RingStatusBody::default()
+        }
     }
 
     /// Checkpoints the store to the configured paths under the save lock.
@@ -494,7 +512,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
         // The decode clock only runs when tracing is live: a disabled tracer
         // keeps the request path free of clock reads.
         let clock = shared.tracer.enabled().then(StageClock::start);
-        let (seq, request, wants_trace) = match protocol::decode_request_flags(&value) {
+        let (seq, request, wants_trace, origin) = match protocol::decode_request_routed(&value) {
             Ok(decoded) => decoded,
             Err(e) => {
                 // The frame boundary held, so the connection survives a
@@ -512,9 +530,17 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
         let op = request.op();
         count_request(op);
         let decode_ns = clock.map_or(0, |c| c.elapsed_ns());
-        let mut trace = shared
-            .tracer
-            .begin(conn_id, seq, op, decode_ns, wants_trace);
+        // A forwarded frame carries the router-assigned trace id; adopting
+        // it makes replica flight-recorder entries greppable by the id the
+        // routing tier reported.
+        let mut trace = match origin {
+            Some(id) => shared
+                .tracer
+                .begin_forwarded(id, seq, op, decode_ns, wants_trace),
+            None => shared
+                .tracer
+                .begin(conn_id, seq, op, decode_ns, wants_trace),
+        };
         match request {
             Request::Ping => {
                 let response = apply_trace(&mut trace, Response::Pong);
@@ -573,6 +599,14 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
                     trace,
                 });
             }
+            Request::RingStatus => {
+                let response = apply_trace(&mut trace, Response::RingStatus(shared.ring_status()));
+                let _ = reply_tx.send(Outbound {
+                    seq,
+                    response,
+                    trace,
+                });
+            }
             Request::Shutdown => {
                 let response = apply_trace(&mut trace, Response::ShuttingDown);
                 let _ = reply_tx.send(Outbound {
@@ -617,6 +651,17 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
                     trace,
                 },
             ),
+            Request::Replay { entries } => submit(
+                &shared,
+                &reply_tx,
+                seq,
+                Job::Replay {
+                    seq,
+                    entries,
+                    reply: reply_tx.clone(),
+                    trace,
+                },
+            ),
         }
     }
 
@@ -628,7 +673,8 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
 }
 
 /// Per-op request counters (the `counter!` macro needs literal names).
-fn count_request(op: &str) {
+/// Shared with the router tier, which serves the same op set.
+pub(crate) fn count_request(op: &str) {
     match op {
         "ping" => counter!("service.requests.ping").incr(),
         "identify" => counter!("service.requests.identify").incr(),
@@ -638,6 +684,8 @@ fn count_request(op: &str) {
         "metrics" => counter!("service.requests.metrics").incr(),
         "trace-dump" => counter!("service.requests.trace_dump").incr(),
         "save" => counter!("service.requests.save").incr(),
+        "ring-status" => counter!("service.requests.ring_status").incr(),
+        "replay" => counter!("service.requests.replay").incr(),
         _ => counter!("service.requests.shutdown").incr(),
     }
 }

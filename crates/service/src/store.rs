@@ -523,6 +523,29 @@ impl ShardedStore {
         }
     }
 
+    /// Applies a router journal replay batch in original order, returning
+    /// how many entries applied cleanly. Entries that fail store
+    /// validation (size mismatch against an existing fingerprint) are
+    /// skipped rather than aborting the batch: replay must make maximal
+    /// progress toward convergence, and the router keeps the journal until
+    /// a durability checkpoint anyway.
+    pub fn apply_replay(&self, entries: &[crate::protocol::ReplayEntry]) -> u64 {
+        use crate::protocol::ReplayEntry;
+        let mut applied = 0u64;
+        for entry in entries {
+            let ok = match entry {
+                ReplayEntry::Characterize { label, errors } => {
+                    self.characterize(label, errors).is_ok()
+                }
+                ReplayEntry::ClusterIngest { errors } => self.cluster_ingest(errors).is_ok(),
+            };
+            if ok {
+                applied = applied.saturating_add(1);
+            }
+        }
+        applied
+    }
+
     /// Reconstructs the flat database in global-id order (the persistence
     /// format's coordinate system).
     pub fn to_db(&self) -> FingerprintDb<String, PcDistance> {

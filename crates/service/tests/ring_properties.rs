@@ -1,0 +1,148 @@
+//! Property tests for the consistent-hash ring: the remap bound under
+//! topology changes, and byte-identical routing across reconstructions
+//! and kernel thread-count settings.
+//!
+//! The remap bound is the reason the ring exists at all — a naive
+//! `hash % N` remaps nearly every key when N changes, destroying journal
+//! locality and cache warmth on every failover. The consistent-hash ring
+//! pins the damage to the arcs the changed replica owned: ≤ 2/N of keys,
+//! and *only* keys that involve the changed replica.
+
+use pc_service::ring::{Ring, RingConfig};
+use pc_stats::mix64;
+use proptest::prelude::*;
+
+fn addrs(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:7000")).collect()
+}
+
+fn sample_keys(seed: u64) -> Vec<u64> {
+    (0..512u64).map(|i| mix64(i ^ seed)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Adding one replica moves at most 2/N of primaries, and every moved
+    /// key lands on the new replica — nothing shuffles between survivors.
+    #[test]
+    fn adding_one_replica_remaps_at_most_2_over_n(
+        n in 3usize..=8,
+        vnodes in 32usize..=96,
+        seed in any::<u64>(),
+        key_seed in any::<u64>(),
+    ) {
+        let config = RingConfig { replication: 2, vnodes, seed };
+        let before = addrs(n);
+        let after = addrs(n + 1);
+        let old = Ring::new(&before, &config);
+        let new = Ring::new(&after, &config);
+        let keys = sample_keys(key_seed);
+        let mut moved = 0usize;
+        for &k in &keys {
+            let a = old.primary(k);
+            let b = new.primary(k);
+            if a != b {
+                prop_assert_eq!(
+                    b, Some(n),
+                    "a remapped key must land on the added replica"
+                );
+                moved += 1;
+            }
+        }
+        prop_assert!(
+            moved <= 2 * keys.len() / n,
+            "moved {} of {} keys with n={} (bound {})",
+            moved, keys.len(), n, 2 * keys.len() / n
+        );
+    }
+
+    /// Removing one replica remaps only the keys it owned (≤ 2/N of them);
+    /// every other key keeps its primary exactly.
+    #[test]
+    fn removing_one_replica_remaps_at_most_2_over_n(
+        n in 4usize..=9,
+        vnodes in 32usize..=96,
+        seed in any::<u64>(),
+        key_seed in any::<u64>(),
+    ) {
+        let config = RingConfig { replication: 2, vnodes, seed };
+        let before = addrs(n);
+        let after = addrs(n - 1); // drop the last replica; indices stay stable
+        let removed = n - 1;
+        let old = Ring::new(&before, &config);
+        let new = Ring::new(&after, &config);
+        let keys = sample_keys(key_seed);
+        let mut moved = 0usize;
+        for &k in &keys {
+            let a = old.primary(k);
+            let b = new.primary(k);
+            if a == Some(removed) {
+                moved += 1;
+                prop_assert_ne!(b, Some(removed));
+            } else {
+                prop_assert_eq!(
+                    a, b,
+                    "keys not owned by the removed replica must not move"
+                );
+            }
+        }
+        prop_assert!(
+            moved <= 2 * keys.len() / n,
+            "moved {} of {} keys with n={} (bound {})",
+            moved, keys.len(), n, 2 * keys.len() / n
+        );
+    }
+
+    /// The full walk order (preference list plus failover tail) is
+    /// byte-identical across independent ring constructions.
+    #[test]
+    fn walk_order_is_stable_across_reconstruction(
+        n in 2usize..=8,
+        vnodes in 1usize..=96,
+        seed in any::<u64>(),
+        key in any::<u64>(),
+    ) {
+        let config = RingConfig { replication: 2, vnodes, seed };
+        let nodes = addrs(n);
+        let a = Ring::new(&nodes, &config);
+        let b = Ring::new(&nodes, &config);
+        prop_assert_eq!(a.walk(key), b.walk(key));
+    }
+}
+
+/// Routing must not depend on the kernel thread pool: the ring hashes with
+/// `mix64` only, so the same topology yields the same bytes whatever
+/// `PC_KERNEL_THREADS` says — the determinism a restarted router relies on.
+#[test]
+fn routing_is_byte_identical_across_thread_counts_and_restarts() {
+    let nodes = addrs(5);
+    let config = RingConfig::default();
+    let keys = sample_keys(0x5eed);
+    let fingerprint = |ring: &Ring| -> Vec<u8> {
+        let mut out = Vec::new();
+        for &k in &keys {
+            for idx in ring.walk(k) {
+                out.push(idx as u8);
+            }
+            out.push(0xff);
+        }
+        out
+    };
+    let baseline = fingerprint(&Ring::new(&nodes, &config));
+    let original = std::env::var("PC_KERNEL_THREADS").ok();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("PC_KERNEL_THREADS", threads);
+        // A fresh construction models a process restart under a different
+        // thread budget.
+        let again = fingerprint(&Ring::new(&nodes, &config));
+        assert_eq!(
+            baseline, again,
+            "PC_KERNEL_THREADS={threads} changed routing"
+        );
+    }
+    match original {
+        Some(v) => std::env::set_var("PC_KERNEL_THREADS", v),
+        None => std::env::remove_var("PC_KERNEL_THREADS"),
+    }
+}

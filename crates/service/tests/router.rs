@@ -1,0 +1,311 @@
+//! End-to-end tests of the `pc route` tier over real TCP: routed reads and
+//! fanned writes, transparent failover around a dead replica, journal
+//! replay healing a replica that restarted empty, quorum shedding, and
+//! deterministic `ring.forward` fault injection.
+//!
+//! The fault registry is process-wide, so the fault test serializes on a
+//! mutex shared with nothing else in this binary — but kept anyway so
+//! added fault tests never race.
+
+use pc_service::protocol::{Request, Response, RingStatusBody};
+use pc_service::ring::HealthPolicy;
+use pc_service::router::{self, RouterConfig};
+use pc_service::server::{self, ServerConfig};
+use pc_service::ServiceClient;
+use probable_cause::ErrorString;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+const SIZE: u64 = 32_768;
+
+fn es(bits: &[u64]) -> ErrorString {
+    ErrorString::from_sorted(bits.to_vec(), SIZE).unwrap()
+}
+
+fn chip_bits(c: u64) -> Vec<u64> {
+    (0..60).map(|i| c * 60 + i).collect()
+}
+
+fn start_replica() -> server::ServerHandle {
+    server::start(ServerConfig::default()).unwrap()
+}
+
+fn router_over(replica_addrs: Vec<String>, quorum: bool) -> router::RouterHandle {
+    router::start(RouterConfig {
+        replicas: replica_addrs,
+        quorum,
+        probe_interval_ms: 10,
+        retry_after_ms: 7,
+        health: HealthPolicy {
+            probe_base_ms: 10,
+            probe_max_ms: 100,
+            ..HealthPolicy::default()
+        },
+        ..RouterConfig::default()
+    })
+    .unwrap()
+}
+
+fn ring_status(client: &mut ServiceClient) -> RingStatusBody {
+    match client.call(&Request::RingStatus).unwrap() {
+        Response::RingStatus(s) => s,
+        other => panic!("expected ring-status, got {other:?}"),
+    }
+}
+
+fn characterize(client: &mut ServiceClient, c: u64) {
+    let resp = client
+        .call(&Request::Characterize {
+            label: format!("chip-{c:03}"),
+            errors: es(&chip_bits(c)),
+        })
+        .unwrap();
+    assert!(resp.is_ok(), "characterize refused: {resp:?}");
+}
+
+fn expect_match(client: &mut ServiceClient, c: u64) {
+    match client
+        .call(&Request::Identify {
+            errors: es(&chip_bits(c)),
+        })
+        .unwrap()
+    {
+        Response::Match { label, .. } => assert_eq!(label, format!("chip-{c:03}")),
+        other => panic!("chip-{c:03} should match, got {other:?}"),
+    }
+}
+
+/// Polls `cond` until it holds or `secs` elapse.
+fn wait_until(secs: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+/// Disarms the global fault registry even if the test panics.
+struct Armed;
+
+impl Armed {
+    fn install(spec: &str) -> Self {
+        pc_faults::install(pc_faults::FaultPlan::parse(spec).unwrap());
+        Armed
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        pc_faults::uninstall();
+    }
+}
+
+#[test]
+fn routed_reads_fanned_writes_and_ring_status() {
+    let replicas: Vec<_> = (0..3).map(|_| start_replica()).collect();
+    let addrs: Vec<String> = replicas
+        .iter()
+        .map(|h| h.local_addr().to_string())
+        .collect();
+    let rt = router_over(addrs, false);
+    let mut client = ServiceClient::connect(rt.local_addr()).unwrap();
+
+    for c in 0..5 {
+        characterize(&mut client, c);
+    }
+    for c in 0..5 {
+        expect_match(&mut client, c);
+    }
+
+    let status = ring_status(&mut client);
+    assert_eq!(status.role, "router");
+    assert_eq!(status.replication, 2);
+    assert_eq!(status.nodes.len(), 3);
+    assert!(status.nodes.iter().all(|n| n.state == "up"), "{status:?}");
+
+    // Writes fanned to every replica: each one answers the identify alone.
+    for replica in &replicas {
+        let mut direct = ServiceClient::connect(replica.local_addr()).unwrap();
+        for c in 0..5 {
+            expect_match(&mut direct, c);
+        }
+        let status = ring_status(&mut direct);
+        assert_eq!(status.role, "replica");
+    }
+
+    // Router shutdown via the wire stops only the routing tier.
+    assert!(matches!(
+        client.call(&Request::Shutdown).unwrap(),
+        Response::ShuttingDown
+    ));
+    rt.wait().unwrap();
+    for replica in replicas {
+        let mut direct = ServiceClient::connect(replica.local_addr()).unwrap();
+        assert!(matches!(
+            direct.call(&Request::Ping).unwrap(),
+            Response::Pong
+        ));
+        replica.shutdown_and_wait().unwrap();
+    }
+}
+
+#[test]
+fn failover_keeps_reads_available_and_replay_heals_an_empty_restart() {
+    let mut replicas: Vec<Option<server::ServerHandle>> =
+        (0..3).map(|_| Some(start_replica())).collect();
+    let addrs: Vec<String> = replicas
+        .iter()
+        .map(|h| h.as_ref().unwrap().local_addr().to_string())
+        .collect();
+    let rt = router_over(addrs.clone(), false);
+    let mut client = ServiceClient::connect(rt.local_addr()).unwrap();
+
+    for c in 0..6 {
+        characterize(&mut client, c);
+    }
+
+    // Kill replica 0. Its address stays reserved in the ring.
+    let dead_addr = replicas[0].as_ref().unwrap().local_addr();
+    replicas[0].take().unwrap().shutdown_and_wait().unwrap();
+
+    // Every read keeps succeeding: dead-replica attempts fail over.
+    for c in 0..6 {
+        expect_match(&mut client, c);
+    }
+
+    // A write while the replica is down lands in its pending journal.
+    characterize(&mut client, 6);
+    expect_match(&mut client, 6);
+    assert!(
+        wait_until(10, || {
+            let s = ring_status(&mut client);
+            s.nodes.iter().any(|n| n.state == "down" && n.pending > 0)
+        }),
+        "the dead replica never showed up as down with a pending journal"
+    );
+
+    // Restart it on the same port, with an empty store: journal replay
+    // must restore everything it ever acknowledged, not just the tail.
+    let restarted = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match server::start(ServerConfig {
+                addr: dead_addr.to_string(),
+                ..ServerConfig::default()
+            }) {
+                Ok(h) => break h,
+                Err(e) => {
+                    assert!(Instant::now() < deadline, "cannot rebind {dead_addr}: {e}");
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    };
+
+    assert!(
+        wait_until(30, || {
+            let s = ring_status(&mut client);
+            s.nodes.iter().all(|n| n.state == "up")
+        }),
+        "the restarted replica never rejoined"
+    );
+    let status = ring_status(&mut client);
+    assert!(status.replayed > 0, "rejoin must replay the journal");
+    let rejoined = status
+        .nodes
+        .iter()
+        .find(|n| n.addr == dead_addr.to_string())
+        .unwrap();
+    assert_eq!(
+        rejoined.pending, 0,
+        "rejoin must drain the replayed journal: {status:?}"
+    );
+
+    // A checkpoint through the router truncates the survivors' journals too.
+    assert!(client.call(&Request::Save).unwrap().is_ok());
+    let status = ring_status(&mut client);
+    assert!(
+        status.nodes.iter().all(|n| n.pending == 0),
+        "an acked save must truncate every live journal: {status:?}"
+    );
+
+    // Zero acknowledged-write loss: the restarted replica answers alone
+    // for chips written before, during, and after its death.
+    let mut direct = ServiceClient::connect(restarted.local_addr()).unwrap();
+    for c in 0..7 {
+        expect_match(&mut direct, c);
+    }
+
+    rt.shutdown_and_wait().unwrap();
+    restarted.shutdown_and_wait().unwrap();
+    for replica in replicas.into_iter().flatten() {
+        replica.shutdown_and_wait().unwrap();
+    }
+}
+
+#[test]
+fn quorum_sheds_busy_when_below_two_replicas() {
+    let a = start_replica();
+    let b = start_replica();
+    let rt = router_over(
+        vec![a.local_addr().to_string(), b.local_addr().to_string()],
+        true,
+    );
+    let mut client = ServiceClient::connect(rt.local_addr()).unwrap();
+
+    characterize(&mut client, 0);
+    expect_match(&mut client, 0);
+
+    b.shutdown_and_wait().unwrap();
+    // With one replica left the read quorum is unreachable: the router
+    // sheds with busy + the configured hint instead of erroring.
+    let shed = wait_until(10, || {
+        matches!(
+            client
+                .call(&Request::Identify {
+                    errors: es(&chip_bits(0)),
+                })
+                .unwrap(),
+            Response::Busy { retry_after_ms: 7 }
+        )
+    });
+    assert!(shed, "quorum loss must shed with busy + retry_after_ms");
+    assert!(ring_status(&mut client).sheds > 0);
+
+    rt.shutdown_and_wait().unwrap();
+    a.shutdown_and_wait().unwrap();
+}
+
+#[test]
+fn forward_faults_fail_over_deterministically() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let replicas: Vec<_> = (0..3).map(|_| start_replica()).collect();
+    let addrs: Vec<String> = replicas
+        .iter()
+        .map(|h| h.local_addr().to_string())
+        .collect();
+    let rt = router_over(addrs, false);
+    let mut client = ServiceClient::connect(rt.local_addr()).unwrap();
+    characterize(&mut client, 0);
+
+    // Veto the next replica forward (`n1` fires on exactly the first
+    // probe): the read must walk past the vetoed replica and answer from
+    // the next one.
+    let _armed = Armed::install("seed=1;ring.forward=n1");
+    expect_match(&mut client, 0);
+    let status = ring_status(&mut client);
+    assert!(
+        status.failovers >= 1,
+        "a vetoed forward must count as a failover: {status:?}"
+    );
+
+    rt.shutdown_and_wait().unwrap();
+    for replica in replicas {
+        replica.shutdown_and_wait().unwrap();
+    }
+}

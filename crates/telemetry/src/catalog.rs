@@ -70,11 +70,22 @@ pub const COUNTERS: &[&str] = &[
     "service.requests.identify",
     "service.requests.metrics",
     "service.requests.ping",
+    "service.requests.replay",
+    "service.requests.ring_status",
     "service.requests.save",
     "service.requests.shutdown",
     "service.requests.stats",
     "service.requests.trace_dump",
     "service.responses",
+    "service.ring.failovers",
+    "service.ring.journal_appended",
+    "service.ring.node_down",
+    "service.ring.node_up",
+    "service.ring.probe_failures",
+    "service.ring.probes",
+    "service.ring.quorum_mismatches",
+    "service.ring.replayed",
+    "service.ring.sheds",
     "service.save.failed",
     "service.shutdown.drained",
     "service.shutdown.triggered",
@@ -121,6 +132,8 @@ pub const HISTOGRAMS: &[&str] = &[
     "service.op.identify.latency_ns",
     "service.op.metrics.latency_ns",
     "service.op.ping.latency_ns",
+    "service.op.replay.latency_ns",
+    "service.op.ring_status.latency_ns",
     "service.op.save.latency_ns",
     "service.op.shutdown.latency_ns",
     "service.op.stats.latency_ns",

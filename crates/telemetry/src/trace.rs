@@ -336,6 +336,8 @@ pub fn record_op_latency(op: &str, ns: u64) {
         "shutdown" => crate::histogram!("service.op.shutdown.latency_ns").record(ns),
         "metrics" => crate::histogram!("service.op.metrics.latency_ns").record(ns),
         "trace-dump" => crate::histogram!("service.op.trace_dump.latency_ns").record(ns),
+        "ring-status" => crate::histogram!("service.op.ring_status.latency_ns").record(ns),
+        "replay" => crate::histogram!("service.op.replay.latency_ns").record(ns),
         _ => {}
     }
 }
@@ -413,6 +415,26 @@ impl Tracer {
             seq,
             decode_ns,
             wire,
+        )))
+    }
+
+    /// Like [`begin`](Self::begin), but adopting a router-assigned trace id
+    /// (the `"origin"` field on a forwarded frame) so a replica's flight
+    /// recorder entries correlate with the routing tier's.
+    #[inline]
+    pub fn begin_forwarded(
+        &self,
+        origin: u64,
+        seq: u64,
+        op: &'static str,
+        decode_ns: u64,
+        wire: bool,
+    ) -> Option<Box<TraceBuilder>> {
+        if !self.enabled {
+            return None;
+        }
+        Some(Box::new(TraceBuilder::new(
+            origin, op, seq, decode_ns, wire,
         )))
     }
 

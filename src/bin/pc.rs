@@ -14,7 +14,7 @@
 //! pc serve [--addr HOST:PORT] [--db DB] [--index IDX] [--shards N]
 //!          [--queue-capacity N] [--threshold T] [--timeout-ms MS]
 //!          [--slow-ms MS] [--flight-recorder-len N] [--no-trace]
-//!          [--faults SPEC] [--watch-stdin]
+//!          [--faults SPEC] [--watch-stdin] [--replica-id NAME]
 //!     Run the identification server (pc-service). Prints the bound address,
 //!     then blocks until a `shutdown` request arrives (or stdin closes, with
 //!     --watch-stdin); shutdown drains in-flight requests and persists the
@@ -25,16 +25,44 @@
 //!     requests log a structured `slow_query` event and dump the flight
 //!     recorder (the last --flight-recorder-len request traces) to the
 //!     telemetry sink. --no-trace turns per-request tracing off entirely —
-//!     zero clock reads on the request path.
+//!     zero clock reads on the request path. --replica-id names this
+//!     server in `ring-status` output when it serves behind `pc route`.
 //!
-//! pc query [--timeout-ms MS] --addr HOST:PORT ping|stats|metrics|trace-dump|save|shutdown
+//! pc route --replica HOST:PORT [--replica HOST:PORT ...] [--addr HOST:PORT]
+//!          [--replication R] [--vnodes V] [--seed N] [--quorum]
+//!          [--retry-after-ms MS] [--probe-interval-ms MS] [--timeout-ms MS]
+//!          [--slow-ms MS] [--flight-recorder-len N] [--no-trace]
+//!          [--faults SPEC] [--watch-stdin]
+//!     Run the routing tier in front of N replica servers. Reads route by
+//!     the query's content key along a deterministic consistent-hash ring
+//!     and fail over to the next live replica; writes fan out to every
+//!     live replica with a per-replica pending-write journal replayed when
+//!     a dead replica rejoins. --quorum requires two replicas to agree on
+//!     each identify (disagreements count `service.ring.quorum_mismatches`
+//!     and resolve deterministically). When no replica — or, with
+//!     --quorum, no read quorum — is reachable, the router sheds with
+//!     `busy` + --retry-after-ms instead of erroring. Replica health is
+//!     probed every --probe-interval-ms with capped-exponential backoff
+//!     toward down replicas.
+//!
+//! pc ring-status --addr HOST:PORT [--json] [--timeout-ms MS]
+//!     One `ring-status` request: the router's ring geometry, failover /
+//!     quorum-mismatch / shed / replay counters, and per-replica health
+//!     (state, pending journal depth, failures). Against a plain server
+//!     it reports role "replica" and its identity.
+//!
+//! pc query [--timeout-ms MS] [--retries N] [--backoff-ms MS]
+//!          --addr HOST:PORT ping|stats|metrics|trace-dump|save|shutdown
 //! pc query --addr HOST:PORT [--trace] identify|cluster-ingest (--bits P,P,... --size N | EXACT.pgm APPROX.pgm)
 //! pc query --addr HOST:PORT characterize --label NAME (--bits ... --size N | EXACT.pgm APPROX.pgm)
-//!     One request against a running server. Error bits come either from a
+//!     One request against a running server or router. Error bits come from a
 //!     PGM pair (approx XOR exact) or directly from --bits/--size. `busy`
-//!     responses are retried with capped exponential back-off and jitter,
-//!     bounded by --timeout-ms (which also caps connect/read/write); on
-//!     exhaustion the error reports how long the client waited. `save`
+//!     responses are retried with capped exponential back-off and jitter —
+//!     --retries caps the attempts, --backoff-ms sets the base pause, and a
+//!     routed `retry_after_ms` hint from a shedding router overrides the
+//!     computed pause — bounded by --timeout-ms (which also caps
+//!     connect/read/write); on exhaustion the error reports how long the
+//!     client waited. Transient transport failures redial the address. `save`
 //!     checkpoints the server's database to disk without stopping it.
 //!     --trace asks the server for a per-stage latency breakdown (decode,
 //!     queue wait, score, other) printed under the response; `metrics`
@@ -45,6 +73,9 @@
 //!     Live serving dashboard: polls `metrics` and renders per-op
 //!     qps/p50/p99/max plus queue depth, slow-request count, and the
 //!     degraded flag. --iterations bounds the refresh count (0 = forever).
+//!     The qps column shows `--` until a second sample establishes a
+//!     delta, and again whenever a counter runs backwards (server
+//!     restart) rather than inventing a rate.
 //!
 //! pc analyze [--root DIR] [--format text|json] [--baseline PATH]
 //!            [--update-baseline] [--list]
@@ -67,7 +98,9 @@ use probable_cause_repro::image::read_pgm;
 use probable_cause_repro::prelude::*;
 use probable_cause_repro::service::protocol::{Request, Response};
 use probable_cause_repro::service::server::{self, ServerConfig};
-use probable_cause_repro::service::{ConnectOptions, RetryPolicy, ServiceClient, StoreConfig};
+use probable_cause_repro::service::{
+    ring, router, ConnectOptions, RetryPolicy, ServiceClient, StoreConfig,
+};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -102,6 +135,8 @@ fn dispatch(args: Vec<String>) -> Result<ExitCode, String> {
         Some("characterize") => cmd_characterize(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("identify") => cmd_identify(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("serve") => cmd_serve(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("route") => cmd_route(&args[1..]).map(|()| ExitCode::SUCCESS),
+        Some("ring-status") => cmd_ring_status(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("query") => cmd_query(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("top") => cmd_top(&args[1..]).map(|()| ExitCode::SUCCESS),
         Some("demo") => cmd_demo().map(|()| ExitCode::SUCCESS),
@@ -141,8 +176,16 @@ fn print_usage() {
          \x20 pc serve       [--addr HOST:PORT] [--db DB] [--index IDX] [--shards N]\n\
          \x20                [--queue-capacity N] [--threshold T] [--timeout-ms MS]\n\
          \x20                [--slow-ms MS] [--flight-recorder-len N] [--no-trace]\n\
+         \x20                [--faults SPEC] [--watch-stdin] [--replica-id NAME]\n\
+         \x20 pc route       --replica HOST:PORT [--replica HOST:PORT ...]\n\
+         \x20                [--addr HOST:PORT] [--replication R] [--vnodes V]\n\
+         \x20                [--seed N] [--quorum] [--retry-after-ms MS]\n\
+         \x20                [--probe-interval-ms MS] [--timeout-ms MS]\n\
+         \x20                [--slow-ms MS] [--flight-recorder-len N] [--no-trace]\n\
          \x20                [--faults SPEC] [--watch-stdin]\n\
-         \x20 pc query       [--timeout-ms MS] --addr HOST:PORT\n\
+         \x20 pc ring-status --addr HOST:PORT [--json] [--timeout-ms MS]\n\
+         \x20 pc query       [--timeout-ms MS] [--retries N] [--backoff-ms MS]\n\
+         \x20                --addr HOST:PORT\n\
          \x20                ping|stats|metrics|trace-dump|save|shutdown [--json]\n\
          \x20 pc query       --addr HOST:PORT [--trace] identify|characterize|cluster-ingest\n\
          \x20                [--label NAME] (--bits P,P,... --size N | EXACT.pgm APPROX.pgm)\n\
@@ -200,6 +243,17 @@ fn take_switch(args: &[String], flag: &str) -> (bool, Vec<String>) {
     let mut rest = args.to_vec();
     rest.remove(pos);
     (true, rest)
+}
+
+/// Pulls every occurrence of `--flag value`, returning (values, rest).
+fn take_repeated_flag(args: &[String], flag: &str) -> Result<(Vec<String>, Vec<String>), String> {
+    let mut values = Vec::new();
+    let mut rest = args.to_vec();
+    while let (Some(value), remaining) = take_optional_flag(&rest, flag)? {
+        values.push(value);
+        rest = remaining;
+    }
+    Ok((values, rest))
 }
 
 /// Like [`take_flag`] for a flag that may be absent.
@@ -317,6 +371,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (no_trace, rest) = take_switch(&rest, "--no-trace");
     let (faults, rest) = take_optional_flag(&rest, "--faults")?;
     let (watch_stdin, rest) = take_switch(&rest, "--watch-stdin");
+    let (replica_id, rest) = take_optional_flag(&rest, "--replica-id")?;
     if let Some(extra) = rest.first() {
         return Err(format!("serve does not take {extra:?}"));
     }
@@ -340,6 +395,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         store,
         db_path: db_path.map(Into::into),
         index_path: index_path.map(Into::into),
+        replica_id,
         ..ServerConfig::default()
     };
     if let Some(n) = queue_capacity {
@@ -388,6 +444,132 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_route(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_optional_flag(args, "--addr")?;
+    let (replicas, rest) = take_repeated_flag(&rest, "--replica")?;
+    let (replication, rest) = take_optional_flag(&rest, "--replication")?;
+    let (vnodes, rest) = take_optional_flag(&rest, "--vnodes")?;
+    let (seed, rest) = take_optional_flag(&rest, "--seed")?;
+    let (quorum, rest) = take_switch(&rest, "--quorum");
+    let (retry_after, rest) = take_optional_flag(&rest, "--retry-after-ms")?;
+    let (probe_interval, rest) = take_optional_flag(&rest, "--probe-interval-ms")?;
+    let (timeout_ms, rest) = take_optional_flag(&rest, "--timeout-ms")?;
+    let (slow_ms, rest) = take_optional_flag(&rest, "--slow-ms")?;
+    let (recorder_len, rest) = take_optional_flag(&rest, "--flight-recorder-len")?;
+    let (no_trace, rest) = take_switch(&rest, "--no-trace");
+    let (faults, rest) = take_optional_flag(&rest, "--faults")?;
+    let (watch_stdin, rest) = take_switch(&rest, "--watch-stdin");
+    if let Some(extra) = rest.first() {
+        return Err(format!("route does not take {extra:?}"));
+    }
+    if replicas.is_empty() {
+        return Err("route needs at least one --replica HOST:PORT".into());
+    }
+
+    if let Some(spec) = faults {
+        let plan = probable_cause_repro::faults::FaultPlan::parse(&spec)
+            .map_err(|e| format!("bad --faults {spec:?}: {e}"))?;
+        probable_cause_repro::faults::install(plan);
+        println!("fault injection armed: {spec}");
+    }
+
+    let mut ring_config = ring::RingConfig::default();
+    if let Some(r) = replication {
+        ring_config.replication = r.parse().map_err(|_| format!("bad --replication {r:?}"))?;
+    }
+    if let Some(v) = vnodes {
+        ring_config.vnodes = v.parse().map_err(|_| format!("bad --vnodes {v:?}"))?;
+    }
+    if let Some(s) = seed {
+        ring_config.seed = s.parse().map_err(|_| format!("bad --seed {s:?}"))?;
+    }
+    let mut config = router::RouterConfig {
+        addr: addr.unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        replicas,
+        ring: ring_config,
+        quorum,
+        ..router::RouterConfig::default()
+    };
+    if let Some(ms) = retry_after {
+        config.retry_after_ms = ms
+            .parse()
+            .map_err(|_| format!("bad --retry-after-ms {ms:?}"))?;
+    }
+    if let Some(ms) = probe_interval {
+        config.probe_interval_ms = ms
+            .parse()
+            .map_err(|_| format!("bad --probe-interval-ms {ms:?}"))?;
+    }
+    if let Some(ms) = timeout_ms {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad --timeout-ms {ms:?}"))?;
+        config.forward_timeout_ms = ms;
+        config.write_timeout_ms = Some(ms);
+    }
+    if let Some(ms) = slow_ms.or_else(|| std::env::var("PC_SLOW_MS").ok()) {
+        config.slow_ms = Some(ms.parse().map_err(|_| format!("bad --slow-ms {ms:?}"))?);
+    }
+    if let Some(n) = recorder_len {
+        config.flight_recorder_len = n
+            .parse()
+            .map_err(|_| format!("bad --flight-recorder-len {n:?}"))?;
+    }
+    config.trace = !no_trace;
+
+    let replica_count = config.replicas.len();
+    let handle = router::start(config).map_err(|e| format!("cannot start router: {e}"))?;
+    println!("pc-route listening on {}", handle.local_addr());
+    println!(
+        "{replica_count} replica(s), quorum reads {}; send a `shutdown` request to stop",
+        if quorum { "on" } else { "off" }
+    );
+    std::io::stdout().flush().ok();
+
+    if watch_stdin {
+        let trigger = handle.trigger();
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 256];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            trigger.shutdown();
+        });
+    }
+    handle
+        .wait()
+        .map_err(|e| format!("router teardown failed: {e}"))?;
+    println!("pc-route drained and stopped");
+    Ok(())
+}
+
+fn cmd_ring_status(args: &[String]) -> Result<(), String> {
+    let (addr, rest) = take_flag(args, "--addr")?;
+    let (json, rest) = take_switch(&rest, "--json");
+    let (timeout_ms, rest) = take_optional_flag(&rest, "--timeout-ms")?;
+    if let Some(extra) = rest.first() {
+        return Err(format!("ring-status does not take {extra:?}"));
+    }
+    let opts = timeout_ms
+        .map(|ms| {
+            ms.parse::<u64>()
+                .map(|ms| ConnectOptions::uniform(Duration::from_millis(ms)))
+                .map_err(|_| format!("bad --timeout-ms {ms:?}"))
+        })
+        .transpose()?
+        .unwrap_or_default();
+    let mut client = ServiceClient::connect_with(&addr, opts)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client
+        .call(&Request::RingStatus)
+        .map_err(|e| format!("ring-status failed: {e}"))?;
+    if json {
+        println!(
+            "{}",
+            probable_cause_repro::service::protocol::encode_response(0, &response).to_pretty()
+        );
+        return Ok(());
+    }
+    print_response(response)
+}
+
 /// Assembles the error string for a query from `--bits`/`--size` or from an
 /// exact/approximate PGM pair.
 fn query_errors(rest: &[String]) -> Result<(ErrorString, Vec<String>), String> {
@@ -419,6 +601,8 @@ fn query_errors(rest: &[String]) -> Result<(ErrorString, Vec<String>), String> {
 fn cmd_query(args: &[String]) -> Result<(), String> {
     let (addr, rest) = take_flag(args, "--addr")?;
     let (timeout_ms, rest) = take_optional_flag(&rest, "--timeout-ms")?;
+    let (retries, rest) = take_optional_flag(&rest, "--retries")?;
+    let (backoff_ms, rest) = take_optional_flag(&rest, "--backoff-ms")?;
     let (traced, rest) = take_switch(&rest, "--trace");
     let (json, rest) = take_switch(&rest, "--json");
     let (op, rest) = rest.split_first().ok_or(
@@ -459,11 +643,20 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         })
         .transpose()?;
     let opts = timeout.map(ConnectOptions::uniform).unwrap_or_default();
-    let policy = RetryPolicy {
+    let mut policy = RetryPolicy {
         deadline: timeout.or(RetryPolicy::default().deadline),
         ..RetryPolicy::default()
     };
-    let mut client = ServiceClient::connect_with(&addr, opts)
+    if let Some(n) = retries {
+        policy.max_attempts = n.parse().map_err(|_| format!("bad --retries {n:?}"))?;
+    }
+    if let Some(ms) = backoff_ms {
+        policy.base_backoff_ms = ms.parse().map_err(|_| format!("bad --backoff-ms {ms:?}"))?;
+        policy.max_backoff_ms = policy.max_backoff_ms.max(policy.base_backoff_ms);
+    }
+    // connect_named remembers the address, so transient transport failures
+    // (a router or server restarting) redial instead of giving up.
+    let mut client = ServiceClient::connect_named(&addr, opts)
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     client.set_trace(traced);
     let response = client
@@ -597,6 +790,32 @@ fn print_response(response: Response) -> Result<(), String> {
         Response::Saved { fingerprints } => {
             println!("saved {fingerprints} fingerprint(s) to disk");
         }
+        Response::RingStatus(s) => {
+            println!("role:              {}", s.role);
+            println!("id:                {}", s.id);
+            println!("replication:       {}", s.replication);
+            println!("vnodes:            {}", s.vnodes);
+            println!("seed:              {:#x}", s.seed);
+            println!("quorum reads:      {}", if s.quorum { "on" } else { "off" });
+            println!("failovers:         {}", s.failovers);
+            println!("quorum mismatches: {}", s.quorum_mismatches);
+            println!("sheds:             {}", s.sheds);
+            println!("entries replayed:  {}", s.replayed);
+            if !s.nodes.is_empty() {
+                println!();
+                println!(
+                    "{:<24} {:<8} {:>8} {:>9}",
+                    "replica", "state", "pending", "failures"
+                );
+                for n in &s.nodes {
+                    println!(
+                        "{:<24} {:<8} {:>8} {:>9}",
+                        n.addr, n.state, n.pending, n.failures
+                    );
+                }
+            }
+        }
+        Response::Replayed { applied } => println!("replayed {applied} journal entries"),
         Response::ShuttingDown => println!("server shutting down"),
         Response::Busy { .. } => return Err("server busy after all retries".into()),
         Response::Error { message } => return Err(format!("server error: {message}")),
@@ -682,11 +901,20 @@ fn cmd_top(args: &[String]) -> Result<(), String> {
         );
         for row in &m.ops {
             // qps over the last interval, from the count delta — no client
-            // clock needed.
-            let prev = prev_counts.get(&row.op).copied().unwrap_or(0);
-            let qps = (row.count.saturating_sub(prev)) as f64 * 1000.0 / interval_ms as f64;
+            // clock needed. The first sample has no baseline, and a counter
+            // that ran backwards means the server restarted; both render
+            // `--` rather than inventing a rate.
+            let qps = match prev_counts.get(&row.op).copied() {
+                Some(prev) if row.count >= prev => {
+                    format!(
+                        "{:.1}",
+                        (row.count - prev) as f64 * 1000.0 / interval_ms as f64
+                    )
+                }
+                _ => "--".to_string(),
+            };
             println!(
-                "{:<16} {:>10} {:>8.1} {:>12} {:>12} {:>12}",
+                "{:<16} {:>10} {:>8} {:>12} {:>12} {:>12}",
                 row.op,
                 row.count,
                 qps,

@@ -11,6 +11,11 @@
 //! replays the replica's pending-write journal, checkpoints it, and
 //! reinstates it.
 //!
+//! The router runs in full-journal mode (`checkpoint_every: 0`): surviving
+//! a disk wipe requires the journal to cover a replica's whole history,
+//! whereas the bounded-memory default (auto-checkpoints) deliberately
+//! hands custody of checkpointed writes to the replica's own disk.
+//!
 //! Invariants asserted (a violation fails the run):
 //!
 //! - **Zero acknowledged-write loss**: every characterize a client saw
@@ -244,6 +249,13 @@ pub fn run_with(out: &Path, total_requests: u64) -> io::Result<String> {
         replicas: addrs.iter().map(ToString::to_string).collect(),
         probe_interval_ms: 10,
         retry_after_ms: 2,
+        // Full-journal mode: the wipe invariant below needs the router to
+        // hold every write since the victim's last checkpoint, and the wipe
+        // destroys the checkpoints. Auto-checkpoints (the bounded-memory
+        // default) hand custody of older writes to the replica's own disk,
+        // which is exactly what this scenario deletes; bounded mode is
+        // covered by the router integration tests instead.
+        checkpoint_every: 0,
         health: HealthPolicy {
             probe_base_ms: 10,
             probe_max_ms: 200,

@@ -304,9 +304,18 @@ impl ServiceClient {
     ///
     /// Propagates transport failures.
     pub fn send_routed(&mut self, request: &Request, origin: u64) -> Result<u64, ClientError> {
+        self.send_routed_inner(request, origin, None)
+    }
+
+    fn send_routed_inner(
+        &mut self,
+        request: &Request,
+        origin: u64,
+        wseq: Option<u64>,
+    ) -> Result<u64, ClientError> {
         let seq = self.next_seq;
         self.next_seq += 1;
-        let frame = protocol::encode_request_routed(seq, request, self.trace, origin);
+        let frame = protocol::encode_request_routed(seq, request, self.trace, origin, wseq);
         codec::write_frame(&mut self.writer, &frame).map_err(CodecError::Io)?;
         Ok(seq)
     }
@@ -319,6 +328,24 @@ impl ServiceClient {
     /// As [`ServiceClient::call`].
     pub fn call_routed(&mut self, request: &Request, origin: u64) -> Result<Response, ClientError> {
         let sent = self.send_routed(request, origin)?;
+        self.finish_call(sent)
+    }
+
+    /// [`ServiceClient::call_routed`] for a fanned-out mutation: also
+    /// stamps the router's global write sequence `wseq`, which the replica
+    /// folds into its applied-write watermark so a later journal replay
+    /// skips this mutation instead of applying it twice.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServiceClient::call`].
+    pub fn call_routed_write(
+        &mut self,
+        request: &Request,
+        origin: u64,
+        wseq: u64,
+    ) -> Result<Response, ClientError> {
+        let sent = self.send_routed_inner(request, origin, Some(wseq))?;
         self.finish_call(sent)
     }
 
@@ -398,6 +425,10 @@ impl ServiceClient {
             let last_attempt = attempts >= policy.max_attempts.max(1);
             let retry_after_ms = match self.call(request) {
                 Ok(response) => match busy_hint(&response) {
+                    // A busy answer on the final allowed attempt is already
+                    // exhaustion — fail now rather than sleeping a back-off
+                    // whose retry will never be sent.
+                    Some(_) if last_attempt => break,
                     Some(hint) => hint,
                     None => return Ok(response),
                 },

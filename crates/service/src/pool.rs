@@ -120,6 +120,9 @@ pub enum Job {
         reply: Reply,
         /// The request's stage timer, if tracing is enabled.
         trace: Option<Box<TraceBuilder>>,
+        /// The router's global write sequence, when this mutation was
+        /// fanned out by a router (advances the replay-dedup watermark).
+        wseq: Option<u64>,
     },
     /// Online-cluster an output.
     ClusterIngest {
@@ -131,6 +134,9 @@ pub enum Job {
         reply: Reply,
         /// The request's stage timer, if tracing is enabled.
         trace: Option<Box<TraceBuilder>>,
+        /// The router's global write sequence, when this mutation was
+        /// fanned out by a router (advances the replay-dedup watermark).
+        wseq: Option<u64>,
     },
     /// Apply a router journal replay batch (a rejoining replica catching
     /// up on missed mutations). Runs serially on the dispatcher like every
@@ -140,7 +146,7 @@ pub enum Job {
         /// Request sequence number.
         seq: u64,
         /// Journaled mutations, oldest first.
-        entries: Vec<crate::protocol::ReplayEntry>,
+        entries: Vec<crate::protocol::SequencedEntry>,
         /// Response channel.
         reply: Reply,
         /// The request's stage timer, if tracing is enabled.
@@ -483,12 +489,20 @@ fn dispatch_loop(
                     errors,
                     reply,
                     mut trace,
+                    wseq,
                 } => {
                     // The mutation runs under catch_unwind so a poisoned
                     // observation cannot take down the dispatcher — the one
                     // thread the whole pool depends on.
                     let outcome =
                         catch_unwind(AssertUnwindSafe(|| store.characterize(&label, &errors)));
+                    // Advance the replay-dedup watermark whenever the
+                    // mutation ran to completion (validation refusals
+                    // would be refused again on replay); a panic leaves
+                    // it untouched so replay retries the entry.
+                    if let (Some(wseq), Ok(_)) = (wseq, &outcome) {
+                        store.note_routed_write(wseq);
+                    }
                     let response = match outcome {
                         Ok(Ok((weight, observations, created))) => Response::Characterized {
                             label,
@@ -520,8 +534,12 @@ fn dispatch_loop(
                     errors,
                     reply,
                     mut trace,
+                    wseq,
                 } => {
                     let outcome = catch_unwind(AssertUnwindSafe(|| store.cluster_ingest(&errors)));
+                    if let (Some(wseq), Ok(_)) = (wseq, &outcome) {
+                        store.note_routed_write(wseq);
+                    }
                     let response = match outcome {
                         Ok(Ok((cluster, seeded, clusters))) => Response::Clustered {
                             cluster,
@@ -555,7 +573,7 @@ fn dispatch_loop(
                 } => {
                     let outcome = catch_unwind(AssertUnwindSafe(|| store.apply_replay(&entries)));
                     let response = match outcome {
-                        Ok(applied) => Response::Replayed { applied },
+                        Ok((applied, skipped)) => Response::Replayed { applied, skipped },
                         Err(_) => {
                             metrics.panics.fetch_add(1, Ordering::Relaxed);
                             counter!("service.pool.panics").incr();
@@ -742,6 +760,7 @@ mod tests {
                 errors: es(&[9, 99, 999]),
                 reply: tx.clone(),
                 trace: None,
+                wseq: None,
             })
             .ok()
             .unwrap();
@@ -752,6 +771,7 @@ mod tests {
                 errors: es(&[4, 44]),
                 reply: tx,
                 trace: None,
+                wseq: None,
             })
             .ok()
             .unwrap();
@@ -792,6 +812,7 @@ mod tests {
             errors: es(&[1]),
             reply: tx.clone(),
             trace: None,
+            wseq: None,
         };
         queue.try_submit(job(1)).ok().unwrap();
         match queue.try_submit(job(2)) {
@@ -833,6 +854,7 @@ mod tests {
                 errors: es(&[1]),
                 reply: tx2,
                 trace: None,
+                wseq: None,
             }),
             Err(SubmitError::Closed(_))
         ));

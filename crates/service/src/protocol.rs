@@ -17,7 +17,7 @@
 //! {"seq":6,"op":"metrics"}
 //! {"seq":7,"op":"trace-dump"}
 //! {"seq":8,"op":"ring-status"}
-//! {"seq":9,"op":"replay","entries":[{"op":"characterize","label":"chip-A",...},...]}
+//! {"seq":9,"op":"replay","entries":[{"wseq":41,"op":"characterize","label":"chip-A",...},...]}
 //! {"seq":10,"op":"shutdown"}
 //! ```
 //!
@@ -72,9 +72,11 @@ pub enum Request {
     RingStatus,
     /// Router → replica journal replay after a node rejoins: re-apply the
     /// mutations the node missed while it was down, in original order.
+    /// Every entry carries the router's global write sequence, so a replica
+    /// that never lost its state skips the ones it already applied.
     Replay {
         /// Journaled mutations, oldest first.
-        entries: Vec<ReplayEntry>,
+        entries: Vec<SequencedEntry>,
     },
     /// Graceful shutdown: drain in-flight requests, persist, exit.
     Shutdown,
@@ -95,6 +97,22 @@ pub enum ReplayEntry {
         /// The output's error string.
         errors: ErrorString,
     },
+}
+
+/// A journaled mutation tagged with the router's global write sequence.
+///
+/// The router stamps every fanned-out write with a monotone `wseq` (both on
+/// the live forward and in the journal), and each replica remembers the
+/// highest `wseq` it has processed. A [`Request::Replay`] batch is therefore
+/// idempotent: entries at or below the replica's watermark were already
+/// applied live and are skipped, while a replica that restarted from its
+/// last checkpoint (watermark reset) re-applies everything it lost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequencedEntry {
+    /// The router's global write sequence for this mutation (1-based).
+    pub seq: u64,
+    /// The mutation itself.
+    pub entry: ReplayEntry,
 }
 
 /// Every request `op` string, in the order requests typically flow. The
@@ -343,6 +361,9 @@ pub enum Response {
         /// Entries applied (entries that failed store validation are
         /// skipped, not retried).
         applied: u64,
+        /// Entries skipped because the replica's write-sequence watermark
+        /// shows it already applied them live (absent on the wire → 0).
+        skipped: u64,
     },
     /// Acknowledgement of [`Request::Shutdown`]; the server drains and
     /// exits after sending it.
@@ -473,9 +494,10 @@ pub fn encode_request_with(seq: u64, request: &Request, trace: bool) -> JsonObje
         Request::Replay { entries } => {
             let rows: Vec<JsonValue> = entries
                 .iter()
-                .map(|entry| {
+                .map(|sequenced| {
                     let mut o = JsonObject::new();
-                    match entry {
+                    o.set("wseq", sequenced.seq);
+                    match &sequenced.entry {
                         ReplayEntry::Characterize { label, errors } => {
                             o.set("op", "characterize");
                             o.set("label", label.as_str());
@@ -497,10 +519,21 @@ pub fn encode_request_with(seq: u64, request: &Request, trace: bool) -> JsonObje
 
 /// Encodes a request the router forwards to a replica: like
 /// [`encode_request_with`] but stamping the router-assigned `"origin"`
-/// trace id so the replica's flight recorder correlates with the router's.
-pub fn encode_request_routed(seq: u64, request: &Request, trace: bool, origin: u64) -> JsonObject {
+/// trace id so the replica's flight recorder correlates with the router's,
+/// and, for fanned-out writes, the global `"wseq"` write sequence the
+/// replica uses to deduplicate later journal replays.
+pub fn encode_request_routed(
+    seq: u64,
+    request: &Request,
+    trace: bool,
+    origin: u64,
+    wseq: Option<u64>,
+) -> JsonObject {
     let mut obj = encode_request_with(seq, request, trace);
     obj.set("origin", origin);
+    if let Some(wseq) = wseq {
+        obj.set("wseq", wseq);
+    }
     obj
 }
 
@@ -521,35 +554,40 @@ pub fn decode_request(frame: &JsonValue) -> Result<(u64, Request), ProtocolError
 ///
 /// [`ProtocolError`] naming the first offending field.
 pub fn decode_request_flags(frame: &JsonValue) -> Result<(u64, Request, bool), ProtocolError> {
-    decode_request_routed(frame).map(|(seq, request, trace, _)| (seq, request, trace))
+    decode_request_routed(frame).map(|(seq, request, trace, _, _)| (seq, request, trace))
 }
 
-fn decode_replay_entry(v: &JsonValue) -> Result<ReplayEntry, ProtocolError> {
+fn decode_replay_entry(v: &JsonValue) -> Result<SequencedEntry, ProtocolError> {
     let obj = v
         .as_object()
         .ok_or_else(|| err("replay entry is not an object"))?;
-    match get_str(obj, "op")? {
-        "characterize" => Ok(ReplayEntry::Characterize {
+    let seq = get_u64(obj, "wseq")?;
+    let entry = match get_str(obj, "op")? {
+        "characterize" => ReplayEntry::Characterize {
             label: get_str(obj, "label")?.to_string(),
             errors: get_errors(obj)?,
-        }),
-        "cluster-ingest" => Ok(ReplayEntry::ClusterIngest {
+        },
+        "cluster-ingest" => ReplayEntry::ClusterIngest {
             errors: get_errors(obj)?,
-        }),
-        other => Err(err(format!("unknown replay entry op {other:?}"))),
-    }
+        },
+        other => return Err(err(format!("unknown replay entry op {other:?}"))),
+    };
+    Ok(SequencedEntry { seq, entry })
 }
 
-/// Decodes a request frame into `(seq, request, trace, origin)`, where
-/// `origin` is the optional router-assigned trace id a forwarded frame
-/// carries (absent → `None`).
+/// The fields [`decode_request_routed`] extracts from a frame:
+/// `(seq, request, trace, origin, wseq)`.
+pub type RoutedRequest = (u64, Request, bool, Option<u64>, Option<u64>);
+
+/// Decodes a request frame into `(seq, request, trace, origin, wseq)`,
+/// where `origin` is the optional router-assigned trace id a forwarded
+/// frame carries and `wseq` the optional global write sequence stamped on
+/// fanned-out mutations (each absent → `None`).
 ///
 /// # Errors
 ///
 /// [`ProtocolError`] naming the first offending field.
-pub fn decode_request_routed(
-    frame: &JsonValue,
-) -> Result<(u64, Request, bool, Option<u64>), ProtocolError> {
+pub fn decode_request_routed(frame: &JsonValue) -> Result<RoutedRequest, ProtocolError> {
     let obj = frame
         .as_object()
         .ok_or_else(|| err("frame is not an object"))?;
@@ -563,6 +601,13 @@ pub fn decode_request_routed(
         Some(v) => Some(
             v.as_u64()
                 .ok_or_else(|| err("non-integer `origin` trace id"))?,
+        ),
+    };
+    let wseq = match obj.get("wseq") {
+        None => None,
+        Some(v) => Some(
+            v.as_u64()
+                .ok_or_else(|| err("non-integer `wseq` write sequence"))?,
         ),
     };
     let request = match get_str(obj, "op")? {
@@ -594,7 +639,7 @@ pub fn decode_request_routed(
         "shutdown" => Request::Shutdown,
         other => return Err(err(format!("unknown op {other:?}"))),
     };
-    Ok((seq, request, trace, origin))
+    Ok((seq, request, trace, origin, wseq))
 }
 
 fn trace_body_json(trace: &TraceBody) -> JsonObject {
@@ -774,9 +819,10 @@ pub fn encode_response(seq: u64, response: &Response) -> JsonObject {
                 .collect();
             obj.set("nodes", rows);
         }
-        Response::Replayed { applied } => {
+        Response::Replayed { applied, skipped } => {
             obj.set("kind", "replayed");
             obj.set("applied", *applied);
+            obj.set("skipped", *skipped);
         }
         Response::ShuttingDown => {
             obj.set("kind", "shutting-down");
@@ -927,6 +973,7 @@ pub fn decode_response(frame: &JsonValue) -> Result<(u64, Response), ProtocolErr
         }),
         "replayed" => Response::Replayed {
             applied: get_u64(obj, "applied")?,
+            skipped: get_u64(obj, "skipped").unwrap_or(0),
         },
         "shutting-down" => Response::ShuttingDown,
         "busy" => Response::Busy {
@@ -977,11 +1024,17 @@ mod tests {
             Request::Replay { entries: vec![] },
             Request::Replay {
                 entries: vec![
-                    ReplayEntry::Characterize {
-                        label: "chip-B".to_string(),
-                        errors: es(&[7, 8]),
+                    SequencedEntry {
+                        seq: 41,
+                        entry: ReplayEntry::Characterize {
+                            label: "chip-B".to_string(),
+                            errors: es(&[7, 8]),
+                        },
                     },
-                    ReplayEntry::ClusterIngest { errors: es(&[11]) },
+                    SequencedEntry {
+                        seq: 42,
+                        entry: ReplayEntry::ClusterIngest { errors: es(&[11]) },
+                    },
                 ],
             },
             Request::Shutdown,
@@ -1112,7 +1165,10 @@ mod tests {
                 ],
             }),
             Response::RingStatus(RingStatusBody::default()),
-            Response::Replayed { applied: 9 },
+            Response::Replayed {
+                applied: 9,
+                skipped: 3,
+            },
             Response::ShuttingDown,
             Response::Busy { retry_after_ms: 12 },
             Response::Error {
@@ -1164,24 +1220,51 @@ mod tests {
         let req = Request::Identify {
             errors: es(&[2, 3]),
         };
-        let text = encode_request_routed(5, &req, true, 0xfeed).to_compact();
+        let text = encode_request_routed(5, &req, true, 0xfeed, None).to_compact();
         let back = pc_telemetry::parse_json(&text).unwrap();
         assert_eq!(
             decode_request_routed(&back).unwrap(),
-            (5, req.clone(), true, Some(0xfeed))
+            (5, req.clone(), true, Some(0xfeed), None)
+        );
+
+        let write = Request::Characterize {
+            label: "chip-W".to_string(),
+            errors: es(&[2, 3]),
+        };
+        let text = encode_request_routed(6, &write, false, 0xfeed, Some(77)).to_compact();
+        let back = pc_telemetry::parse_json(&text).unwrap();
+        assert_eq!(
+            decode_request_routed(&back).unwrap(),
+            (6, write, false, Some(0xfeed), Some(77))
         );
 
         let plain = encode_request(5, &req).to_compact();
         let back = pc_telemetry::parse_json(&plain).unwrap();
-        assert_eq!(decode_request_routed(&back).unwrap(), (5, req, false, None));
+        assert_eq!(
+            decode_request_routed(&back).unwrap(),
+            (5, req, false, None, None)
+        );
 
         let bad = pc_telemetry::parse_json(r#"{"seq":1,"op":"ping","origin":"x"}"#).unwrap();
         assert!(decode_request_routed(&bad).is_err(), "non-integer origin");
 
-        let bad_entry =
-            pc_telemetry::parse_json(r#"{"seq":1,"op":"replay","entries":[{"op":"save"}]}"#)
-                .unwrap();
+        let bad = pc_telemetry::parse_json(r#"{"seq":1,"op":"ping","wseq":"x"}"#).unwrap();
+        assert!(decode_request_routed(&bad).is_err(), "non-integer wseq");
+
+        let bad_entry = pc_telemetry::parse_json(
+            r#"{"seq":1,"op":"replay","entries":[{"wseq":1,"op":"save"}]}"#,
+        )
+        .unwrap();
         assert!(decode_request(&bad_entry).is_err(), "bad replay entry op");
+
+        let no_seq = pc_telemetry::parse_json(
+            r#"{"seq":1,"op":"replay","entries":[{"op":"cluster-ingest","size":64,"positions":[1]}]}"#,
+        )
+        .unwrap();
+        assert!(
+            decode_request(&no_seq).is_err(),
+            "replay entry without wseq"
+        );
     }
 
     #[test]

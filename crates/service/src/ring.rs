@@ -16,13 +16,18 @@
 //! removes a replica nor flaps it back mid-recovery. Probes to `Down`
 //! replicas back off exponentially up to a cap.
 //!
-//! The journal records every acknowledged mutation per replica. It is
-//! truncated only at durability checkpoints (a `save` acked by that
-//! replica), so a rejoining replica that lost everything since its last
-//! checkpoint — including one restarted from an empty disk — can be
-//! healed by replaying its pending entries in original order.
+//! The journal records every acknowledged mutation per replica, each
+//! tagged with the router's global write sequence. It is truncated at
+//! durability checkpoints (a `save` acked by that replica) — issued by
+//! clients or by the router itself once a live journal crosses the
+//! configured depth — so a rejoining replica that lost everything since
+//! its last checkpoint, including one restarted from an empty disk, can
+//! be healed by replaying its pending entries in original order. The
+//! sequence tags make that replay idempotent: a replica that kept its
+//! state skips entries at or below its applied-write watermark instead
+//! of refining the same observations twice.
 
-use crate::protocol::ReplayEntry;
+use crate::protocol::{ReplayEntry, SequencedEntry};
 use pc_stats::mix64;
 use probable_cause::ErrorString;
 use std::collections::VecDeque;
@@ -327,19 +332,30 @@ impl NodeHealth {
 }
 
 /// A replica's pending-write journal: every acknowledged mutation since
-/// the replica's last durability checkpoint, oldest first.
+/// the replica's last durability checkpoint, oldest first, each tagged
+/// with the router's global write sequence.
 #[derive(Debug, Default)]
 pub struct Journal {
-    entries: VecDeque<ReplayEntry>,
+    entries: VecDeque<SequencedEntry>,
     appended: u64,
     replayed: u64,
 }
 
 impl Journal {
-    /// Appends one mutation.
-    pub fn push(&mut self, entry: ReplayEntry) {
-        self.entries.push_back(entry);
+    /// Appends one mutation under the router's write sequence `seq`.
+    pub fn push(&mut self, seq: u64, entry: ReplayEntry) {
+        self.entries.push_back(SequencedEntry { seq, entry });
         self.appended = self.appended.saturating_add(1);
+    }
+
+    /// Removes the newest entry — the write the caller just pushed and
+    /// then failed to land on *any* replica. Journaling a write no
+    /// replica acknowledged would re-apply it on heal even though the
+    /// client was shed and will retry. Does not rewind
+    /// [`appended`](Self::appended); retractions are counted separately
+    /// by the caller.
+    pub fn retract_last(&mut self) {
+        self.entries.pop_back();
     }
 
     /// Pending (un-checkpointed) entries.
@@ -365,7 +381,7 @@ impl Journal {
     /// Snapshots the current pending entries for a replay batch, oldest
     /// first. The journal keeps them until [`truncate`](Self::truncate) —
     /// replay alone is not durable.
-    pub fn snapshot(&mut self) -> Vec<ReplayEntry> {
+    pub fn snapshot(&mut self) -> Vec<SequencedEntry> {
         self.replayed = self.replayed.saturating_add(self.entries.len() as u64);
         self.entries.iter().cloned().collect()
     }
@@ -491,18 +507,49 @@ mod tests {
     fn journal_snapshot_keeps_entries_until_truncate() {
         let es = ErrorString::from_sorted(vec![3], 4096).unwrap();
         let mut journal = Journal::default();
-        journal.push(ReplayEntry::ClusterIngest { errors: es.clone() });
-        journal.push(ReplayEntry::Characterize {
-            label: "x".into(),
-            errors: es,
-        });
+        journal.push(1, ReplayEntry::ClusterIngest { errors: es.clone() });
+        journal.push(
+            2,
+            ReplayEntry::Characterize {
+                label: "x".into(),
+                errors: es,
+            },
+        );
         assert_eq!(journal.len(), 2);
         let batch = journal.snapshot();
         assert_eq!(batch.len(), 2);
+        assert_eq!(
+            batch.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2],
+            "snapshot must keep sequence order"
+        );
         assert_eq!(journal.len(), 2, "snapshot must not drain");
         assert_eq!(journal.replayed(), 2);
         journal.truncate(2);
         assert!(journal.is_empty());
         assert_eq!(journal.appended(), 2);
+    }
+
+    #[test]
+    fn journal_retract_drops_only_the_newest_entry() {
+        let es = ErrorString::from_sorted(vec![3], 4096).unwrap();
+        let mut journal = Journal::default();
+        journal.push(1, ReplayEntry::ClusterIngest { errors: es.clone() });
+        journal.push(
+            2,
+            ReplayEntry::Characterize {
+                label: "x".into(),
+                errors: es,
+            },
+        );
+        journal.retract_last();
+        assert_eq!(journal.len(), 1);
+        let batch = journal.snapshot();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].seq, 1, "retraction must pop the newest entry");
+        journal.retract_last();
+        assert!(journal.is_empty());
+        journal.retract_last(); // retracting an empty journal is a no-op
+        assert!(journal.is_empty());
     }
 }

@@ -16,10 +16,18 @@
 //! - **Writes** (`characterize`, `cluster-ingest`, `save`): fanned to
 //!   *every* replica under a router-side mutation lock, so all replicas
 //!   apply mutations in one global order and stay convergent. Each write
-//!   is journaled per replica before forwarding; a replica that fails to
-//!   acknowledge is evicted (it is out of sync by definition) and heals
-//!   by replaying its journal when it rejoins. Journals truncate only at
-//!   acknowledged durability checkpoints (`save`).
+//!   gets a global write sequence, is journaled per replica before
+//!   forwarding, and carries its sequence on the wire; a replica that
+//!   fails to acknowledge is evicted (it is out of sync by definition)
+//!   and heals by replaying its journal when it rejoins — the sequence
+//!   lets it skip entries it already applied live, so a timeout-evicted
+//!   replica that lost nothing does not double-apply. A write no replica
+//!   acknowledged is retracted from every journal before the client is
+//!   shed (the shed is retryable; the journaled copy must not resurrect).
+//!   Journals truncate at acknowledged durability checkpoints (`save`) —
+//!   client-issued, or router-initiated once any live journal reaches
+//!   [`RouterConfig::checkpoint_every`] pending entries, which bounds
+//!   journal memory under workloads that never checkpoint.
 //! - **Inline** (`ping`, `metrics`, `trace-dump`, `ring-status`,
 //!   `shutdown`): answered by the router itself; `shutdown` stops only
 //!   the routing tier, never the replicas.
@@ -66,6 +74,13 @@ pub struct RouterConfig {
     pub quorum: bool,
     /// Back-off hint attached to shed (`busy`) responses.
     pub retry_after_ms: u64,
+    /// Router-initiated checkpoint threshold: when any *live* replica's
+    /// pending journal reaches this many entries after a write, the
+    /// router runs a save fan-out itself, bounding journal memory under
+    /// write workloads that never issue `save`. `0` disables (journals
+    /// then grow until a client checkpoint). Down replicas never trigger
+    /// it — their journals grow until heal by design.
+    pub checkpoint_every: usize,
     /// Base probe cadence in milliseconds (down replicas back off from it).
     pub probe_interval_ms: u64,
     /// Connect/read/write timeout for replica forwards, in milliseconds.
@@ -91,6 +106,7 @@ impl Default for RouterConfig {
             health: HealthPolicy::default(),
             quorum: false,
             retry_after_ms: 25,
+            checkpoint_every: 256,
             probe_interval_ms: 20,
             forward_timeout_ms: 2_000,
             max_frame_bytes: codec::MAX_FRAME_BYTES,
@@ -145,6 +161,10 @@ struct RouterShared {
     quorum_mismatches: AtomicU64,
     sheds: AtomicU64,
     replayed: AtomicU64,
+    /// The next global write sequence (1-based; 0 is the replicas' unset
+    /// watermark). Assigned under the mutation lock, so sequence order is
+    /// journal order is fan-out order.
+    next_wseq: AtomicU64,
 }
 
 impl RouterShared {
@@ -245,9 +265,14 @@ impl RouterShared {
     /// answer, then agree or tie-break deterministically.
     fn read_quorum(&self, ranked: &[usize], request: &Request, origin: u64) -> Option<Response> {
         let mut answers: Vec<Response> = Vec::with_capacity(2);
-        let mut asked = 0usize;
-        for &idx in ranked {
-            asked += 1;
+        for (nth, &idx) in ranked.iter().enumerate() {
+            // Mirror read_one's first-try exemption: the first
+            // `replication` contacts are the quorum's ordinary footprint;
+            // only walking past them counts as a failover.
+            if nth >= self.ring.replication() {
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+                counter!("service.ring.failovers").incr();
+            }
             match self.with_node_client(idx, |c| c.call_routed(request, origin)) {
                 Some(response) => {
                     if let Some(node) = self.nodes.get(idx) {
@@ -258,14 +283,9 @@ impl RouterShared {
                         break;
                     }
                 }
-                None => {
-                    self.note_failure(idx);
-                    self.failovers.fetch_add(1, Ordering::Relaxed);
-                    counter!("service.ring.failovers").incr();
-                }
+                None => self.note_failure(idx),
             }
         }
-        let _ = asked;
         let mut drained = answers.drain(..);
         match (drained.next(), drained.next()) {
             (Some(a), Some(b)) => {
@@ -293,10 +313,15 @@ impl RouterShared {
     /// Write path: journal for every replica, then fan out to the live
     /// ones under the mutation lock. The first acknowledgement wins the
     /// client's response; replicas that fail to acknowledge are evicted.
+    /// With no acknowledgement at all the entry is retracted from every
+    /// journal before shedding — the shed is retryable, so a journaled
+    /// copy would re-apply the write on heal after the retry already
+    /// landed it.
     fn fan_out_write(&self, entry: ReplayEntry, request: &Request, origin: u64) -> Response {
         let _order = self.mutation_lock.lock();
+        let wseq = self.next_wseq.fetch_add(1, Ordering::Relaxed);
         for node in &self.nodes {
-            node.journal.lock().push(entry.clone());
+            node.journal.lock().push(wseq, entry.clone());
             counter!("service.ring.journal_appended").incr();
         }
         let mut winner: Option<Response> = None;
@@ -304,7 +329,7 @@ impl RouterShared {
             if !node.is_live() {
                 continue;
             }
-            match self.with_node_client(idx, |c| c.call_routed(request, origin)) {
+            match self.with_node_client(idx, |c| c.call_routed_write(request, origin, wseq)) {
                 Some(response) if response.is_ok() => {
                     node.health.lock().record_success(&self.config.health);
                     if winner.is_none() {
@@ -316,13 +341,55 @@ impl RouterShared {
                 _ => self.force_down(idx),
             }
         }
-        winner.unwrap_or_else(|| self.shed())
+        match winner {
+            Some(response) => {
+                self.maybe_checkpoint(origin);
+                response
+            }
+            None => {
+                // Still under the mutation lock, so the newest entry of
+                // every journal is exactly the one pushed above.
+                for node in &self.nodes {
+                    node.journal.lock().retract_last();
+                    counter!("service.ring.journal_retracted").incr();
+                }
+                self.shed()
+            }
+        }
+    }
+
+    /// Router-initiated checkpoint: once any *live* replica's pending
+    /// journal reaches the configured depth, run the save fan-out inline
+    /// (the caller already holds the mutation lock). Down replicas are
+    /// excluded — their journals grow until heal by design, and counting
+    /// them would turn every subsequent write into a save.
+    fn maybe_checkpoint(&self, origin: u64) {
+        let every = self.config.checkpoint_every;
+        if every == 0 {
+            return;
+        }
+        let due = self
+            .nodes
+            .iter()
+            .any(|node| node.is_live() && node.journal.lock().len() >= every);
+        if due {
+            counter!("service.ring.auto_checkpoints").incr();
+            let _ = self.checkpoint_live(origin);
+        }
     }
 
     /// Checkpoint fan-out: each acknowledging replica's journal truncates
     /// to the entries the checkpoint covered.
     fn fan_out_save(&self, origin: u64) -> Response {
         let _order = self.mutation_lock.lock();
+        self.checkpoint_live(origin).unwrap_or_else(|| self.shed())
+    }
+
+    /// The save fan-out body. The caller must hold the mutation lock
+    /// (parking_lot mutexes are not re-entrant, and auto-checkpoints run
+    /// inside `fan_out_write`'s critical section). Returns `None` when no
+    /// live replica acknowledged the checkpoint.
+    fn checkpoint_live(&self, origin: u64) -> Option<Response> {
         let mut winner: Option<Response> = None;
         for (idx, node) in self.nodes.iter().enumerate() {
             if !node.is_live() {
@@ -340,7 +407,7 @@ impl RouterShared {
                 _ => self.force_down(idx),
             }
         }
-        winner.unwrap_or_else(|| self.shed())
+        winner
     }
 
     /// The full ring view for `ring-status`.
@@ -420,7 +487,11 @@ impl RouterShared {
 
     /// Heals a down replica that has earned rejoin: replay its journal,
     /// checkpoint, truncate, reinstate. Runs under the mutation lock so no
-    /// live write can interleave with the replay stream.
+    /// live write can interleave with the replay stream. Replay is
+    /// idempotent on the replica side: entries at or below its
+    /// applied-write watermark (writes it acknowledged before eviction, or
+    /// processed after a mere timeout) are skipped, so a replica that
+    /// never lost state does not double-apply and diverge.
     fn heal(&self, idx: usize) {
         let Some(node) = self.nodes.get(idx) else {
             return;
@@ -636,6 +707,7 @@ pub fn start(config: RouterConfig) -> io::Result<RouterHandle> {
         quorum_mismatches: AtomicU64::new(0),
         sheds: AtomicU64::new(0),
         replayed: AtomicU64::new(0),
+        next_wseq: AtomicU64::new(1),
     });
 
     let prober_shared = Arc::clone(&shared);

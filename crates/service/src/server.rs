@@ -512,21 +512,22 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
         // The decode clock only runs when tracing is live: a disabled tracer
         // keeps the request path free of clock reads.
         let clock = shared.tracer.enabled().then(StageClock::start);
-        let (seq, request, wants_trace, origin) = match protocol::decode_request_routed(&value) {
-            Ok(decoded) => decoded,
-            Err(e) => {
-                // The frame boundary held, so the connection survives a
-                // malformed request; seq 0 marks an uncorrelated error.
-                counter!("service.decode.bad_requests").incr();
-                let _ = reply_tx.send(Outbound::new(
-                    0,
-                    Response::Error {
-                        message: e.to_string(),
-                    },
-                ));
-                continue;
-            }
-        };
+        let (seq, request, wants_trace, origin, wseq) =
+            match protocol::decode_request_routed(&value) {
+                Ok(decoded) => decoded,
+                Err(e) => {
+                    // The frame boundary held, so the connection survives a
+                    // malformed request; seq 0 marks an uncorrelated error.
+                    counter!("service.decode.bad_requests").incr();
+                    let _ = reply_tx.send(Outbound::new(
+                        0,
+                        Response::Error {
+                            message: e.to_string(),
+                        },
+                    ));
+                    continue;
+                }
+            };
         let op = request.op();
         count_request(op);
         let decode_ns = clock.map_or(0, |c| c.elapsed_ns());
@@ -638,6 +639,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
                     errors,
                     reply: reply_tx.clone(),
                     trace,
+                    wseq,
                 },
             ),
             Request::ClusterIngest { errors } => submit(
@@ -649,6 +651,7 @@ fn serve_connection(stream: TcpStream, shared: Arc<Shared>, conn_id: u64) {
                     errors,
                     reply: reply_tx.clone(),
                     trace,
+                    wseq,
                 },
             ),
             Request::Replay { entries } => submit(

@@ -127,6 +127,12 @@ pub struct ShardedStore {
     /// Degraded mode: the routing index is absent or rebuilding; identifies
     /// fall back to a full linear scan and index writes are skipped.
     degraded: AtomicBool,
+    /// Highest router write sequence this store has processed, live or via
+    /// replay. Deliberately in-memory only: after a restart it resets to 0,
+    /// which is exactly "re-apply everything since my last checkpoint" —
+    /// the router's journal holds precisely the entries since this
+    /// replica's last acked save.
+    applied_wseq: AtomicU64,
 }
 
 impl ShardedStore {
@@ -157,6 +163,7 @@ impl ShardedStore {
             distance_evals: AtomicU64::new(0),
             entry_count: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
+            applied_wseq: AtomicU64::new(0),
         }
     }
 
@@ -523,17 +530,43 @@ impl ShardedStore {
         }
     }
 
+    /// Records that a routed write stamped with `wseq` was processed
+    /// live, advancing the applied-write watermark. Called by the
+    /// dispatcher once the mutation ran (even if it was refused by
+    /// validation — the journal entry for it would be refused again).
+    pub fn note_routed_write(&self, wseq: u64) {
+        self.applied_wseq.fetch_max(wseq, Ordering::AcqRel);
+    }
+
+    /// The highest router write sequence this store has processed.
+    pub fn applied_wseq(&self) -> u64 {
+        self.applied_wseq.load(Ordering::Acquire)
+    }
+
     /// Applies a router journal replay batch in original order, returning
-    /// how many entries applied cleanly. Entries that fail store
-    /// validation (size mismatch against an existing fingerprint) are
-    /// skipped rather than aborting the batch: replay must make maximal
-    /// progress toward convergence, and the router keeps the journal until
-    /// a durability checkpoint anyway.
-    pub fn apply_replay(&self, entries: &[crate::protocol::ReplayEntry]) -> u64 {
+    /// `(applied, skipped)`. Entries at or below the applied-write
+    /// watermark were already processed live (the router force-downs a
+    /// replica on *any* unacked write, including plain timeouts where no
+    /// state was lost) and are skipped — characterize and cluster-ingest
+    /// refine weights, so re-applying them would diverge this replica
+    /// from its siblings permanently. Entries that fail store validation
+    /// (size mismatch against an existing fingerprint) are skipped
+    /// rather than aborting the batch: replay must make maximal progress
+    /// toward convergence, and the router keeps the journal until a
+    /// durability checkpoint anyway.
+    pub fn apply_replay(&self, entries: &[crate::protocol::SequencedEntry]) -> (u64, u64) {
         use crate::protocol::ReplayEntry;
         let mut applied = 0u64;
-        for entry in entries {
-            let ok = match entry {
+        let mut skipped = 0u64;
+        for sequenced in entries {
+            // seq 0 predates sequencing (or is a hand-built batch): always
+            // apply, since the watermark itself starts at 0.
+            if sequenced.seq != 0 && sequenced.seq <= self.applied_wseq() {
+                counter!("service.store.replay_skipped").incr();
+                skipped = skipped.saturating_add(1);
+                continue;
+            }
+            let ok = match &sequenced.entry {
                 ReplayEntry::Characterize { label, errors } => {
                     self.characterize(label, errors).is_ok()
                 }
@@ -542,8 +575,9 @@ impl ShardedStore {
             if ok {
                 applied = applied.saturating_add(1);
             }
+            self.applied_wseq.fetch_max(sequenced.seq, Ordering::AcqRel);
         }
-        applied
+        (applied, skipped)
     }
 
     /// Reconstructs the flat database in global-id order (the persistence

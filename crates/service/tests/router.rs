@@ -1,7 +1,9 @@
 //! End-to-end tests of the `pc route` tier over real TCP: routed reads and
 //! fanned writes, transparent failover around a dead replica, journal
-//! replay healing a replica that restarted empty, quorum shedding, and
-//! deterministic `ring.forward` fault injection.
+//! replay healing a replica that restarted empty, replay dedup for a
+//! replica that never lost state, retraction of zero-ack writes, router
+//! auto-checkpoints, quorum shedding, and deterministic `ring.forward`
+//! fault injection.
 //!
 //! The fault registry is process-wide, so the fault test serializes on a
 //! mutex shared with nothing else in this binary — but kept anyway so
@@ -279,6 +281,195 @@ fn quorum_sheds_busy_when_below_two_replicas() {
 
     rt.shutdown_and_wait().unwrap();
     a.shutdown_and_wait().unwrap();
+}
+
+#[test]
+fn heal_skips_entries_the_replica_already_applied() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let a = start_replica();
+    let b = start_replica();
+    let rt = router_over(
+        vec![a.local_addr().to_string(), b.local_addr().to_string()],
+        false,
+    );
+    let mut client = ServiceClient::connect(rt.local_addr()).unwrap();
+
+    let write = |client: &mut ServiceClient| match client
+        .call(&Request::Characterize {
+            label: "chip-000".into(),
+            errors: es(&chip_bits(0)),
+        })
+        .unwrap()
+    {
+        Response::Characterized { observations, .. } => observations,
+        other => panic!("characterize refused: {other:?}"),
+    };
+
+    // Three fanned writes of the same label: two `ring.forward` probes
+    // each (both replicas live, declaration order), consuming probes 1-6.
+    for n in 1..=3 {
+        assert_eq!(write(&mut client), n);
+    }
+
+    // Installing a plan resets the site's probe counter, so the fourth
+    // write's fan-out is probes 1 and 2: replica a acks (probe 1),
+    // replica b is vetoed (probe 2) and force-downed with all four
+    // writes still journaled. The fan-out is synchronous, so the
+    // eviction is visible as soon as the write returns (heal needs two
+    // probe rounds, well behind us).
+    let _armed = Armed::install("seed=1;ring.forward=n2");
+    assert_eq!(write(&mut client), 4);
+    let status = ring_status(&mut client);
+    assert!(
+        status
+            .nodes
+            .iter()
+            .any(|n| n.state == "down" && n.pending == 4),
+        "the vetoed replica must be evicted with the full journal pending: {status:?}"
+    );
+
+    // Heal ships the whole journal (it only truncates at checkpoints),
+    // but replica b's applied-write watermark covers the three writes it
+    // acknowledged live: replay must apply only the fourth.
+    assert!(
+        wait_until(30, || {
+            let s = ring_status(&mut client);
+            s.nodes.iter().all(|n| n.state == "up")
+        }),
+        "the vetoed replica never rejoined"
+    );
+    assert_eq!(
+        ring_status(&mut client).replayed,
+        4,
+        "heal must ship the full journal"
+    );
+
+    // Ask the healed replica directly: a fifth observation, not an
+    // eighth. Double-applying the acked entries would leave it at 8 and
+    // permanently diverged from its sibling.
+    let mut direct = ServiceClient::connect(b.local_addr()).unwrap();
+    match direct
+        .call(&Request::Characterize {
+            label: "chip-000".into(),
+            errors: es(&chip_bits(0)),
+        })
+        .unwrap()
+    {
+        Response::Characterized {
+            observations,
+            created,
+            ..
+        } => {
+            assert!(!created, "the healed replica must know the label");
+            assert_eq!(
+                observations, 5,
+                "replay must skip the writes the replica already applied"
+            );
+        }
+        other => panic!("direct characterize refused: {other:?}"),
+    }
+
+    rt.shutdown_and_wait().unwrap();
+    a.shutdown_and_wait().unwrap();
+    b.shutdown_and_wait().unwrap();
+}
+
+#[test]
+fn shed_write_is_retracted_not_replayed() {
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let a = start_replica();
+    let rt = router_over(vec![a.local_addr().to_string()], false);
+    let mut client = ServiceClient::connect(rt.local_addr()).unwrap();
+
+    // Veto the only replica's forward: zero acknowledgements, so the
+    // router sheds — and must retract the journaled entry. The shed is
+    // retryable, so replaying the journaled copy on heal would apply the
+    // write twice once the client retries.
+    let _armed = Armed::install("seed=1;ring.forward=n1");
+    match client
+        .call(&Request::Characterize {
+            label: "chip-000".into(),
+            errors: es(&chip_bits(0)),
+        })
+        .unwrap()
+    {
+        Response::Busy { .. } => {}
+        other => panic!("a zero-ack write must shed busy, got {other:?}"),
+    }
+    let status = ring_status(&mut client);
+    assert!(
+        status.nodes.iter().all(|n| n.pending == 0),
+        "the shed write must be retracted from every journal: {status:?}"
+    );
+
+    // The replica heals (nothing to replay) and rejoins; the client's
+    // retry then creates the fingerprint fresh — the shed write was
+    // never resurrected behind its back.
+    assert!(
+        wait_until(30, || {
+            let s = ring_status(&mut client);
+            s.nodes.iter().all(|n| n.state == "up")
+        }),
+        "the vetoed replica never rejoined"
+    );
+    match client
+        .call(&Request::Characterize {
+            label: "chip-000".into(),
+            errors: es(&chip_bits(0)),
+        })
+        .unwrap()
+    {
+        Response::Characterized {
+            observations,
+            created,
+            ..
+        } => {
+            assert!(created, "the shed write must not have applied anywhere");
+            assert_eq!(observations, 1);
+        }
+        other => panic!("retried characterize refused: {other:?}"),
+    }
+
+    rt.shutdown_and_wait().unwrap();
+    a.shutdown_and_wait().unwrap();
+}
+
+#[test]
+fn auto_checkpoint_bounds_journals_without_client_saves() {
+    let a = start_replica();
+    let b = start_replica();
+    let rt = router::start(RouterConfig {
+        replicas: vec![a.local_addr().to_string(), b.local_addr().to_string()],
+        checkpoint_every: 3,
+        probe_interval_ms: 10,
+        health: HealthPolicy {
+            probe_base_ms: 10,
+            probe_max_ms: 100,
+            ..HealthPolicy::default()
+        },
+        ..RouterConfig::default()
+    })
+    .unwrap();
+    let mut client = ServiceClient::connect(rt.local_addr()).unwrap();
+
+    // Seven writes with no client `save`: the third and sixth reach the
+    // threshold and trigger router-side checkpoints, so the journals
+    // never grow past the configured depth.
+    for c in 0..7 {
+        characterize(&mut client, c);
+    }
+    let status = ring_status(&mut client);
+    assert!(
+        status.nodes.iter().all(|n| n.pending == 1),
+        "auto-checkpoints must keep journals bounded: {status:?}"
+    );
+    for c in 0..7 {
+        expect_match(&mut client, c);
+    }
+
+    rt.shutdown_and_wait().unwrap();
+    a.shutdown_and_wait().unwrap();
+    b.shutdown_and_wait().unwrap();
 }
 
 #[test]

@@ -77,8 +77,10 @@ pub const COUNTERS: &[&str] = &[
     "service.requests.stats",
     "service.requests.trace_dump",
     "service.responses",
+    "service.ring.auto_checkpoints",
     "service.ring.failovers",
     "service.ring.journal_appended",
+    "service.ring.journal_retracted",
     "service.ring.node_down",
     "service.ring.node_up",
     "service.ring.probe_failures",
@@ -97,6 +99,7 @@ pub const COUNTERS: &[&str] = &[
     "service.store.degraded_scans",
     "service.store.distance_evals",
     "service.store.index_rebuilt",
+    "service.store.replay_skipped",
 ];
 
 /// Every span name referenced by a `time!` site outside test code.

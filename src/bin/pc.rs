@@ -30,20 +30,24 @@
 //!
 //! pc route --replica HOST:PORT [--replica HOST:PORT ...] [--addr HOST:PORT]
 //!          [--replication R] [--vnodes V] [--seed N] [--quorum]
-//!          [--retry-after-ms MS] [--probe-interval-ms MS] [--timeout-ms MS]
+//!          [--retry-after-ms MS] [--checkpoint-every N]
+//!          [--probe-interval-ms MS] [--timeout-ms MS]
 //!          [--slow-ms MS] [--flight-recorder-len N] [--no-trace]
 //!          [--faults SPEC] [--watch-stdin]
 //!     Run the routing tier in front of N replica servers. Reads route by
 //!     the query's content key along a deterministic consistent-hash ring
 //!     and fail over to the next live replica; writes fan out to every
 //!     live replica with a per-replica pending-write journal replayed when
-//!     a dead replica rejoins. --quorum requires two replicas to agree on
-//!     each identify (disagreements count `service.ring.quorum_mismatches`
-//!     and resolve deterministically). When no replica — or, with
-//!     --quorum, no read quorum — is reachable, the router sheds with
-//!     `busy` + --retry-after-ms instead of erroring. Replica health is
-//!     probed every --probe-interval-ms with capped-exponential backoff
-//!     toward down replicas.
+//!     a dead replica rejoins (sequence-tagged, so rejoining replicas skip
+//!     entries they already applied). Journals truncate at checkpoints:
+//!     client saves, or router-initiated once a live journal reaches
+//!     --checkpoint-every pending entries (0 disables). --quorum requires
+//!     two replicas to agree on each identify (disagreements count
+//!     `service.ring.quorum_mismatches` and resolve deterministically).
+//!     When no replica — or, with --quorum, no read quorum — is reachable,
+//!     the router sheds with `busy` + --retry-after-ms instead of
+//!     erroring. Replica health is probed every --probe-interval-ms with
+//!     capped-exponential backoff toward down replicas.
 //!
 //! pc ring-status --addr HOST:PORT [--json] [--timeout-ms MS]
 //!     One `ring-status` request: the router's ring geometry, failover /
@@ -180,7 +184,8 @@ fn print_usage() {
          \x20 pc route       --replica HOST:PORT [--replica HOST:PORT ...]\n\
          \x20                [--addr HOST:PORT] [--replication R] [--vnodes V]\n\
          \x20                [--seed N] [--quorum] [--retry-after-ms MS]\n\
-         \x20                [--probe-interval-ms MS] [--timeout-ms MS]\n\
+         \x20                [--checkpoint-every N] [--probe-interval-ms MS]\n\
+         \x20                [--timeout-ms MS]\n\
          \x20                [--slow-ms MS] [--flight-recorder-len N] [--no-trace]\n\
          \x20                [--faults SPEC] [--watch-stdin]\n\
          \x20 pc ring-status --addr HOST:PORT [--json] [--timeout-ms MS]\n\
@@ -452,6 +457,7 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
     let (seed, rest) = take_optional_flag(&rest, "--seed")?;
     let (quorum, rest) = take_switch(&rest, "--quorum");
     let (retry_after, rest) = take_optional_flag(&rest, "--retry-after-ms")?;
+    let (checkpoint_every, rest) = take_optional_flag(&rest, "--checkpoint-every")?;
     let (probe_interval, rest) = take_optional_flag(&rest, "--probe-interval-ms")?;
     let (timeout_ms, rest) = take_optional_flag(&rest, "--timeout-ms")?;
     let (slow_ms, rest) = take_optional_flag(&rest, "--slow-ms")?;
@@ -494,6 +500,11 @@ fn cmd_route(args: &[String]) -> Result<(), String> {
         config.retry_after_ms = ms
             .parse()
             .map_err(|_| format!("bad --retry-after-ms {ms:?}"))?;
+    }
+    if let Some(n) = checkpoint_every {
+        config.checkpoint_every = n
+            .parse()
+            .map_err(|_| format!("bad --checkpoint-every {n:?}"))?;
     }
     if let Some(ms) = probe_interval {
         config.probe_interval_ms = ms
@@ -815,7 +826,9 @@ fn print_response(response: Response) -> Result<(), String> {
                 }
             }
         }
-        Response::Replayed { applied } => println!("replayed {applied} journal entries"),
+        Response::Replayed { applied, skipped } => {
+            println!("replayed {applied} journal entries ({skipped} already applied)");
+        }
         Response::ShuttingDown => println!("server shutting down"),
         Response::Busy { .. } => return Err("server busy after all retries".into()),
         Response::Error { message } => return Err(format!("server error: {message}")),

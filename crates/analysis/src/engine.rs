@@ -25,6 +25,16 @@ use crate::findings::Finding;
 use crate::lexer::{self, Line};
 use crate::lints;
 
+/// The only files allowed to contain `unsafe` (U003): the worker pool and
+/// SIMD kernels — each site individually justified by a `// SAFETY:` comment
+/// (U001) — plus the counting-allocator test that audits the pool's
+/// allocation discipline.
+pub const UNSAFE_FILE_ALLOWLIST: &[&str] = &[
+    "crates/kernels/src/pool.rs",
+    "crates/kernels/src/simd.rs",
+    "crates/kernels/tests/alloc_discipline.rs",
+];
+
 /// The raw outcome of walking and scanning a tree (before baseline
 /// comparison).
 #[derive(Debug, Default)]
@@ -383,6 +393,26 @@ impl Scanner {
                         "`unsafe` without a `// SAFETY:` comment on the same line or \
                          within the three lines above"
                             .to_string(),
+                    );
+                }
+            }
+
+            // U003 — unsafe stays in the audited kernel modules. A SAFETY
+            // comment satisfies U001 anywhere, but only the allowlisted
+            // files may contain unsafe at all; everywhere else the fix is
+            // to not write it.
+            if !UNSAFE_FILE_ALLOWLIST.contains(&rel) {
+                for _ in lexer::find_tokens(&code, "unsafe") {
+                    self.emit(
+                        prep,
+                        "U003",
+                        rel,
+                        idx,
+                        format!(
+                            "`unsafe` outside the audited kernel modules \
+                             ({})",
+                            UNSAFE_FILE_ALLOWLIST.join(", ")
+                        ),
                     );
                 }
             }
@@ -783,11 +813,28 @@ mod tests {
     #[test]
     fn u001_wants_safety_comments() {
         let bad = "fn f() { unsafe { g() } }\n";
-        assert_eq!(ids(&scan("crates/kernels/src/x.rs", bad)), vec!["U001"]);
+        assert_eq!(ids(&scan("crates/kernels/src/pool.rs", bad)), vec!["U001"]);
         let good = "// SAFETY: g has no preconditions\nfn f() { unsafe { g() } }\n";
-        assert!(scan("crates/kernels/src/x.rs", good).is_empty());
+        assert!(scan("crates/kernels/src/pool.rs", good).is_empty());
         let string = "fn f() { let s = \"unsafe\"; }\n";
-        assert!(scan("crates/kernels/src/x.rs", string).is_empty());
+        assert!(scan("crates/kernels/src/pool.rs", string).is_empty());
+    }
+
+    #[test]
+    fn u003_allowlists_the_kernel_modules() {
+        // SAFETY-documented, so U001 is satisfied — the finding is purely
+        // about the file.
+        let src = "// SAFETY: g has no preconditions\nfn f() { unsafe { g() } }\n";
+        assert_eq!(ids(&scan("crates/core/src/x.rs", src)), vec!["U003"]);
+        for rel in UNSAFE_FILE_ALLOWLIST {
+            assert!(scan(rel, src).is_empty(), "{rel} is allowlisted");
+        }
+        // Undocumented unsafe outside the allowlist trips both U-lints.
+        let bare = "fn f() { unsafe { g() } }\n";
+        assert_eq!(
+            ids(&scan("crates/core/src/x.rs", bare)),
+            vec!["U001", "U003"]
+        );
     }
 
     #[test]

@@ -101,6 +101,14 @@ pub const LINTS: &[Lint] = &[
                   (crates/core/src/bits.rs)",
     },
     Lint {
+        id: "U003",
+        name: "unsafe-outside-allowlist",
+        summary: "`unsafe` code may only appear in the audited kernel modules \
+                  (crates/kernels/src/pool.rs, crates/kernels/src/simd.rs, \
+                  crates/kernels/tests/alloc_discipline.rs); everything else \
+                  stays forbid(unsafe_code)-clean",
+    },
+    Lint {
         id: "W001",
         name: "protocol-roundtrip",
         summary: "every Request/Response variant in crates/service/src/protocol.rs \

@@ -95,6 +95,7 @@ fn u_family_catches_injected_violations() {
         found,
         vec![
             ("U001".into(), "crates/kernels/src/x.rs".into(), 1),
+            ("U003".into(), "crates/kernels/src/x.rs".into(), 1),
             ("U002".into(), "crates/kernels/src/x.rs".into(), 2),
         ]
     );

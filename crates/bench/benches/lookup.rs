@@ -6,13 +6,24 @@
 //! The `kernels` group compares batch scoring representations at the same
 //! scales: per-pair scalar merges over the sparse `Vec<u64>` strings versus
 //! the packed popcount kernels of `pc-kernels`, single-threaded and with the
-//! deterministic pool. The same comparison also runs outside Criterion and
-//! lands in `BENCH_kernels.json` (see [`emit_kernels_json`]) so CI can gate
-//! on the packed path never regressing below scalar — and on disabled
-//! request tracing costing at most 1% on a 10k-chip identify (the
-//! `tracing_overhead_ok` field); `PC_BENCH_QUICK=1` shortens it for smoke
-//! runs, `PC_BENCH_REPS` / `PC_BENCH_OUT` override the repetition count and
-//! output path.
+//! persistent worker pool. The same comparison also runs outside Criterion
+//! and lands in `BENCH_kernels.json` (see [`emit_kernels_json`]), the record
+//! CI gates on:
+//!
+//! - `parallel_speedup_ok` — the 10k-chip scan at 4 pool threads is at least
+//!   2.5x the single-threaded packed scan (enforced only on >= 4 cores; the
+//!   `parallel_gate` field says whether it was enforced or waived);
+//! - `simd_matches_scalar` — packed scoring (sparse, dense, and mixed
+//!   containers; every built-in metric; 1/2/4/auto threads) is bit-for-bit
+//!   equal to per-pair scalar scoring;
+//! - `tracing_overhead_ok` — disabled request tracing costs at most 1% on a
+//!   10k-chip identify.
+//!
+//! The record also carries a roofline: achieved container-scan GB/s against
+//! a measured `memcpy` bandwidth baseline (`memcpy_gbps`,
+//! `roofline_fraction_10k`). `PC_BENCH_QUICK=1` shortens everything for
+//! smoke runs; `PC_BENCH_REPS` / `PC_BENCH_OUT` override the repetition
+//! count and output path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pc_bench::{perturbed, synthetic_errors};
@@ -165,8 +176,74 @@ fn median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
-/// Times scalar vs packed vs packed+parallel batch scoring and writes
-/// `BENCH_kernels.json` — the machine-readable record CI gates on.
+/// Best-case wall-clock nanoseconds of `f` over `reps` runs (one warmup) —
+/// the robust statistic for A/B overhead comparisons, where one descheduled
+/// sample would otherwise swamp a sub-1% effect.
+fn min_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    f();
+    (0..reps.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measured `memcpy` bandwidth in GB/s (read + write bytes over best-of-`reps`
+/// wall clock) — the roofline the scoring kernels are judged against.
+fn memcpy_gbps(reps: usize, quick: bool) -> f64 {
+    let bytes = if quick { 32 << 20 } else { 128 << 20 };
+    let src = vec![0xa5u8; bytes];
+    let mut dst = vec![0u8; bytes];
+    let ns = min_ns(reps, || {
+        dst.copy_from_slice(black_box(&src));
+        black_box(&mut dst);
+    });
+    // A copy streams every byte twice: once read, once written.
+    (2 * bytes) as f64 / ns
+}
+
+/// The speedup the 4-thread parallel gate demands at 10k chips — enforced
+/// only on machines with at least [`GATE_THREADS`] cores, recorded always.
+const PARALLEL_SPEEDUP_MIN: f64 = 2.5;
+/// Thread count the parallel gate is defined at (fixed, not `auto()`, so the
+/// gate means the same thing on every machine that enforces it).
+const GATE_THREADS: usize = 4;
+
+/// Differential check: packed scoring must match per-pair scalar scoring
+/// bit-for-bit for every built-in metric at 1, 2, and [`GATE_THREADS`]
+/// threads plus `auto()`. Returns false (rather than panicking) so the JSON
+/// record always lands and CI's `"simd_matches_scalar": true` grep fails.
+fn simd_matches_scalar(
+    entries: &[ErrorString],
+    packed: &[PackedErrors],
+    probe: &ErrorString,
+) -> bool {
+    let probe_packed = probe.to_packed();
+    let metrics: [&dyn DistanceMetric; 3] = [
+        &PcDistance::new(),
+        &probable_cause::HammingDistance::new(),
+        &probable_cause::JaccardDistance::new(),
+    ];
+    metrics.iter().all(|metric| {
+        let kind = metric.kind().expect("built-in metrics have packed forms");
+        let reference: Vec<f64> = entries.iter().map(|e| metric.distance(e, probe)).collect();
+        [
+            Parallelism::single(),
+            Parallelism::new(2),
+            Parallelism::new(GATE_THREADS),
+            Parallelism::auto(),
+        ]
+        .into_iter()
+        .all(|par| pc_kernels::score_batch(packed, &probe_packed, kind, par) == reference)
+    })
+}
+
+/// Times scalar vs packed vs packed+parallel batch scoring, measures the
+/// roofline (achieved kernel GB/s against `memcpy` bandwidth), and writes
+/// `BENCH_kernels.json` — the machine-readable record CI gates on
+/// (`parallel_speedup_ok`, `simd_matches_scalar`, `tracing_overhead_ok`).
 fn emit_kernels_json(_c: &mut Criterion) {
     let quick = std::env::args().any(|a| a == "--test")
         || std::env::var("PC_BENCH_QUICK").is_ok_and(|v| v != "0");
@@ -179,18 +256,19 @@ fn emit_kernels_json(_c: &mut Criterion) {
 
     let metric = PcDistance::new();
     let kind = metric.kind().expect("PcDistance has a packed form");
-    let threads = Parallelism::auto().threads();
+    let threads_auto = Parallelism::auto().threads();
+    let effective_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let simd_backend = pc_kernels::simd::backend();
+    let memcpy_bw = memcpy_gbps(reps, quick);
+
     let mut rows = Vec::new();
     let mut speedup_10k = 0.0;
-    let mut not_slower_at_1k = false;
+    let mut parallel_speedup_10k = 0.0;
+    let mut packed_gbps_10k = 0.0;
+    let mut simd_ok = true;
     for chips in [100u64, 1_000, 10_000] {
         let w = KernelWorkload::new(chips);
-        let reference = w.scalar(&metric);
-        assert_eq!(
-            pc_kernels::score_batch(&w.packed, &w.probe_packed, kind, Parallelism::auto()),
-            reference,
-            "packed scoring diverged from scalar at {chips} chips"
-        );
+        simd_ok &= simd_matches_scalar(&w.entries, &w.packed, &w.probe);
 
         let scalar_ns = median_ns(reps, || {
             black_box(w.scalar(&metric));
@@ -208,32 +286,74 @@ fn emit_kernels_json(_c: &mut Criterion) {
                 &w.packed,
                 &w.probe_packed,
                 kind,
-                Parallelism::auto(),
+                Parallelism::new(GATE_THREADS),
             ));
         });
 
+        // Roofline: a full scan streams every stored container once.
+        let bytes: u64 = w.packed.iter().map(PackedErrors::container_bytes).sum();
+        let packed_gbps = bytes as f64 / packed_ns;
+        let parallel_gbps = bytes as f64 / parallel_ns;
         let speedup_packed = scalar_ns / packed_ns;
         let speedup_parallel = scalar_ns / parallel_ns;
+        let parallel_speedup = packed_ns / parallel_ns;
         if chips == 10_000 {
             speedup_10k = speedup_parallel;
-        }
-        if chips == 1_000 {
-            not_slower_at_1k = parallel_ns <= scalar_ns;
+            parallel_speedup_10k = parallel_speedup;
+            packed_gbps_10k = packed_gbps;
         }
         rows.push(format!(
             "    {{ \"chips\": {chips}, \"scalar_ns\": {scalar_ns:.0}, \"packed_ns\": {packed_ns:.0}, \
-             \"packed_parallel_ns\": {parallel_ns:.0}, \"speedup_packed\": {speedup_packed:.2}, \
-             \"speedup_packed_parallel\": {speedup_parallel:.2} }}"
+             \"parallel{GATE_THREADS}_ns\": {parallel_ns:.0}, \"speedup_packed\": {speedup_packed:.2}, \
+             \"speedup_packed_parallel\": {speedup_parallel:.2}, \"parallel_speedup\": {parallel_speedup:.2}, \
+             \"packed_gbps\": {packed_gbps:.2}, \"parallel_gbps\": {parallel_gbps:.2} }}"
         ));
     }
+
+    // The SIMD differential above only exercises sparse containers (1% of a
+    // 32k-bit page). A dense fleet (4096 bits per block, past
+    // `DENSE_THRESHOLD`) routes through the AVX2 AND+popcount kernel, and a
+    // sparse probe against it hits the mixed sparse-vs-dense arm.
+    let dense_chips = if quick { 200u64 } else { 1_000 };
+    let dense_entries: Vec<ErrorString> = (0..dense_chips)
+        .map(|c| synthetic_errors(c + 1, 4_096, SIZE))
+        .collect();
+    let dense_packed: Vec<PackedErrors> =
+        dense_entries.iter().map(ErrorString::to_packed).collect();
+    assert!(
+        dense_packed.iter().all(|p| p.dense_block_count() > 0),
+        "dense differential workload failed to produce dense containers"
+    );
+    let dense_probe = perturbed(
+        &synthetic_errors(dense_chips / 2 + 1, 4_096, SIZE),
+        40,
+        40,
+        7,
+    );
+    let sparse_probe = synthetic_errors(7, WEIGHT, SIZE);
+    simd_ok &= simd_matches_scalar(&dense_entries, &dense_packed, &dense_probe);
+    simd_ok &= simd_matches_scalar(&dense_entries, &dense_packed, &sparse_probe);
+
+    // The 2.5x-at-4-threads gate needs 4 cores to be physically meaningful;
+    // on smaller machines the record still carries the measured ratio, but
+    // the gate reports itself waived instead of failing vacuously.
+    let parallel_gate = if effective_cores >= GATE_THREADS {
+        "enforced"
+    } else {
+        "waived:fewer-than-4-cores"
+    };
+    let parallel_speedup_ok =
+        parallel_speedup_10k >= PARALLEL_SPEEDUP_MIN || effective_cores < GATE_THREADS;
 
     // Tracing-overhead A/B at 10k chips: the identify scoring loop raw vs
     // wrapped in the exact per-request pattern `pc-service` runs when
     // tracing is *disabled* (a `Tracer::begin` that returns `None` plus the
     // guard branches around it). The gate asserts the disabled path costs
-    // at most 1% — tracing must be free when it is off.
+    // at most 1% — tracing must be free when it is off. Best-of-N, not
+    // median: one descheduled sample would swamp a sub-1% effect.
     let w = KernelWorkload::new(10_000);
-    let raw_ns = median_ns(reps, || {
+    let ab_reps = reps.max(7);
+    let raw_ns = min_ns(ab_reps, || {
         black_box(pc_kernels::score_batch(
             &w.packed,
             &w.probe_packed,
@@ -242,7 +362,7 @@ fn emit_kernels_json(_c: &mut Criterion) {
         ));
     });
     let tracer = Tracer::disabled();
-    let traced_ns = median_ns(reps, || {
+    let traced_ns = min_ns(ab_reps, || {
         let clock = tracer.enabled().then(StageClock::start);
         let decode_ns = clock.as_ref().map_or(0, StageClock::elapsed_ns);
         let mut trace = tracer.begin(0, 1, "identify", decode_ns, false);
@@ -262,10 +382,20 @@ fn emit_kernels_json(_c: &mut Criterion) {
     let tracing_overhead_pct = ((traced_ns - raw_ns) / raw_ns * 100.0).max(0.0);
     let tracing_overhead_ok = tracing_overhead_pct <= 1.0;
 
+    let roofline_fraction = packed_gbps_10k / memcpy_bw;
     let json = format!(
         "{{\n  \"bench\": \"kernels\",\n  \"size_bits\": {SIZE},\n  \"weight\": {WEIGHT},\n  \
-         \"reps\": {reps},\n  \"threads\": {threads},\n  \"results\": [\n{}\n  ],\n  \
-         \"speedup_10k\": {speedup_10k:.2},\n  \"packed_parallel_not_slower_at_1k\": {not_slower_at_1k},\n  \
+         \"reps\": {reps},\n  \"quick\": {quick},\n  \"threads_auto\": {threads_auto},\n  \
+         \"effective_cores\": {effective_cores},\n  \"simd_backend\": \"{simd_backend}\",\n  \
+         \"memcpy_gbps\": {memcpy_bw:.2},\n  \"results\": [\n{}\n  ],\n  \
+         \"speedup_10k\": {speedup_10k:.2},\n  \
+         \"parallel_threads\": {GATE_THREADS},\n  \
+         \"parallel_speedup_10k\": {parallel_speedup_10k:.2},\n  \
+         \"parallel_speedup_min\": {PARALLEL_SPEEDUP_MIN},\n  \
+         \"parallel_gate\": \"{parallel_gate}\",\n  \
+         \"parallel_speedup_ok\": {parallel_speedup_ok},\n  \
+         \"roofline_fraction_10k\": {roofline_fraction:.3},\n  \
+         \"simd_matches_scalar\": {simd_ok},\n  \
          \"tracing_overhead_pct_10k\": {tracing_overhead_pct:.2},\n  \
          \"tracing_overhead_ok\": {tracing_overhead_ok}\n}}\n",
         rows.join(",\n")

@@ -8,7 +8,7 @@
 
 use crate::{DistanceMetric, ErrorString};
 use pc_kernels::PackedErrors;
-pub use pc_kernels::{MetricKind, Parallelism};
+pub use pc_kernels::{set_auto_thread_override, simd, MetricKind, Parallelism};
 
 /// Records `n` comparisons on the metric's distance counter in a single
 /// update — the batched equivalent of the per-call `incr()` inside

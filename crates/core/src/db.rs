@@ -243,7 +243,11 @@ impl<L: Ord, M: DistanceMetric> FingerprintDb<L, M> {
     {
         let _span = pc_telemetry::time!("core.db.identify_batch");
         let all: Vec<usize> = (0..self.entries.len()).collect();
-        let results = pc_kernels::map_chunked(probes.len(), 16, par, |i| {
+        // One probe per chunk: each item is a full candidate scan (µs–ms of
+        // work), so the atomic chunk claim is noise and per-item claims give
+        // the pool the best balance — the old fixed chunk of 16 ran small
+        // batches (< 16 probes) entirely inline.
+        let results = pc_kernels::map_chunked(probes.len(), 1, par, |i| {
             // Each worker scores its probe single-threaded; parallelism
             // lives in the probe dimension.
             self.best_of_ids(&all, &probes[i], Parallelism::single())

@@ -69,6 +69,10 @@ pub fn capture(
     init_telemetry();
     let mut manifest = RunManifest::new(name);
     manifest.set_analysis(pc_analysis::VERSION, analysis_status());
+    manifest.set_kernels(
+        probable_cause::batch::Parallelism::auto().threads() as u64,
+        probable_cause::batch::simd::backend(),
+    );
     configure(&mut manifest);
     manifest.begin_phase("run");
     let mut report = run(out)?;

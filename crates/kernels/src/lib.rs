@@ -19,23 +19,33 @@
 //!   sparse-versus-probe scoring into branchless bit tests.
 //! - [`MetricKind`] + [`score_batch`]: one probe against many stored strings,
 //!   bit-for-bit equal to the scalar metrics in `probable-cause`.
-//! - [`pool`]: a deterministic chunked thread pool in the spirit of the
-//!   `crates/compat` shims (std-only, no work stealing); results are
+//! - [`pool`]: a deterministic chunked thread pool over persistent workers
+//!   (spawned once per process, parked between batches); results are
 //!   independent of the thread count by construction.
+//! - [`simd`]: runtime-dispatched AVX2+POPCNT / portable-`u64x4` word
+//!   kernels under the dense-block counts, bit-for-bit equal to scalar.
 //!
 //! The crate depends on nothing above `std`, so every layer of the workspace
 //! (core, service, experiments, benches) can sit on top of it.
+//!
+//! `unsafe` is denied crate-wide except in the two modules whose job it is
+//! (`pool`'s lifetime-erased job handoff and disjoint output writes,
+//! `simd`'s feature-gated intrinsics); every site carries a `SAFETY:`
+//! comment and `pc analyze` lint U003 holds the allowlist.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(unused_must_use)]
 #![warn(clippy::unwrap_used)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 mod packed;
+#[allow(unsafe_code)]
 pub mod pool;
 mod score;
+#[allow(unsafe_code)]
+pub mod simd;
 
 pub use packed::{DenseView, PackedErrors, BLOCK_BITS, DENSE_THRESHOLD};
-pub use pool::{map_chunked, run_chunked, Parallelism};
+pub use pool::{chunk_size_for, map_chunked, run_chunked, set_auto_thread_override, Parallelism};
 pub use score::{distance_packed, score_batch, score_subset, MetricKind};

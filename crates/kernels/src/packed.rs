@@ -1,5 +1,11 @@
 //! The hybrid sparse/dense packed representation and its count kernels.
+//!
+//! The word-level inner loops (dense AND-popcount, sparse-offset bit tests)
+//! live in [`crate::simd`], which dispatches between a runtime-detected
+//! AVX2+POPCNT tier and a portable 4-way-chunked tier — both bit-for-bit
+//! equal to the plain scalar zip.
 
+use crate::simd;
 use std::fmt;
 
 /// Bits per block: one 4 KiB page. Block-relative offsets fit in a `u16`.
@@ -136,6 +142,19 @@ impl PackedErrors {
             .count()
     }
 
+    /// Bytes of container payload a full scan of this string streams: 2 per
+    /// sparse offset, 4 KiB per dense block (headers excluded). The roofline
+    /// bench divides these by wall clock to get achieved bandwidth.
+    pub fn container_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| match &b.container {
+                Container::Sparse(offs) => 2 * offs.len() as u64,
+                Container::Dense(words) => 8 * words.len() as u64,
+            })
+            .sum()
+    }
+
     /// The sorted positions, reconstructed (for tests and conversions).
     pub fn positions(&self) -> Vec<u64> {
         let mut out = Vec::with_capacity(self.weight as usize);
@@ -214,13 +233,10 @@ impl PackedErrors {
             let words = &view.blocks[v].1;
             match &b.container {
                 Container::Sparse(offs) => {
-                    for &off in offs {
-                        let word = words[usize::from(off >> 6) & (WORDS_PER_BLOCK - 1)];
-                        count += (word >> (off & 63)) & 1;
-                    }
+                    count += simd::sparse_bit_test(offs, words);
                 }
                 Container::Dense(mine) => {
-                    count += and_popcount(mine, words);
+                    count += simd::and_popcount(mine, words);
                 }
             }
         }
@@ -273,16 +289,9 @@ impl DenseView {
 fn intersect_block(a: &Container, b: &Container) -> u64 {
     match (a, b) {
         (Container::Sparse(x), Container::Sparse(y)) => merge_count(x, y),
-        (Container::Dense(x), Container::Dense(y)) => and_popcount(x, y),
+        (Container::Dense(x), Container::Dense(y)) => simd::and_popcount(x, y),
         (Container::Sparse(offs), Container::Dense(words))
-        | (Container::Dense(words), Container::Sparse(offs)) => {
-            let mut count = 0u64;
-            for &off in offs {
-                let word = words[usize::from(off >> 6) & (WORDS_PER_BLOCK - 1)];
-                count += (word >> (off & 63)) & 1;
-            }
-            count
-        }
+        | (Container::Dense(words), Container::Sparse(offs)) => simd::sparse_bit_test(offs, words),
     }
 }
 
@@ -301,13 +310,6 @@ fn merge_count(a: &[u16], b: &[u16]) -> u64 {
         }
     }
     count
-}
-
-fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| u64::from((x & y).count_ones()))
-        .sum()
 }
 
 #[cfg(test)]

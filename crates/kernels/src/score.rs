@@ -80,7 +80,8 @@ pub fn score_batch(
     par: Parallelism,
 ) -> Vec<f64> {
     let view = DenseView::new(probe);
-    pool::map_chunked(entries.len(), pool::DEFAULT_CHUNK, par, |i| {
+    let chunk = pool::chunk_size_for(entries.len(), par.threads());
+    pool::map_chunked(entries.len(), chunk, par, |i| {
         kind.eval(
             entries[i].weight(),
             view.weight(),
@@ -99,7 +100,8 @@ pub fn score_subset(
     par: Parallelism,
 ) -> Vec<f64> {
     let view = DenseView::new(probe);
-    pool::map_chunked(ids.len(), pool::DEFAULT_CHUNK, par, |k| {
+    let chunk = pool::chunk_size_for(ids.len(), par.threads());
+    pool::map_chunked(ids.len(), chunk, par, |k| {
         let e = &entries[ids[k]];
         kind.eval(e.weight(), view.weight(), e.intersect_count_view(&view))
     })

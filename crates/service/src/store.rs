@@ -99,6 +99,11 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// Candidate-set size at which a shard scan borrows the kernel thread pool.
+/// Routine LSH-routed identifies shortlist far fewer candidates than this
+/// and stay on the shard worker; degraded full scans cross it.
+const PARALLEL_SCORE_MIN: usize = 4_096;
+
 /// One shard's slice of the store, slot-addressed (`slot = id / num_shards`).
 #[derive(Debug, Default)]
 struct Shard {
@@ -337,15 +342,19 @@ impl ShardedStore {
             return Err(StoreError::MissingSlot { shard, slot });
         }
         let kind = self.kind();
-        // Shard workers already run concurrently, so each shard scores its
-        // candidates single-threaded on the packed kernels.
-        let distances = pc_kernels::score_subset(
-            &guard.packed,
-            &slots,
-            &errors.to_packed(),
-            kind,
-            Parallelism::single(),
-        );
+        // Shard workers already run concurrently, so small candidate sets
+        // score single-threaded on the packed kernels. Full-scan-sized sets
+        // (index degraded or rebuilding, router fan-outs) borrow the
+        // persistent kernel pool instead of serializing a whole shard scan
+        // onto one worker — the pool runs one job at a time, so concurrent
+        // shard scans queue rather than oversubscribe.
+        let par = if slots.len() >= PARALLEL_SCORE_MIN {
+            Parallelism::auto()
+        } else {
+            Parallelism::single()
+        };
+        let distances =
+            pc_kernels::score_subset(&guard.packed, &slots, &errors.to_packed(), kind, par);
         add_comparisons(kind, slots.len() as u64);
         let mut best: Option<(&str, f64)> = None;
         for (&slot, &d) in slots.iter().zip(&distances) {

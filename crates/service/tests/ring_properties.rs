@@ -130,19 +130,17 @@ fn routing_is_byte_identical_across_thread_counts_and_restarts() {
         out
     };
     let baseline = fingerprint(&Ring::new(&nodes, &config));
-    let original = std::env::var("PC_KERNEL_THREADS").ok();
-    for threads in ["1", "2", "8"] {
-        std::env::set_var("PC_KERNEL_THREADS", threads);
+    // The env variable is parsed once per process, so mid-process budget
+    // changes go through the kernel pool's test override hook.
+    for threads in [1usize, 2, 8] {
+        pc_kernels::set_auto_thread_override(Some(threads));
         // A fresh construction models a process restart under a different
         // thread budget.
         let again = fingerprint(&Ring::new(&nodes, &config));
         assert_eq!(
             baseline, again,
-            "PC_KERNEL_THREADS={threads} changed routing"
+            "kernel thread budget {threads} changed routing"
         );
     }
-    match original {
-        Some(v) => std::env::set_var("PC_KERNEL_THREADS", v),
-        None => std::env::remove_var("PC_KERNEL_THREADS"),
-    }
+    pc_kernels::set_auto_thread_override(None);
 }

@@ -28,6 +28,7 @@ pub struct RunManifest {
     experiment: String,
     seed: Option<u64>,
     analysis: Option<(String, String)>,
+    kernels: Option<(u64, String)>,
     knobs: JsonObject,
     phases: Vec<(String, f64)>,
     open_phase: Option<(String, Instant)>,
@@ -43,6 +44,7 @@ impl RunManifest {
             experiment: experiment.to_string(),
             seed: None,
             analysis: None,
+            kernels: None,
             knobs: JsonObject::new(),
             phases: Vec::new(),
             open_phase: None,
@@ -66,6 +68,17 @@ impl RunManifest {
     /// comparable portion of the manifest.
     pub fn set_analysis(&mut self, version: &str, status: &str) -> &mut Self {
         self.analysis = Some((version.to_string(), status.to_string()));
+        self
+    }
+
+    /// Records the compute-kernel provenance of the run: the scoring pool's
+    /// thread budget and which SIMD tier the popcount kernels dispatched to
+    /// (`"avx2+popcnt"`, `"portable-u64x4"`, …). Fixed for a given machine
+    /// and environment, so it lives in the comparable portion — results
+    /// never depend on it (kernels are bit-for-bit across tiers and thread
+    /// counts), but a perf regression in an archived manifest needs it.
+    pub fn set_kernels(&mut self, threads: u64, simd: &str) -> &mut Self {
+        self.kernels = Some((threads, simd.to_string()));
         self
     }
 
@@ -113,6 +126,17 @@ impl RunManifest {
             }
             None => {
                 obj.set("analysis", JsonValue::Null);
+            }
+        }
+        match &self.kernels {
+            Some((threads, simd)) => {
+                let mut kernels = JsonObject::new();
+                kernels.set("threads", *threads);
+                kernels.set("simd", simd.as_str());
+                obj.set("kernels", kernels);
+            }
+            None => {
+                obj.set("kernels", JsonValue::Null);
             }
         }
         obj.set("knobs", self.knobs.clone());

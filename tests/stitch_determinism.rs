@@ -4,8 +4,9 @@
 //!
 //! The stitcher's internal maps are ordered (`BTreeMap`), so iteration order
 //! — and therefore this canonical serialization — is a pure function of the
-//! observations. `PC_KERNEL_THREADS` pins the scoring pool so any future
-//! parallelism on the stitch path is covered too.
+//! observations. The kernel pool's thread override (the in-process stand-in
+//! for `PC_KERNEL_THREADS`, which is parsed only once) pins the scoring pool
+//! so any future parallelism on the stitch path is covered too.
 
 use probable_cause_repro::prelude::*;
 use std::fmt::Write as _;
@@ -13,7 +14,11 @@ use std::fmt::Write as _;
 /// Runs the whole attack at a fixed seed and renders every cluster, page
 /// offset, and fingerprint to a canonical string.
 fn stitch_and_serialize(threads: &str) -> String {
-    std::env::set_var("PC_KERNEL_THREADS", threads);
+    // `PC_KERNEL_THREADS` is parsed once per process (hot paths must not
+    // re-read the environment), so mid-process thread changes go through the
+    // pool's test override hook instead of `set_var`.
+    let parsed: usize = threads.parse().expect("numeric thread count");
+    probable_cause::batch::set_auto_thread_override(Some(parsed));
     let mut victim = ApproxSystem::emulated(SystemConfig {
         total_pages: 2_048,
         error_rate: 0.01,
@@ -53,4 +58,5 @@ fn stitch_is_byte_identical_across_thread_counts() {
     assert_eq!(one, eight, "stitch output diverges between 1 and 8 threads");
     // And re-running at the same width is stable, too.
     assert_eq!(one, stitch_and_serialize("1"));
+    probable_cause::batch::set_auto_thread_override(None);
 }

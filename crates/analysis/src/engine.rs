@@ -15,15 +15,23 @@
 //! * **W-lints** are cross-file: `counter!` / `time!` / `histogram!`
 //!   references (non-test) against the `COUNTERS` / `SPANS` / `HISTOGRAMS`
 //!   lists in `crates/telemetry/src/catalog.rs`, protocol variants against
-//!   `*roundtrip*` test bodies anywhere under `crates/service`.
+//!   `*roundtrip*` test bodies anywhere under `crates/service`, and (W004)
+//!   fault-site name literals at injection points against the `SITES`
+//!   registry in `crates/faults/src/lib.rs`;
+//! * **C-lints** are cross-function: per-file summaries from
+//!   [`crate::sema`] feed the conservative call graph and lock-order
+//!   analysis in [`crate::concurrency`]; findings land in
+//!   `crates/{service,kernels,telemetry}/src` outside test context.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::Path;
 
+use crate::concurrency;
 use crate::findings::Finding;
 use crate::lexer::{self, Line};
 use crate::lints;
+use crate::sema;
 
 /// The only files allowed to contain `unsafe` (U003): the worker pool and
 /// SIMD kernels — each site individually justified by a `// SAFETY:` comment
@@ -150,6 +158,13 @@ struct Variant {
     line: usize,
 }
 
+/// A fail_point/injected_io/.check("…") fault-site reference.
+struct SiteRef {
+    name: String,
+    file: String,
+    line: usize,
+}
+
 #[derive(Default)]
 struct CrossFile {
     metric_refs: Vec<MetricRef>,
@@ -161,6 +176,15 @@ struct CrossFile {
     /// Concatenated code text of every `*roundtrip*` fn under
     /// `crates/service`.
     roundtrip_text: String,
+    /// Fault-site name references at injection points (non-test).
+    site_refs: Vec<SiteRef>,
+    /// Site names declared in `crates/faults/src/lib.rs::SITES`.
+    sites: Vec<(String, usize)>,
+    sites_file_seen: bool,
+    /// Per-function concurrency summaries, workspace-wide.
+    fns: Vec<sema::FnDef>,
+    /// Guard-typed struct fields (C004).
+    guard_fields: Vec<sema::GuardField>,
 }
 
 #[derive(Default)]
@@ -168,6 +192,9 @@ pub(crate) struct Scanner {
     findings: Vec<Finding>,
     cross: CrossFile,
     files_scanned: usize,
+    /// `(file, 1-based line)` → suppressed lint ids, for findings emitted
+    /// after all files are scanned (C family, W004).
+    allow_map: BTreeMap<(String, usize), BTreeSet<String>>,
 }
 
 /// Per-file preprocessing: lexed lines, brace depth at line start, test
@@ -185,11 +212,16 @@ impl Scanner {
         let prep = self.prepare(rel, source);
         self.scan_lines(rel, &prep);
         self.collect_cross_file(rel, &prep);
+        let file_sema = sema::extract(rel, &prep.lines, &prep.depth_start, &prep.in_test);
+        self.cross.fns.extend(file_sema.fns);
+        self.cross.guard_fields.extend(file_sema.guard_fields);
     }
 
     pub(crate) fn finish(mut self) -> Analysis {
         self.check_catalog();
         self.check_roundtrips();
+        self.check_sites();
+        self.check_concurrency();
         self.findings.sort_by_key(|f| f.sort_key());
         Analysis {
             findings: self.findings,
@@ -256,6 +288,17 @@ impl Scanner {
             }
         }
 
+        // Mirror the suppression table into the cross-file map for findings
+        // emitted after the walk (C family, W004).
+        for (idx, ids) in allow.iter().enumerate() {
+            if !ids.is_empty() {
+                self.allow_map
+                    .entry((rel.to_string(), idx + 1))
+                    .or_default()
+                    .extend(ids.iter().cloned());
+            }
+        }
+
         Prep {
             lines,
             depth_start,
@@ -308,6 +351,24 @@ impl Scanner {
             }
         }
         Some(ids)
+    }
+
+    /// Emits a finding after the walk, honoring the suppression comment (if
+    /// any) recorded at its file/line during `prepare`.
+    fn emit_late(&mut self, lint: &'static str, file: String, line: usize, message: String) {
+        if self
+            .allow_map
+            .get(&(file.clone(), line))
+            .is_some_and(|ids| ids.contains(lint))
+        {
+            return;
+        }
+        self.findings.push(Finding {
+            lint,
+            file,
+            line,
+            message,
+        });
     }
 
     fn emit(&mut self, prep: &Prep, lint: &'static str, rel: &str, idx: usize, message: String) {
@@ -549,6 +610,53 @@ impl Scanner {
         if rel.starts_with("crates/service/") {
             self.collect_roundtrip_bodies(prep);
         }
+
+        if rel == "crates/faults/src/lib.rs" {
+            self.cross.sites_file_seen = true;
+            // Same region shape as the telemetry catalog: only the
+            // `pub const SITES: &[&str]` line opens, `];` closes.
+            let mut in_region = false;
+            for (idx, line) in prep.lines.iter().enumerate() {
+                if !in_region {
+                    in_region = line.code.contains("&[&str]")
+                        && !lexer::find_tokens(&line.code, "SITES").is_empty();
+                }
+                if !in_region {
+                    continue;
+                }
+                for name in string_literals(&line.code, &line.raw) {
+                    self.cross.sites.push((name, idx + 1));
+                }
+                if line.code.contains("];") {
+                    in_region = false;
+                }
+            }
+        } else {
+            // Fault-site references: fail_point("…") / injected_io("…") /
+            // receiver.check("…") outside tests. `check` is generic, so it
+            // only counts as a method call (previous char is `.`).
+            for (idx, line) in prep.lines.iter().enumerate() {
+                if prep.in_test[idx] {
+                    continue;
+                }
+                for tok in ["fail_point", "injected_io", "check"] {
+                    for at in lexer::find_tokens(&line.code, tok) {
+                        if tok == "check"
+                            && line.code.as_bytes().get(at.wrapping_sub(1)) != Some(&b'.')
+                        {
+                            continue;
+                        }
+                        if let Some(name) = call_string_arg(&line.code, &line.raw, at + tok.len()) {
+                            self.cross.site_refs.push(SiteRef {
+                                name,
+                                file: rel.to_string(),
+                                line: idx + 1,
+                            });
+                        }
+                    }
+                }
+            }
+        }
     }
 
     fn collect_variants(&mut self, prep: &Prep) {
@@ -661,6 +769,66 @@ impl Scanner {
         }
     }
 
+    /// W004 — fault-site names at injection points vs. the `SITES`
+    /// registry, both directions.
+    fn check_sites(&mut self) {
+        if !self.cross.sites_file_seen && self.cross.site_refs.is_empty() {
+            return;
+        }
+        let declared: BTreeSet<String> = self
+            .cross
+            .sites
+            .iter()
+            .map(|(name, _)| name.clone())
+            .collect();
+        let referenced: BTreeSet<String> = self
+            .cross
+            .site_refs
+            .iter()
+            .map(|r| r.name.clone())
+            .collect();
+        let refs: Vec<(String, String, usize)> = self
+            .cross
+            .site_refs
+            .iter()
+            .map(|r| (r.name.clone(), r.file.clone(), r.line))
+            .collect();
+        for (name, file, line) in refs {
+            if !declared.contains(&name) {
+                self.emit_late(
+                    "W004",
+                    file,
+                    line,
+                    format!(
+                        "fault site \"{name}\" is not declared in \
+                         crates/faults/src/lib.rs::SITES"
+                    ),
+                );
+            }
+        }
+        let sites = self.cross.sites.clone();
+        for (name, line) in sites {
+            if !referenced.contains(&name) {
+                self.emit_late(
+                    "W004",
+                    "crates/faults/src/lib.rs".to_string(),
+                    line,
+                    format!(
+                        "fault site \"{name}\" is declared but no injection point references it"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// C001–C004 — the cross-function concurrency lints.
+    fn check_concurrency(&mut self) {
+        let found = concurrency::check(&self.cross.fns, &self.cross.guard_fields);
+        for f in found {
+            self.emit_late(f.lint, f.file, f.line, f.message);
+        }
+    }
+
     /// W001 — every protocol variant appears in some roundtrip test.
     fn check_roundtrips(&mut self) {
         for v in &self.cross.variants {
@@ -707,6 +875,37 @@ fn macro_string_arg(code: &str, raw: &str, from: usize) -> Option<String> {
         i += 1;
     }
     if i >= code_chars.len() {
+        return None;
+    }
+    let start = i + 1;
+    let mut end = start;
+    while end < code_chars.len() && code_chars[end] != '"' {
+        end += 1;
+    }
+    if end >= code_chars.len() || end > raw_chars.len() {
+        return None;
+    }
+    Some(raw_chars[start..end].iter().collect())
+}
+
+/// If `code[from..]` starts (after whitespace) with `(` followed directly
+/// by a string literal, reads that literal's contents out of the aligned
+/// raw line. The plain-call sibling of [`macro_string_arg`].
+fn call_string_arg(code: &str, raw: &str, from: usize) -> Option<String> {
+    let code_chars: Vec<char> = code.chars().collect();
+    let raw_chars: Vec<char> = raw.chars().collect();
+    let mut i = from;
+    while code_chars.get(i) == Some(&' ') {
+        i += 1;
+    }
+    if code_chars.get(i) != Some(&'(') {
+        return None;
+    }
+    i += 1;
+    while code_chars.get(i) == Some(&' ') {
+        i += 1;
+    }
+    if code_chars.get(i) != Some(&'"') {
         return None;
     }
     let start = i + 1;

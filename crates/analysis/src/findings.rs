@@ -65,12 +65,33 @@ pub struct Report {
     pub stale: Vec<StaleEntry>,
     /// `.rs` files scanned.
     pub files_scanned: usize,
+    /// Analysis wall time in milliseconds (0 when not measured).
+    pub wall_ms: u64,
 }
+
+/// The lint family letters, in id order.
+pub const FAMILIES: &[char] = &['A', 'C', 'D', 'P', 'U', 'W'];
 
 impl Report {
     /// Whether the run passes: no new findings and no stale budget.
     pub fn is_clean(&self) -> bool {
         self.new.is_empty() && self.stale.is_empty()
+    }
+
+    /// Findings per lint family (new + baselined), in [`FAMILIES`] order.
+    pub fn family_counts(&self) -> Vec<(char, usize)> {
+        FAMILIES
+            .iter()
+            .map(|&fam| {
+                let n = self
+                    .new
+                    .iter()
+                    .chain(&self.baselined)
+                    .filter(|f| f.lint.starts_with(fam))
+                    .count();
+                (fam, n)
+            })
+            .collect()
     }
 
     /// The human-readable report.
@@ -90,13 +111,22 @@ impl Report {
                 s.file, s.lint, s.baseline, s.found
             ));
         }
+        let families = self
+            .family_counts()
+            .iter()
+            .map(|(fam, n)| format!("{fam}:{n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
         out.push_str(&format!(
-            "pc-analyze: {} file(s), {} new finding(s), {} baselined, {} stale baseline entr{} — {}\n",
+            "pc-analyze: {} file(s), {} new finding(s), {} baselined, {} stale baseline entr{}, \
+             families [{}], {} ms — {}\n",
             self.files_scanned,
             self.new.len(),
             self.baselined.len(),
             self.stale.len(),
             if self.stale.len() == 1 { "y" } else { "ies" },
+            families,
+            self.wall_ms,
             if self.is_clean() { "clean" } else { "FAIL" }
         ));
         out
@@ -108,7 +138,13 @@ impl Report {
         obj.set("schema", "pc-analyze/report/v1");
         obj.set("analyzer_version", env!("CARGO_PKG_VERSION"));
         obj.set("files_scanned", self.files_scanned as u64);
+        obj.set("wall_ms", self.wall_ms);
         obj.set("clean", self.is_clean());
+        let mut families = JsonObject::new();
+        for (fam, n) in self.family_counts() {
+            families.set(&fam.to_string(), n as u64);
+        }
+        obj.set("families", families);
         let new: Vec<JsonValue> = self.new.iter().map(|f| f.to_json().into()).collect();
         obj.set("new", new);
         let baselined: Vec<JsonValue> = self.baselined.iter().map(|f| f.to_json().into()).collect();

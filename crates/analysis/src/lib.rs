@@ -12,7 +12,10 @@
 //! * **U** — unsafe hygiene (`// SAFETY:` comments, allowlisted
 //!   invariant-skipping constructors);
 //! * **W** — wire/telemetry contracts (roundtrip-tested protocol variants,
-//!   catalogued counters);
+//!   catalogued counters, registered fault-site names);
+//! * **C** — cross-function concurrency (lock-order cycles, re-entrant
+//!   acquisition, locks held across blocking ops, escaping guards) over a
+//!   conservative intra-workspace call graph;
 //! * **A** — well-formed suppressions.
 //!
 //! Findings are compared against a checked-in `analysis-baseline.json`
@@ -32,10 +35,12 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod concurrency;
 pub mod engine;
 pub mod findings;
 pub mod lexer;
 pub mod lints;
+pub mod sema;
 
 pub use baseline::Baseline;
 pub use engine::{analyze, Analysis};
@@ -156,7 +161,9 @@ fn run_cli_inner(args: &[String]) -> Result<u8, String> {
     };
     let baseline_path = baseline_path.unwrap_or_else(|| root.join(BASELINE_FILE));
 
+    let clock = pc_telemetry::trace::StageClock::start();
     let analysis = engine::analyze(&root)?;
+    let wall_ms = clock.elapsed_ns() / 1_000_000;
 
     if update_baseline {
         let updated = Baseline::from_findings(&analysis.findings);
@@ -185,6 +192,7 @@ fn run_cli_inner(args: &[String]) -> Result<u8, String> {
     let baseline = load_baseline(&baseline_path)?;
     let mut report = baseline.compare(analysis.findings);
     report.files_scanned = analysis.files_scanned;
+    report.wall_ms = wall_ms;
 
     match format.as_str() {
         "json" => println!("{}", report.render_json()),

@@ -45,6 +45,34 @@ pub const LINTS: &[Lint] = &[
                   after an em dash or ` - `",
     },
     Lint {
+        id: "C001",
+        name: "lock-order-cycle",
+        summary: "the held-before graph over crates/{service,kernels,telemetry}/src \
+                  must be acyclic; every edge inside a cycle is a potential AB/BA \
+                  deadlock and gets its own finding",
+    },
+    Lint {
+        id: "C002",
+        name: "reentrant-acquisition",
+        summary: "a call path must not re-acquire a non-reentrant lock it already \
+                  holds (the PR 8 fan_out_save deadlock class), directly or through \
+                  the conservative call graph",
+    },
+    Lint {
+        id: "C003",
+        name: "lock-held-across-blocking",
+        summary: "no lock held across wire I/O, thread parking (sleep/park/recv/\
+                  empty-paren join), fsync, or a fault-site stall — directly or \
+                  through a resolved call",
+    },
+    Lint {
+        id: "C004",
+        name: "guard-escapes-scope",
+        summary: "MutexGuard/RwLock guards must not be returned from functions or \
+                  stored in struct fields; escaping guards defeat scope-based \
+                  hold-time reasoning",
+    },
+    Lint {
         id: "D001",
         name: "hash-collections",
         summary: "std HashMap/HashSet banned (iteration order is seeded per process); \
@@ -127,6 +155,14 @@ pub const LINTS: &[Lint] = &[
         summary: "every name declared in the COUNTERS/SPANS/HISTOGRAMS lists of \
                   crates/telemetry/src/catalog.rs must be referenced by some \
                   counter!/time!/histogram!(\"…\") site",
+    },
+    Lint {
+        id: "W004",
+        name: "fault-site-unregistered",
+        summary: "every fail_point/injected_io/check(\"…\") site name must be \
+                  declared in crates/faults/src/lib.rs::SITES (and every declared \
+                  site must have a reference), so a typo'd site can never silently \
+                  never-fire",
     },
 ];
 

@@ -251,6 +251,318 @@ fn baseline_render_parse_roundtrip_through_files() {
     assert!(reparsed.compare(findings).is_clean());
 }
 
+#[test]
+fn c001_lock_order_cycle_fixture() {
+    // AB in one function, BA in another: two edges, one cycle, one
+    // finding per edge.
+    let root = fixture(
+        "c001-positive",
+        &[(
+            "crates/service/src/order.rs",
+            "fn ab(&self) {\n\
+             \x20   let _a = self.alpha.lock();\n\
+             \x20   let _b = self.beta.lock();\n\
+             }\n\
+             fn ba(&self) {\n\
+             \x20   let _b = self.beta.lock();\n\
+             \x20   let _a = self.alpha.lock();\n\
+             }\n",
+        )],
+    );
+    let found = lint_ids(&root);
+    assert_eq!(
+        found,
+        vec![
+            ("C001".into(), "crates/service/src/order.rs".into(), 3),
+            ("C001".into(), "crates/service/src/order.rs".into(), 7),
+        ]
+    );
+
+    // pc-allow above each edge's witness line silences both halves.
+    let allowed = fixture(
+        "c001-allowed",
+        &[(
+            "crates/service/src/order.rs",
+            "fn ab(&self) {\n\
+             \x20   let _a = self.alpha.lock();\n\
+             \x20   // pc-allow: C001 — fixture: this ordering is sanctioned\n\
+             \x20   let _b = self.beta.lock();\n\
+             }\n\
+             fn ba(&self) {\n\
+             \x20   let _b = self.beta.lock();\n\
+             \x20   // pc-allow: C001 — fixture: this ordering is sanctioned\n\
+             \x20   let _a = self.alpha.lock();\n\
+             }\n",
+        )],
+    );
+    assert!(lint_ids(&allowed).is_empty());
+
+    // A consistent acquisition order everywhere is clean.
+    let clean = fixture(
+        "c001-clean",
+        &[(
+            "crates/service/src/order.rs",
+            "fn ab(&self) {\n\
+             \x20   let _a = self.alpha.lock();\n\
+             \x20   let _b = self.beta.lock();\n\
+             }\n\
+             fn ab2(&self) {\n\
+             \x20   let _a = self.alpha.lock();\n\
+             \x20   let _b = self.beta.lock();\n\
+             }\n",
+        )],
+    );
+    assert!(lint_ids(&clean).is_empty());
+}
+
+#[test]
+fn c002_fan_out_save_fixture() {
+    // The PR 8 bug, minimized: fan_out_write holds the non-reentrant
+    // mutation lock and calls maybe_checkpoint, which reaches
+    // fan_out_save, which re-takes the same lock.
+    let root = fixture(
+        "c002-positive",
+        &[(
+            "crates/service/src/router.rs",
+            "fn fan_out_write(&self) {\n\
+             \x20   let _order = self.mutation_lock.lock();\n\
+             \x20   self.maybe_checkpoint(origin);\n\
+             }\n\
+             fn maybe_checkpoint(&self, origin: u64) {\n\
+             \x20   self.fan_out_save(origin);\n\
+             }\n\
+             fn fan_out_save(&self, origin: u64) {\n\
+             \x20   let _order = self.mutation_lock.lock();\n\
+             }\n",
+        )],
+    );
+    let findings = analyze(&root).expect("analyze fixture").findings;
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].lint, "C002");
+    assert_eq!(findings[0].line, 3, "flagged at the re-entrant callsite");
+    assert!(
+        findings[0].message.contains("fan_out_save"),
+        "witness chain names the re-acquiring function: {}",
+        findings[0].message
+    );
+
+    let allowed = fixture(
+        "c002-allowed",
+        &[(
+            "crates/service/src/router.rs",
+            "fn fan_out_write(&self) {\n\
+             \x20   let _order = self.mutation_lock.lock();\n\
+             \x20   // pc-allow: C002 — fixture: checkpoint is re-entrant by contract\n\
+             \x20   self.maybe_checkpoint(origin);\n\
+             }\n\
+             fn maybe_checkpoint(&self, origin: u64) {\n\
+             \x20   self.fan_out_save(origin);\n\
+             }\n\
+             fn fan_out_save(&self, origin: u64) {\n\
+             \x20   let _order = self.mutation_lock.lock();\n\
+             }\n",
+        )],
+    );
+    assert!(lint_ids(&allowed).is_empty());
+
+    // The shipped fix: checkpoint inside the already-held critical
+    // section, save helper takes no lock of its own.
+    let clean = fixture(
+        "c002-clean",
+        &[(
+            "crates/service/src/router.rs",
+            "fn fan_out_write(&self) {\n\
+             \x20   let _order = self.mutation_lock.lock();\n\
+             \x20   self.checkpoint_live(origin);\n\
+             }\n\
+             fn checkpoint_live(&self, origin: u64) {\n\
+             \x20   self.journal_len(origin);\n\
+             }\n",
+        )],
+    );
+    assert!(lint_ids(&clean).is_empty());
+}
+
+#[test]
+fn c003_hold_across_blocking_fixture() {
+    let root = fixture(
+        "c003-positive",
+        &[(
+            "crates/service/src/conn.rs",
+            "fn f(&self) {\n\
+             \x20   let _g = self.state.lock();\n\
+             \x20   stream.write_frame(&msg);\n\
+             }\n",
+        )],
+    );
+    let found = lint_ids(&root);
+    assert_eq!(
+        found,
+        vec![("C003".into(), "crates/service/src/conn.rs".into(), 3)]
+    );
+
+    let allowed = fixture(
+        "c003-allowed",
+        &[(
+            "crates/service/src/conn.rs",
+            "fn f(&self) {\n\
+             \x20   let _g = self.state.lock();\n\
+             \x20   stream.write_frame(&msg); // pc-allow: C003 — fixture: frame writes have a deadline\n\
+             }\n",
+        )],
+    );
+    assert!(lint_ids(&allowed).is_empty());
+
+    // Guard scoped to its own block: released before the wire write.
+    let clean = fixture(
+        "c003-clean",
+        &[(
+            "crates/service/src/conn.rs",
+            "fn f(&self) {\n\
+             \x20   {\n\
+             \x20       let _g = self.state.lock();\n\
+             \x20   }\n\
+             \x20   stream.write_frame(&msg);\n\
+             }\n",
+        )],
+    );
+    assert!(lint_ids(&clean).is_empty());
+}
+
+#[test]
+fn c004_guard_escape_fixture() {
+    let root = fixture(
+        "c004-positive",
+        &[(
+            "crates/service/src/hold.rs",
+            "pub struct Held<'a> {\n\
+             \x20   guard: MutexGuard<'a, u32>,\n\
+             }\n\
+             fn grab(&self) -> MutexGuard<'_, u32> {\n\
+             \x20   self.state.lock()\n\
+             }\n",
+        )],
+    );
+    let found = lint_ids(&root);
+    assert_eq!(
+        found,
+        vec![
+            ("C004".into(), "crates/service/src/hold.rs".into(), 2),
+            ("C004".into(), "crates/service/src/hold.rs".into(), 4),
+        ]
+    );
+
+    let allowed = fixture(
+        "c004-allowed",
+        &[(
+            "crates/service/src/hold.rs",
+            "pub struct Held<'a> {\n\
+             \x20   // pc-allow: C004 — fixture: the struct is itself a scoped RAII token\n\
+             \x20   guard: MutexGuard<'a, u32>,\n\
+             }\n\
+             // pc-allow: C004 — fixture: single caller scopes the guard to one statement\n\
+             fn grab(&self) -> MutexGuard<'_, u32> {\n\
+             \x20   self.state.lock()\n\
+             }\n",
+        )],
+    );
+    assert!(lint_ids(&allowed).is_empty());
+
+    let clean = fixture(
+        "c004-clean",
+        &[(
+            "crates/service/src/hold.rs",
+            "fn with_state(&self) -> u32 {\n\
+             \x20   let g = self.state.lock();\n\
+             \x20   *g\n\
+             }\n",
+        )],
+    );
+    assert!(lint_ids(&clean).is_empty());
+}
+
+#[test]
+fn w004_fault_site_registry_fixture() {
+    // One declared-and-referenced site (clean), one rogue reference, one
+    // orphaned declaration.
+    let root = fixture(
+        "w004-positive",
+        &[
+            (
+                "crates/faults/src/lib.rs",
+                "pub const SITES: &[&str] = &[\n\
+                 \x20   \"persist.orphan\",\n\
+                 \x20   \"wire.read\",\n\
+                 ];\n",
+            ),
+            (
+                "crates/service/src/conn.rs",
+                "fn f(&self) {\n\
+                 \x20   pc_faults::fail_point(\"wire.read\", || abort());\n\
+                 \x20   self.faults.check(\"wire.rogue\");\n\
+                 }\n",
+            ),
+        ],
+    );
+    let found = lint_ids(&root);
+    assert_eq!(
+        found,
+        vec![
+            ("W004".into(), "crates/faults/src/lib.rs".into(), 2),
+            ("W004".into(), "crates/service/src/conn.rs".into(), 3),
+        ]
+    );
+
+    let allowed = fixture(
+        "w004-allowed",
+        &[
+            (
+                "crates/faults/src/lib.rs",
+                "pub const SITES: &[&str] = &[\n\
+                 \x20   \"persist.orphan\", // pc-allow: W004 — fixture: reserved for the next experiment\n\
+                 \x20   \"wire.read\",\n\
+                 ];\n",
+            ),
+            (
+                "crates/service/src/conn.rs",
+                "fn f(&self) {\n\
+                 \x20   pc_faults::fail_point(\"wire.read\", || abort());\n\
+                 \x20   // pc-allow: W004 — fixture: site registered by a downstream build\n\
+                 \x20   self.faults.check(\"wire.rogue\");\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert!(lint_ids(&allowed).is_empty());
+
+    // References inside #[cfg(test)] don't count — no rogue-site finding,
+    // and a matching declaration is still satisfied by the non-test ref.
+    let clean = fixture(
+        "w004-clean",
+        &[
+            (
+                "crates/faults/src/lib.rs",
+                "pub const SITES: &[&str] = &[\n\
+                 \x20   \"wire.read\",\n\
+                 ];\n",
+            ),
+            (
+                "crates/service/src/conn.rs",
+                "fn f(&self) {\n\
+                 \x20   pc_faults::fail_point(\"wire.read\", || abort());\n\
+                 }\n\
+                 #[cfg(test)]\n\
+                 mod tests {\n\
+                 \x20   fn t(&self) {\n\
+                 \x20       pc_faults::fail_point(\"wire.made-up\", || abort());\n\
+                 \x20   }\n\
+                 }\n",
+            ),
+        ],
+    );
+    assert!(lint_ids(&clean).is_empty());
+}
+
 /// The acceptance gate: the shipped tree itself analyzes clean against its
 /// checked-in baseline.
 #[test]

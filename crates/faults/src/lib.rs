@@ -50,6 +50,23 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Every fault-site name compiled into the workspace, sorted. A site name
+/// used at an injection point but absent here would silently never fire
+/// from a plan that spells it the same wrong way — so `pc analyze` (W004)
+/// cross-checks both directions against this registry.
+pub const SITES: &[&str] = &[
+    "persist.fsync",
+    "persist.load",
+    "persist.rename",
+    "persist.write",
+    "pool.worker",
+    "ring.forward",
+    "ring.probe",
+    "store.score",
+    "wire.read",
+    "wire.write",
+];
+
 /// When a site fires.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Trigger {
@@ -480,5 +497,13 @@ mod tests {
         let e = injected_io("persist.write");
         assert!(is_injected_message(&e.to_string()));
         assert!(!is_injected_message("disk full"));
+    }
+
+    #[test]
+    fn site_registry_is_sorted_and_unique() {
+        let mut sorted = SITES.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(SITES, sorted.as_slice(), "SITES must be sorted, no dupes");
     }
 }

@@ -42,6 +42,7 @@
 mod packed;
 #[allow(unsafe_code)]
 pub mod pool;
+pub mod sched;
 mod score;
 #[allow(unsafe_code)]
 pub mod simd;

@@ -210,6 +210,7 @@ fn pool() -> &'static Shared {
 fn claim_tasks(shared: &Shared, job: &Job) -> Option<Box<dyn std::any::Any + Send>> {
     let result = catch_unwind(AssertUnwindSafe(|| loop {
         let t = shared.next.fetch_add(1, Ordering::Relaxed);
+        crate::sched::yield_point("pool.claim");
         if t >= job.tasks {
             return;
         }
@@ -245,6 +246,7 @@ fn worker_loop(shared: &'static Shared) {
                 st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner());
             }
         };
+        crate::sched::yield_point("pool.work");
         let panic = claim_tasks(shared, &job);
         let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(p) = panic {
@@ -270,6 +272,7 @@ fn run_tasks(par: Parallelism, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
         }
         return;
     }
+    crate::sched::yield_point("pool.submit");
     let shared = pool();
     let participants = (par.threads() - 1).min(shared.workers).min(tasks - 1);
     if participants == 0 {
@@ -302,12 +305,14 @@ fn run_tasks(par: Parallelism, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
         st.panic = None;
         shared.work_cv.notify_all();
     }
+    crate::sched::yield_point("pool.installed");
 
     // The caller is always the (participants + 1)-th crew member.
     IN_POOL.with(|f| f.set(true));
     let caller_panic = claim_tasks(shared, &job);
     IN_POOL.with(|f| f.set(false));
 
+    crate::sched::yield_point("pool.done");
     let panic = {
         let mut st = shared.state.lock().unwrap_or_else(|e| e.into_inner());
         while st.active > 0 {

@@ -286,6 +286,7 @@ impl SubmissionQueue {
     /// Queue state is a plain deque + flag, so no panic can leave it
     /// logically inconsistent — a poisoned lock is taken over, not
     /// propagated into the request path.
+    // pc-allow: C004 — poison-recovery helper; callers scope the guard to one statement
     fn lock_state(&self) -> std::sync::MutexGuard<'_, QueueState> {
         self.state
             .lock()
@@ -366,6 +367,7 @@ impl Pool {
                 thread::Builder::new()
                     .name(format!("pc-shard-{shard}"))
                     .spawn(move || shard_worker(shard, store, rx, metrics, tracer))
+                    // pc-allow: P002 — startup-only spawn, fails before any traffic is accepted
                     .expect("spawn shard worker"),
             );
         }
@@ -384,6 +386,7 @@ impl Pool {
                     dispatcher_tracer,
                 )
             })
+            // pc-allow: P002 — startup-only spawn, fails before any traffic is accepted
             .expect("spawn dispatcher");
         Self {
             queue,

@@ -329,6 +329,10 @@ impl RouterShared {
             if !node.is_live() {
                 continue;
             }
+            // Writes deliberately fan out under the mutation lock: it gives
+            // every replica the same journal order, and the per-node RPCs
+            // carry connect/read deadlines.
+            // pc-allow: C003 — write fan-out is serialized by design; RPCs have deadlines
             match self.with_node_client(idx, |c| c.call_routed_write(request, origin, wseq)) {
                 Some(response) if response.is_ok() => {
                     node.health.lock().record_success(&self.config.health);
@@ -343,6 +347,10 @@ impl RouterShared {
         }
         match winner {
             Some(response) => {
+                // The auto-checkpoint deliberately runs inside the write
+                // critical section so no write can land between the
+                // fan-out and the save it checkpoints.
+                // pc-allow: C003 — auto-checkpoint stays in the write critical section
                 self.maybe_checkpoint(origin);
                 response
             }
@@ -382,6 +390,10 @@ impl RouterShared {
     /// to the entries the checkpoint covered.
     fn fan_out_save(&self, origin: u64) -> Response {
         let _order = self.mutation_lock.lock();
+        // Explicit saves serialize against writes on the mutation lock;
+        // checkpoint_live itself is lock-free (the PR 8 re-entrancy fix)
+        // and its RPCs carry deadlines.
+        // pc-allow: C003 — save fan-out is serialized by design; RPCs have deadlines
         self.checkpoint_live(origin).unwrap_or_else(|| self.shed())
     }
 
@@ -503,6 +515,9 @@ impl RouterShared {
             let replay = Request::Replay {
                 entries: batch.clone(),
             };
+            // Heal replays under the mutation lock so no concurrent write
+            // can race the journal snapshot it replays.
+            // pc-allow: C003 — heal is serialized against writes by design
             let replayed = self.with_node_client(idx, |c| c.call_routed(&replay, origin));
             match replayed {
                 Some(ref r) if r.is_ok() => {
@@ -520,6 +535,9 @@ impl RouterShared {
         // Checkpoint what the replay (and everything before it) delivered,
         // so the journal may truncate; a failed checkpoint keeps the
         // journal and the node stays down.
+        // The heal checkpoint stays inside the same mutation-lock critical
+        // section as the replay it covers.
+        // pc-allow: C003 — heal checkpoint shares the replay's critical section
         let saved = self.with_node_client(idx, |c| c.call_routed(&Request::Save, origin));
         match saved {
             Some(ref r) if r.is_ok() => {

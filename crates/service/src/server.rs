@@ -222,6 +222,10 @@ impl Shared {
     /// Checkpoints the store to the configured paths under the save lock.
     fn save(&self) -> io::Result<u64> {
         let _guard = self.save_lock.lock().unwrap_or_else(|p| p.into_inner());
+        // Serializing whole-DB checkpoints across the durable (fsync +
+        // fault-stall) write is exactly what save_lock is for; request
+        // handling proceeds on other threads meanwhile.
+        // pc-allow: C003 — save_lock exists to serialize checkpoints end to end
         self.store.save_to_paths(
             self.config.db_path.as_deref(),
             self.config.index_path.as_deref(),
